@@ -1,0 +1,26 @@
+"""Benchmark harness plumbing.
+
+Each benchmark runs its experiment exactly once (``benchmark.pedantic`` with
+one round — these are system simulations, not microbenchmarks), asserts the
+DESIGN.md §4 shape expectations, and records the rendered table under
+``benchmarks/results/`` (the source of EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(result) -> None:
+    """Persist an ExperimentResult's rendered text and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{result.experiment_id}.txt"
+    path.write_text(str(result) + "\n", encoding="utf-8")
+    print(f"\n{result}\n")
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,103 @@
+"""Regenerate EXPERIMENTS.md from benchmarks/results/*.txt.
+
+Run after ``pytest benchmarks/ --benchmark-only``::
+
+    python benchmarks/make_experiments_md.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+
+ORDER = ["F4", "F3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+         "E10", "E11", "E12", "E13", "E14", "A1", "A2", "A3", "A4", "A5"]
+
+#: experiment id → (paper claim, measured verdict)
+NOTES = {
+    "F4": ("Fig. 4: monthly mean room temperature, Nov–May, plotted between 17 and 26 °C with means ≈20–25 °C",
+           "Winter months regulated to ≈20.5 °C; May drifts warm on free gains — comfort band held all season. SHAPE HOLDS."),
+    "F3": ("Fig. 3: heating, Internet and local requests serviced by the same DF servers (no numbers in paper)",
+           "All three flows serviced concurrently by one fleet: ≥94% edge served in deadline, 100% cloud completed, rooms in comfort band. SHAPE HOLDS."),
+    "E1": ("§II-A: data furnace avoids cooling energy; CloudandHeat claims PUE 1.026 vs typical air-cooled facilities",
+           "DF fleet PUE 1.00 vs 1.50 for the air-cooled comparator; 100% of DF energy delivered as requested heat. SHAPE HOLDS."),
+    "E2": ("§II-C: direct requests avoid the master hop; indirect pays latency; offloading pays more. §III-B names Zigbee/LoRa/Sigfox/EnOcean",
+           "direct < indirect < horizontal < vertical; protocol ladder Zigbee/EnOcean ≪ LoRa ≪ Sigfox as published. SHAPE HOLDS."),
+    "E3": ("§III-C/§IV: winter heat demand raises compute capacity, summer reduces it; boilers decouple; pricing becomes seasonal",
+           "Winter/summer capacity ratio ≈5 for heaters-only, ≈2 with boilers; spot price peaks in July. SHAPE HOLDS."),
+    "E4": ("§III-B: class 1 (shared workers) maximises use but contends; class 2 (dedicated pool) guarantees minimal edge QoS",
+           "Shared completes the most DCC but misses 72–94% of edge deadlines under saturation; any dedicated pool gives 0 misses at monotonic DCC cost. SHAPE HOLDS."),
+    "E5": ("§III-B: peaks handled by preemption, vertical/horizontal offloading, or delaying",
+           "Delaying loses ~100% of deadlines on a saturated cluster; preemption/offloading all rescue the edge flow, with preemption keeping data local. SHAPE HOLDS."),
+    "E6": ("§III-B: a DVFS heat regulator guarantees energy consumed corresponds to heat demand",
+           "PI+DVFS: RMSE 0.22 °C, 97% in band; bang-bang worse; load-driven heat is uninhabitable (3.6 °C RMSE, 210 overheat deg·h). SHAPE HOLDS."),
+    "E7": ("§III-A/C: on-demand DF heat minimises urban heat island; e-radiators dump outside in summer; always-on boilers reject waste heat; DC cooling is a known offender",
+           "On-demand DF rejects ~0 kWh outdoors; e-radiator summer mode, always-on boiler and DC cooling all reject tens of kWh/day. SHAPE HOLDS."),
+    "E8": ("§III-C: predict heat demand from thermosensitivity, correlated to external weather",
+           "Piecewise-linear fit: R²≈0.95 on held-out weather; capacity forecast MAE ≈10 cores of 192. SHAPE HOLDS."),
+    "E9": ("§I/§V: DF servers vs personal computers (discomfort, opportunism), micro-datacenters, remote cloud",
+           "DF3 beats cloud-only on latency and everyone on energy; comparable latency to micro-DC while reusing heat; desktop grid misses >50% of deadlines. SHAPE HOLDS."),
+    "E10": ("§II-A/§VI: suited to batch + low-bandwidth neighbourhood apps; tightly coupled and storage unsuitable",
+            "Batch render net-free in winter (heat credit); neighbourhood 3× faster locally; BSP 1.4× slower on DF; storage produces ~no heat. SHAPE HOLDS."),
+    "E11": ("§III-C: availability depends on heat demand; free electricity keeps hosts' targets (and capacity) stable",
+            "Incentivized hosts: full fleet, CV≈0 in January; cost-conscious hosts: fewer cores, far higher volatility. SHAPE HOLDS."),
+    "E12": ("§III-C: free cooling may accelerate processor aging and replacement",
+            "Free-cooled Q.rads age 1.6–3× faster than chilled DC silicon; heat-driven duty softens it; worst case still >5-year refresh horizon. SHAPE HOLDS."),
+    "E13": ("§II-B1 service stack (containers/VMs) + §III-B environment-switching concern (extension)",
+            "A prefetched fleet never demand-misses; an undersized image disk thrashes: hit rate 58%, 62 evictions, p95 latency ~9× worse. Quantifies the §III-B worry."),
+    "E14": ("§III-C: 'we can build systems with near real-time response time.  But at what scale?' (extension)",
+            "Weak scaling 1→4 districts (6→24 Q.rads, proportional load): median edge latency flat at ~167 ms, zero misses at every size — clusters are independent by construction. CLAIM HOLDS."),
+    "A1": ("§III-B (ablation): clusters can follow buildings/districts or WSN clustering techniques (ref [13])",
+           "WSN clustering halves size imbalance (8→3.5) and quarters mean server-to-master distance. Quantifies the §III-B design choice."),
+    "A2": ("§III-C availability + §IV: 'basic services delivered by the resources (heat for instance) will continue … even if there are problems in the central point'",
+           "Comfort ~99% in band through crashes, a master outage and a WAN partition; crashed work salvaged; only the failed master's own district loses its indirect path. CLAIM HOLDS."),
+    "A3": ("§II-B1 crypto-heaters + §IV blockchain: heaters that mine",
+           "A QC-1 heats its room exactly like a plain heater (same comfort) while mining revenue exceeds the electricity bill → negative net heating cost. CLAIM HOLDS."),
+    "A4": ("§III-A: the smart-grid manager negotiates energy consumption with operators",
+           "A 2-hour 50% cap curtails fleet power via DVFS budgets; rooms coast on inertia (~99% in band); full recovery after. CLAIM HOLDS."),
+    "A5": ("§IV: seasonality as a new dimension of cloud pricing and SLAs",
+           "Season-aware planning places a 200k core-hour campaign at ~0.015 €/ch; a summer-only window is infeasible and far pricier per placed hour. The seasonal winter-hard edge SLA audits COMPLIANT. CLAIM HOLDS."),
+}
+
+HEADER = [
+    "# EXPERIMENTS — paper vs measured",
+    "",
+    "Every figure and quantitative-flavoured claim of the paper, regenerated by",
+    "`pytest benchmarks/ --benchmark-only` (21 experiments: the paper's two",
+    "figures F3/F4, claim experiments E1–E14, and ablations/extensions A1–A5).",
+    "The paper — an invited vision paper — publishes a single data figure and no",
+    "tables; for each row below we state the paper's claim, our measured result",
+    "(verbatim benchmark output), and whether the shape holds.  Absolute numbers",
+    "are not comparable — the substrate is a simulator and the paper gives none.",
+    "",
+]
+
+FOOTER = [
+    "## Reproduction notes",
+    "",
+    "* All experiments are bit-deterministic given their seed (named RNG streams).",
+    "* Substitutions for unavailable artefacts (hardware, traces, middleware) are",
+    "  documented in DESIGN.md §1.",
+    "* Regenerate any row: `pytest benchmarks/test_<id>*.py --benchmark-only` or",
+    "  `python -m repro run <ID>`; rendered tables land in `benchmarks/results/`,",
+    "  then `python benchmarks/make_experiments_md.py` rebuilds this file.",
+    "",
+]
+
+
+def main() -> None:
+    out = list(HEADER)
+    for eid in ORDER:
+        claim, verdict = NOTES[eid]
+        body = (RESULTS / f"{eid}.txt").read_text(encoding="utf-8").strip()
+        out += [f"## {eid}", "", f"**Paper:** {claim}", "", "```", body, "```",
+                "", f"**Measured:** {verdict}", ""]
+    out += FOOTER
+    (ROOT / "EXPERIMENTS.md").write_text("\n".join(out), encoding="utf-8")
+    print(f"EXPERIMENTS.md regenerated ({len(ORDER)} experiments)")
+
+
+if __name__ == "__main__":
+    main()

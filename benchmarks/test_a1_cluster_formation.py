@@ -1,0 +1,17 @@
+"""Bench A1 — cluster-formation ablation (§III-B)."""
+
+from conftest import record, run_once
+
+from repro.experiments.a1_cluster_formation import run
+
+
+def test_a1_cluster_formation(benchmark):
+    result = run_once(benchmark, run, seed=59)
+    record(result)
+    d = result.data
+    # WSN clustering balances capacity across masters...
+    assert d["wsn"]["size_imbalance"] < d["admin"]["size_imbalance"]
+    # ...and groups servers that are physically close
+    assert d["wsn"]["mean_dist_m"] < d["admin"]["mean_dist_m"]
+    # same number of masters in both rules (fair comparison)
+    assert d["wsn"]["n_clusters"] == d["admin"]["n_clusters"]

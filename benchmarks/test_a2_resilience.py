@@ -1,0 +1,23 @@
+"""Bench A2 — fault resilience and the §IV decentralisation claim."""
+
+from conftest import record, run_once
+
+from repro.experiments.a2_resilience import run
+
+
+def test_a2_resilience(benchmark):
+    result = run_once(benchmark, run, seed=61)
+    record(result)
+    d = result.data
+    # heat delivery (the §IV "basic service") survives every fault
+    assert d["comfort_in_band"] > 0.9
+    # crashed servers' work was salvaged, not lost
+    assert d["salvaged"] > 0
+    # server crashes are absorbed by the rest of the cluster
+    assert d["2 servers down (09–12h)"]["served_rate"] > 0.95
+    # a WAN partition does not matter for local service
+    assert d["wan cut (18–19h)"]["served_rate"] > 0.95
+    # a master outage hurts ONLY its district's indirect path (~half the city)
+    assert 0.3 < d["master-0 down (14–16h)"]["served_rate"] < 0.8
+    # full recovery afterwards
+    assert d["recovered (19–24h)"]["served_rate"] > 0.95

@@ -1,0 +1,18 @@
+"""Bench A3 — crypto-heater economics (§II-B1, §IV)."""
+
+from conftest import record, run_once
+
+from repro.experiments.a3_crypto_heater import run
+
+
+def test_a3_crypto_heater(benchmark):
+    result = run_once(benchmark, run, days=3.0, seed=67)
+    record(result)
+    d = result.data
+    # the QC-1 is a real heater: comfort equals a plain electric heater's
+    assert d["comfort_in_band"] > 0.9
+    assert d["rmse_c"] < 0.6
+    # and it pays for itself: net heating cost below the plain heater's bill
+    assert d["net_cost_eur"] < d["electricity_eur"]
+    assert d["revenue_eur"] > 0
+    assert d["hashes"] > 0

@@ -1,0 +1,18 @@
+"""Bench A4 — smart-grid demand response (§III-A)."""
+
+from conftest import record, run_once
+
+from repro.experiments.a4_demand_response import run
+
+
+def test_a4_demand_response(benchmark):
+    result = run_once(benchmark, run, seed=71)
+    record(result)
+    d = result.data
+    # the manager actually curtailed the fleet during the event
+    assert d["curtailment_events"] > 0
+    assert d["capped (17–19h)"] < d["before (14–17h)"]
+    # and released it afterwards
+    assert d["after (19–22h)"] > d["capped (17–19h)"]
+    # rooms coasted on inertia: comfort held through the event
+    assert d["comfort_in_band"] > 0.9

@@ -1,0 +1,21 @@
+"""Bench A5 — seasonal SLAs and campaign planning (§IV)."""
+
+from conftest import record, run_once
+
+from repro.experiments.a5_seasonal_sla import run
+
+
+def test_a5_seasonal_sla(benchmark):
+    result = run_once(benchmark, run, seed=73)
+    record(result)
+    d = result.data
+    # season-aware planning places the whole campaign; summer-only cannot
+    assert d["aware_feasible"]
+    assert not d["blind_feasible"]
+    assert d["blind_unplaced"] > 0
+    # and what the blind strategy does place costs more per core-hour
+    assert d["aware_cost"] > 0
+    # the winter contract holds on the simulated fleet
+    assert d["sla_compliant"]
+    assert d["sla_penalty_eur"] == 0.0
+    assert d["completion_rate"] > 0.98

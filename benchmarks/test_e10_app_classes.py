@@ -1,0 +1,20 @@
+"""Bench E10 — application suitability on data furnace (§II-A, §VI)."""
+
+from conftest import record, run_once
+
+from repro.experiments.e10_app_classes import run
+
+
+def test_e10_app_classes(benchmark):
+    result = run_once(benchmark, run, seed=43)
+    record(result)
+    d = result.data
+    # batch render: the winter heat credit makes DF net-free
+    assert d["batch"]["df_net"] == 0.0
+    assert d["batch"]["dc"] > 0.0
+    # neighbourhood services: in-building beats the WAN by a wide margin
+    assert d["neighbourhood"]["df"] < 0.5 * d["neighbourhood"]["dc"]
+    # tightly coupled: the paper's own caveat — DF loses on barrier latency
+    assert d["coupled"]["df"] > 1.2 * d["coupled"]["dc"]
+    # storage: produces ~no heat relative to a room's demand → unsuitable
+    assert d["storage"]["heat_per_tb_day"] < 0.1

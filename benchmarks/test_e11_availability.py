@@ -1,0 +1,23 @@
+"""Bench E11 — fleet availability vs host behaviour (§III-C)."""
+
+from conftest import record, run_once
+
+from repro.experiments.e11_availability import run
+
+
+def test_e11_availability(benchmark):
+    result = run_once(benchmark, run, days=2.0, seed=47)
+    record(result)
+    d = result.data
+    # §III-C: subsidised hosts keep steady targets → more, stabler capacity
+    for month in ("Jan", "Mar"):
+        inc = d[f"{month}/incentivized"]
+        cc = d[f"{month}/cost_conscious"]
+        assert inc["mean_cores"] >= cc["mean_cores"]
+        assert inc["cv"] <= cc["cv"] + 1e-9
+    # deep winter with incentives: the whole fleet is available, rock-steady
+    jan = d["Jan/incentivized"]
+    assert jan["mean_cores"] > 180
+    assert jan["cv"] < 0.05
+    # the incentive has a real price the operator pays
+    assert jan["subsidy_eur"] > d["May/incentivized"]["subsidy_eur"]

@@ -1,0 +1,24 @@
+"""Bench E12 — processor aging under free cooling (§III-C)."""
+
+from conftest import record, run_once
+
+from repro.experiments.e12_aging import run
+
+
+def test_e12_aging(benchmark):
+    result = run_once(benchmark, run, seed=53)
+    record(result)
+    d = result.data
+    # §III-C: free cooling accelerates aging relative to chilled aisles
+    assert d["qrad_lifetime_y"] < d["dc_lifetime_y"]
+    assert d["qrad_flat_lifetime_y"] < d["dc_lifetime_y"]
+    # the heat-driven duty cycle (compute only when heat is wanted) softens it
+    assert d["qrad_lifetime_y"] > d["qrad_flat_lifetime_y"]
+    # but even the worst case stays beyond a realistic refresh horizon
+    assert d["qrad_flat_lifetime_y"] > 5.0
+    # lifetime decreases monotonically with utilization on both substrates
+    utils = sorted(d["sweep"])
+    q = [d["sweep"][u][0] for u in utils]
+    c = [d["sweep"][u][1] for u in utils]
+    assert all(a > b for a, b in zip(q, q[1:]))
+    assert all(a > b for a, b in zip(c, c[1:]))

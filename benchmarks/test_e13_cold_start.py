@@ -1,0 +1,23 @@
+"""Bench E13 — container cold starts on the service stack (§II-B1)."""
+
+from conftest import record, run_once
+
+from repro.experiments.e13_cold_start import run
+
+
+def test_e13_cold_start(benchmark):
+    result = run_once(benchmark, run, n_requests=150, seed=79)
+    record(result)
+    d = result.data
+    pre = d["prefetched, 20 GB disk"]
+    cold = d["cold, 20 GB disk"]
+    thrash = d["cold, 5 GB disk (thrash)"]
+    # every request was served in all scenarios
+    assert pre["served"] == cold["served"] == thrash["served"] == 150
+    # a prefetched fleet never demand-misses; a cold one misses a little
+    assert pre["hit_rate"] == 1.0
+    assert cold["hit_rate"] < 1.0
+    # an undersized disk thrashes: evictions, misses and tail latency explode
+    assert thrash["evictions"] > 10
+    assert thrash["hit_rate"] < cold["hit_rate"] - 0.2
+    assert thrash["p95_ms"] > 3 * cold["p95_ms"]

@@ -1,0 +1,18 @@
+"""Bench E14 — weak scaling of the DF3 city (§III-C)."""
+
+from conftest import record, run_once
+
+from repro.experiments.e14_scale import run
+
+
+def test_e14_scale(benchmark):
+    result = run_once(benchmark, run, seed=83)
+    record(result)
+    d = result.data
+    # load actually grew with the city
+    assert d["4"]["edge_requests"] > 2 * d["1"]["edge_requests"]
+    assert d["4"]["servers"] == 4 * d["1"]["servers"]
+    # QoS is flat under weak scaling: clusters are independent
+    for n in ("1", "2", "4"):
+        assert d[n]["miss_rate"] < 0.05, n
+    assert d["4"]["median_ms"] < 2.0 * d["1"]["median_ms"]

@@ -1,0 +1,20 @@
+"""Bench E1 — PUE: data furnace vs air-cooled datacenter (§II-A)."""
+
+from conftest import record, run_once
+
+from repro.experiments.e1_pue import run
+
+
+def test_e1_pue(benchmark):
+    result = run_once(benchmark, run, duration_days=1.0, seed=11)
+    record(result)
+    d = result.data
+    # the §II-A claim: DF ≈ 1.0x (no cooling), classical DC well above
+    assert d["df_pue"] < 1.05
+    assert d["dc_pue"] > 1.3
+    # the data-furnace dividend: the DF fleet's energy is useful heat
+    assert d["df_useful_heat_fraction"] > 0.9
+    assert d["dc_useful_heat_fraction"] == 0.0
+    # both substrates actually did the work
+    assert d["df_completed"] > 0
+    assert d["dc_completed"] > 0

@@ -1,0 +1,21 @@
+"""Bench E2 — edge latency across paths and low-power protocols (§II-C)."""
+
+from conftest import record, run_once
+
+from repro.experiments.e2_edge_latency import run
+
+
+def test_e2_edge_latency(benchmark):
+    result = run_once(benchmark, run, n_requests=60, seed=13)
+    record(result)
+    paths = result.data["paths"]
+    # the §II-C ordering: direct < indirect (master hop) < offloaded
+    assert paths["direct"] < paths["indirect"]
+    assert paths["indirect"] < paths["horizontal"]
+    assert paths["horizontal"] < paths["vertical"]
+    # local processing stays near-real-time
+    assert paths["indirect"] < 0.5
+    protos = result.data["protocols"]
+    # the protocol ladder: fast PANs ≪ LPWANs
+    assert protos["zigbee"] < protos["lora"] < protos["sigfox"]
+    assert protos["enocean"] < protos["lora"]

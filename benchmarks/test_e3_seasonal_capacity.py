@@ -1,0 +1,21 @@
+"""Bench E3 — seasonal compute capacity and §IV pricing."""
+
+from conftest import record, run_once
+
+from repro.experiments.e3_seasonal_capacity import run
+
+
+def test_e3_seasonal_capacity(benchmark):
+    result = run_once(benchmark, run, days_per_month=1.0, seed=19)
+    record(result)
+    d = result.data
+    heaters = d["heaters_only"]
+    # §IV: winter capacity is a multiple of summer capacity
+    assert d["winter_summer_ratio"] > 2.0
+    # §III-C: boilers decouple heat from season → flatter curve
+    assert d["boiler_winter_summer_ratio"] < d["winter_summer_ratio"]
+    assert all(d["with_boilers"][m] >= heaters[m] for m in range(1, 13))
+    # pricing mirrors scarcity: summer spot above winter spot
+    prices = d["price_table"]
+    assert prices[7] > prices[1]
+    assert prices[8] > prices[12]

@@ -1,0 +1,24 @@
+"""Bench E4 — architecture class 1 (shared) vs class 2 (dedicated)."""
+
+from conftest import record, run_once
+
+from repro.experiments.e4_architectures import run
+
+
+def test_e4_architectures(benchmark):
+    result = run_once(benchmark, run, seed=23)
+    record(result)
+    d = result.data
+    shared_burst = d["burst/shared (class 1)"]
+    ded1_burst = d["burst/dedicated pool=1 (class 2)"]
+    shared_steady = d["steady/shared (class 1)"]
+    ded3_steady = d["steady/dedicated pool=3 (class 2)"]
+    # class 2 guarantees edge QoS even through the burst
+    assert ded1_burst["edge_miss"] == 0.0
+    # class 1 wins utilisation: more DCC completed than any dedicated split
+    assert shared_steady["cloud_done"] >= ded3_steady["cloud_done"]
+    # reserving more workers costs monotonically more DCC throughput
+    pools = [d[f"steady/dedicated pool={p} (class 2)"]["cloud_done"] for p in (1, 2, 3)]
+    assert pools[0] >= pools[1] >= pools[2]
+    # and the burst hurts the shared architecture more than the dedicated one
+    assert shared_burst["edge_miss"] >= ded1_burst["edge_miss"]

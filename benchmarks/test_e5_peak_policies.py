@@ -1,0 +1,23 @@
+"""Bench E5 — preemption vs offloading vs delay on a saturated cluster."""
+
+from conftest import record, run_once
+
+from repro.experiments.e5_peak_policies import run
+
+
+def test_e5_peak_policies(benchmark):
+    result = run_once(benchmark, run, seed=29)
+    record(result)
+    d = result.data
+    # delaying (queue) against a saturated cluster loses the deadlines
+    assert d["queue"]["edge_miss"] > 0.9
+    # every active policy rescues the edge flow
+    for policy in ("preempt", "vertical", "horizontal", "decision"):
+        assert d[policy]["edge_miss"] < 0.1, policy
+    # offload policies actually offloaded
+    assert d["vertical"]["vertical"] > 0
+    assert d["horizontal"]["horizontal"] > 0
+    # preemption keeps work local: zero offloads
+    assert d["preempt"]["vertical"] == d["preempt"]["horizontal"] == 0
+    # horizontal cooperation is booked in the fairness ledger
+    assert 0.0 < d["horizontal"]["fairness"] <= 1.0

@@ -1,0 +1,23 @@
+"""Bench E6 — the DVFS heat regulator vs bang-bang vs uncontrolled."""
+
+from conftest import record, run_once
+
+from repro.experiments.e6_heat_regulator import run
+
+
+def test_e6_heat_regulator(benchmark):
+    result = run_once(benchmark, run)
+    record(result)
+    c = result.data["controllers"]
+    reg = c["regulated (PI+DVFS)"]
+    bang = c["bang-bang (no DVFS)"]
+    wild = c["uncontrolled (load-driven)"]
+    # the §III-B guarantee: energy tracks demand → tight temperature control
+    assert reg["rmse_c"] < 0.5
+    assert reg["in_band"] > 0.9
+    # DVFS modulation beats on/off switching
+    assert reg["rmse_c"] < bang["rmse_c"]
+    # letting compute demand dictate heat is the disaster the regulator avoids
+    assert wild["rmse_c"] > 4 * reg["rmse_c"]
+    assert wild["overheat_dh"] > 50.0
+    assert wild["energy_kwh"] > reg["energy_kwh"]

@@ -1,0 +1,21 @@
+"""Bench E7 — urban-heat-island waste heat by substrate (§III-A/C)."""
+
+from conftest import record, run_once
+
+from repro.experiments.e7_heat_island import run
+
+
+def test_e7_heat_island(benchmark):
+    result = run_once(benchmark, run, duration_days=1.0, seed=31)
+    record(result)
+    d = result.data
+    # on-demand DF heat: nothing rejected outdoors in summer (boards are off)
+    assert d["df3 on-demand"] < 1.0
+    # every alternative pushes heat into the street
+    assert d["e-radiator (summer dump)"] > 50.0
+    assert d["always-on boiler"] > 10.0
+    assert d["air-cooled dc"] > 10.0
+    # the §III-A ranking: on-demand ≪ all always-on modes
+    assert d["df3 on-demand"] < 0.1 * min(
+        d["e-radiator (summer dump)"], d["always-on boiler"], d["air-cooled dc"]
+    )

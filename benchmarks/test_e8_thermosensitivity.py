@@ -1,0 +1,20 @@
+"""Bench E8 — heat-demand / thermosensitivity prediction (§III-C)."""
+
+from conftest import record, run_once
+
+from repro.experiments.e8_thermosensitivity import run
+
+
+def test_e8_thermosensitivity(benchmark):
+    result = run_once(benchmark, run, seed=37)
+    record(result)
+    d = result.data
+    # "thermosensitivity is in general correlated to the external weather":
+    # a weather-only model explains most of the demand variance
+    assert d["train_r2"] > 0.9
+    assert d["test_r2"] > 0.85   # holds on unseen weather
+    # the fit is physically sensible for 12 heated rooms
+    assert d["sensitivity"] > 50.0
+    assert 12.0 <= d["base_temp"] <= 24.0
+    # the capacity forecast is usable by the smart-grid manager
+    assert d["capacity_mae_cores"] < 30.0  # of a 192-core fleet

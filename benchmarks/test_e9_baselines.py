@@ -1,0 +1,22 @@
+"""Bench E9 — DF3 vs cloud-only vs micro-DC vs desktop grid (§I, §V)."""
+
+from conftest import record, run_once
+
+from repro.experiments.e9_baselines import run
+
+
+def test_e9_baselines(benchmark):
+    result = run_once(benchmark, run, duration_days=1.0, seed=41)
+    record(result)
+    d = result.data
+    # edge latency: DF3 beats the remote cloud, and is comparable to micro-DC
+    assert d["df3"]["edge_median_ms"] < d["cloud-only"]["edge_median_ms"]
+    assert d["df3"]["edge_median_ms"] < 2.0 * d["micro-dc"]["edge_median_ms"]
+    # energy: reusing compute heat beats resistive heating + cooled compute
+    assert d["df3"]["energy_kwh"] < d["micro-dc"]["energy_kwh"]
+    assert d["df3"]["energy_kwh"] < d["cloud-only"]["energy_kwh"]
+    # desktop grids cannot carry a real-time edge flow (§I critique)
+    assert d["desktop-grid"]["edge_miss"] > 0.3
+    assert d["df3"]["edge_miss"] < 0.05
+    # DF3 heats the homes it serves
+    assert d["df3"]["comfort_in_band"] > 0.8

@@ -1,0 +1,20 @@
+"""Bench F3 — the three flows co-serviced on one fleet (paper Fig. 3)."""
+
+from conftest import record, run_once
+
+from repro.experiments.f3_three_flows import run
+
+
+def test_fig3_three_flows(benchmark):
+    result = run_once(benchmark, run, duration_days=1.0, seed=17)
+    record(result)
+    d = result.data
+    # all three flows were actually serviced by the same fleet
+    assert d["heating_requests"] > 0
+    assert d["edge_completed"] > 0.9 * d["edge_submitted"]
+    assert d["cloud_completed"] == d["cloud_submitted"]
+    # heating QoS held while compute flowed
+    assert d["comfort_in_band"] > 0.8
+    assert d["useful_heat_kwh"] > 10.0
+    # edge QoS: near-real-time service survived the coexistence
+    assert d["edge_miss_rate"] < 0.15

@@ -1,0 +1,22 @@
+"""Bench F4 — regenerate the paper's Figure 4 (monthly room temperature)."""
+
+from conftest import record, run_once
+
+from repro.experiments.fig4_temperature import run
+from repro.sim.calendar import HEATING_SEASON_MONTHS
+
+
+def test_fig4_room_temperature(benchmark):
+    result = run_once(benchmark, run, days_per_month=2.0, seed=7)
+    record(result)
+    monthly = result.data["monthly_mean_c"]
+    # the figure's claim: DF heating holds comfort all season (paper band
+    # is ~20–25 °C between axis limits 17 and 26)
+    assert set(monthly) == set(HEATING_SEASON_MONTHS)
+    for month, temp in monthly.items():
+        assert 19.0 <= temp <= 26.0, f"month {month}: {temp}"
+    # deep winter is regulated to the setpoint, not weather-driven
+    for month in (12, 1, 2):
+        assert abs(monthly[month] - 20.5) < 1.5
+    # spring drifts warm (free gains) — the figure's May rise
+    assert monthly[5] >= monthly[1]

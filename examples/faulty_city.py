@@ -1,0 +1,74 @@
+"""Resilience demo: a DF3 city survives crashes, a master outage and a WAN cut.
+
+The §IV resource-oriented-computing argument, live: heat regulation is local
+to each server, so comfort — the "basic service delivered by the resources" —
+survives every central-point failure, while the edge flow degrades only in
+the district whose master is down.
+
+Run:  python examples/faulty_city.py
+"""
+
+from repro.core.faults import FaultInjector
+from repro.core.middleware import DF3Middleware, MiddlewareConfig
+from repro.core.requests import CloudRequest
+from repro.core.scheduling.base import SaturationPolicy
+from repro.sim.calendar import DAY, HOUR, SimCalendar
+from repro.sim.rng import RngRegistry
+from repro.workloads.edge import EdgeWorkloadConfig, EdgeWorkloadGenerator
+
+
+def main() -> None:
+    start = SimCalendar().month_start(12) + 4 * DAY  # a December day
+    mw = DF3Middleware(
+        MiddlewareConfig(n_districts=2, buildings_per_district=2,
+                         rooms_per_building=3, seed=13, start_time=start,
+                         saturation_policy=SaturationPolicy.PREEMPT)
+    )
+    fi = FaultInjector(mw)
+    rngs = RngRegistry(77)
+
+    edge = []
+    for bname in mw.buildings:
+        gen = EdgeWorkloadGenerator(rngs.stream(f"edge-{bname}"), source=bname,
+                                    config=EdgeWorkloadConfig(rate_per_hour=80.0))
+        edge += gen.generate(start, start + DAY)
+    cloud = [CloudRequest(cycles=1.5e14, time=start + 7 * HOUR, cores=4)
+             for _ in range(4)]
+    mw.inject(edge)
+    mw.inject(cloud)
+
+    victims = []
+
+    def crash() -> None:
+        names = sorted({r.executed_on for r in cloud if r.executed_on})
+        victims.extend(names[:2])
+        for v in victims:
+            n = fi.crash_server(v)
+            print(f"  [{(mw.engine.now-start)/HOUR:04.1f}h] CRASH {v} ({n} tasks salvaged)")
+
+    mw.engine.schedule_at(start + 9 * HOUR, crash)
+    mw.engine.schedule_at(start + 12 * HOUR,
+                          lambda: [fi.recover_server(v) for v in victims])
+    mw.engine.schedule_at(start + 14 * HOUR, lambda: fi.fail_master(0))
+    mw.engine.schedule_at(start + 16 * HOUR, lambda: fi.restore_master(0))
+    mw.engine.schedule_at(start + 18 * HOUR, fi.partition_wan)
+    mw.engine.schedule_at(start + 19 * HOUR, fi.heal_wan)
+
+    print("=== a faulty December day in the DF3 city ===")
+    mw.run_until(start + DAY + HOUR)
+
+    for line in fi.log.events:
+        print(" ", line)
+    done = [r for r in edge if r.status.value == "completed" and r.deadline_met()]
+    comfort = mw.comfort.result()
+    print(f"\nedge served in deadline : {len(done)}/{len(edge)} "
+          f"({len(done)/len(edge):.1%}) despite the fault schedule")
+    print(f"cloud jobs completed    : "
+          f"{sum(1 for r in cloud if r.status.value == 'completed')}/{len(cloud)} "
+          f"(crashed work salvaged: {fi.log.tasks_salvaged})")
+    print(f"heat (the §IV claim)    : comfort in-band {comfort.time_in_band:.0%}, "
+          f"mean {comfort.mean_temp_c:.1f} °C — unaffected by any central failure")
+
+
+if __name__ == "__main__":
+    main()

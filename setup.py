@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Modern installs should use ``pip install -e .`` against ``pyproject.toml``;
+this shim keeps ``python setup.py develop`` working on offline machines whose
+pip/setuptools cannot build PEP 660 editable wheels (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

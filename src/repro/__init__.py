@@ -1,0 +1,18 @@
+"""repro — Data Furnace in Three Flows (DF3), executable.
+
+A simulation framework reproducing *"Invited Paper: How Future Buildings Could
+Redefine Distributed Computing"* (Ngoko, Sainthérant, Cérin, Trystram — IPDPS
+Workshops 2018): data-furnace servers integrated in buildings, serving
+district heating, distributed-cloud and edge computing from one middleware.
+
+Entry points
+------------
+* :class:`repro.core.middleware.DF3Middleware` — the assembled city;
+* :mod:`repro.experiments` — every reproduced figure/claim (F3, F4, E1-E12,
+  A1-A4), runnable via ``python -m repro run <id>``;
+* ``DESIGN.md`` / ``EXPERIMENTS.md`` — system inventory and paper-vs-measured.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

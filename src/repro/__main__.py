@@ -1,0 +1,5 @@
+"""``python -m repro`` — experiment runner entry point."""
+
+from repro.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""Baseline architectures the paper positions DF3 against (§I, §V).
+
+* :class:`~repro.baselines.cloud_only.CloudOnlyBaseline` — the status quo:
+  every computation rides the WAN to a remote air-cooled datacenter, homes are
+  heated by plain resistive heaters;
+* :class:`~repro.baselines.micro_dc.MicroDatacenterBaseline` — Schneider-style
+  micro-datacenters distributed in the city (§V): edge latency is local, but
+  the heat is rejected outdoors and homes still burn resistive heat;
+* :class:`~repro.baselines.desktop_grid.DesktopGridBaseline` — desktop-grid /
+  volunteer computing (§I, refs [3–5]): opportunistic execution on personal
+  computers in idle periods, with the owner-discomfort problem the paper
+  calls out ("unexpected heat, noises ...").
+
+All three accept the same request streams as :class:`repro.core.middleware.
+DF3Middleware` and reduce to the same metric surface, so experiment E9 is an
+apples-to-apples table.
+"""
+
+from repro.baselines.cloud_only import CloudOnlyBaseline
+from repro.baselines.desktop_grid import DesktopGridBaseline
+from repro.baselines.micro_dc import MicroDatacenterBaseline
+
+__all__ = ["CloudOnlyBaseline", "DesktopGridBaseline", "MicroDatacenterBaseline"]

@@ -1,0 +1,119 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro list                 # show all experiments
+    python -m repro run F4               # run one experiment, print its table
+    python -m repro run all              # run every experiment
+    python -m repro run E5 --seed 123    # override the seed
+
+Every experiment is a pure function of its seed; the printed tables are the
+same artefacts the benchmark harness records in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _registry() -> Dict[str, Tuple[str, Callable]]:
+    from repro.experiments import (
+        a1_cluster_formation,
+        a2_resilience,
+        a3_crypto_heater,
+        a4_demand_response,
+        a5_seasonal_sla,
+        e1_pue,
+        e2_edge_latency,
+        e3_seasonal_capacity,
+        e4_architectures,
+        e5_peak_policies,
+        e6_heat_regulator,
+        e7_heat_island,
+        e8_thermosensitivity,
+        e9_baselines,
+        e10_app_classes,
+        e11_availability,
+        e12_aging,
+        e13_cold_start,
+        e14_scale,
+        f3_three_flows,
+        fig4_temperature,
+    )
+
+    return {
+        "F4": ("Paper Fig. 4: monthly room temperature", fig4_temperature.run),
+        "F3": ("Paper Fig. 3: three flows on one fleet", f3_three_flows.run),
+        "E1": ("PUE: data furnace vs datacenter", e1_pue.run),
+        "E2": ("Edge latency per path/protocol", e2_edge_latency.run),
+        "E3": ("Seasonal capacity and pricing", e3_seasonal_capacity.run),
+        "E4": ("Shared vs dedicated architectures", e4_architectures.run),
+        "E5": ("Peak policies: preempt/offload/delay", e5_peak_policies.run),
+        "E6": ("DVFS heat regulator", e6_heat_regulator.run),
+        "E7": ("Urban heat island waste heat", e7_heat_island.run),
+        "E8": ("Thermosensitivity prediction", e8_thermosensitivity.run),
+        "E9": ("Baseline comparison", e9_baselines.run),
+        "E10": ("Application-class suitability", e10_app_classes.run),
+        "E11": ("Availability vs host behaviour", e11_availability.run),
+        "E12": ("Processor aging under free cooling", e12_aging.run),
+        "E13": ("Service-stack container cold starts", e13_cold_start.run),
+        "E14": ("Weak scaling: QoS vs city size", e14_scale.run),
+        "A1": ("Ablation: cluster formation", a1_cluster_formation.run),
+        "A2": ("Extension: fault resilience", a2_resilience.run),
+        "A3": ("Extension: crypto-heater economics", a3_crypto_heater.run),
+        "A4": ("Extension: demand response", a4_demand_response.run),
+        "A5": ("Extension: seasonal SLAs + planning", a5_seasonal_sla.run),
+    }
+
+
+#: experiment id → (description, run callable); populated lazily in main()
+EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    EXPERIMENTS.update(_registry())
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DF3 reproduction experiment runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runp = sub.add_parser("run", help="run one experiment (or 'all')")
+    runp.add_argument("experiment", help="experiment id (e.g. F4, E5, A2) or 'all'")
+    runp.add_argument("--seed", type=int, default=None, help="override the seed")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for key, (desc, _) in EXPERIMENTS.items():
+            print(f"{key.ljust(width)}  {desc}")
+        return 0
+
+    ids = list(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment.upper()]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; try 'repro list'",
+              file=sys.stderr)
+        return 2
+    for eid in ids:
+        _, fn = EXPERIMENTS[eid]
+        kwargs = {}
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        t0 = time.time()
+        try:
+            result = fn(**kwargs)
+        except TypeError:
+            result = fn()  # experiment without a seed parameter
+        print(result)
+        print(f"({eid} completed in {time.time() - t0:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""The DF3 core: the paper's contribution, executable.
+
+Data Furnace in three flows (§II-C): one server fleet services **heating
+requests** (comfort targets from the hosts), **Internet/DCC requests** (cloud
+jobs) and **local edge requests** (direct or indirect, near-real-time).  The
+modules in this package implement the component architecture of the paper's
+Figure 5 — edge/DCC gateways, worker clusters with a master node, vertical and
+horizontal offloading, the DVFS heat regulator, the heat-demand predictor, the
+smart-grid manager and the seasonal pricing model — wired together by
+:class:`repro.core.middleware.DF3Middleware`.
+"""
+
+from repro.core.cluster import Cluster, ClusterConfig
+from repro.core.collective import CollectiveConfig, CollectiveController
+from repro.core.decision import Decision, DecisionConfig, DecisionSystem
+from repro.core.faults import FaultInjector, FaultLog
+from repro.core.gateway import DCCGateway, EdgeGateway
+from repro.core.middleware import DF3Middleware, MiddlewareConfig
+from repro.core.offloading import CooperationLedger, OffloadDirection, Offloader
+from repro.core.prediction import ThermosensitivityModel
+from repro.core.pricing import PricingModel, SeasonalPricing
+from repro.core.regulation import HeatRegulator, RegulatorConfig
+from repro.core.seasonal_planner import CampaignPlan, plan_campaign
+from repro.core.slas import SLAAuditor, SLAContract, SLATerm
+from repro.core.requests import (
+    CloudRequest,
+    EdgeMode,
+    EdgeRequest,
+    Flow,
+    HeatingRequest,
+    RequestStatus,
+)
+from repro.core.smartgrid import SmartGridManager
+
+__all__ = [
+    "CampaignPlan",
+    "CloudRequest",
+    "Cluster",
+    "ClusterConfig",
+    "CollectiveConfig",
+    "CollectiveController",
+    "CooperationLedger",
+    "DCCGateway",
+    "DF3Middleware",
+    "Decision",
+    "DecisionConfig",
+    "DecisionSystem",
+    "EdgeGateway",
+    "EdgeMode",
+    "EdgeRequest",
+    "FaultInjector",
+    "FaultLog",
+    "Flow",
+    "HeatRegulator",
+    "HeatingRequest",
+    "MiddlewareConfig",
+    "OffloadDirection",
+    "Offloader",
+    "PricingModel",
+    "RegulatorConfig",
+    "RequestStatus",
+    "SeasonalPricing",
+    "SLAAuditor",
+    "SLAContract",
+    "SLATerm",
+    "SmartGridManager",
+    "ThermosensitivityModel",
+    "plan_campaign",
+]

@@ -1,0 +1,187 @@
+"""Fault injection: crashes, master outages, WAN partitions (§III-C, §IV).
+
+The paper raises availability twice:
+
+* §III-C — "the availability and stability of DF servers could also be a
+  problem", including physical security of servers deployed in homes;
+* §IV — the resource-oriented-computing argument: "such an approach can
+  easily guarantee that the basic services delivered by the resources (heat
+  for instance) will continue to be delivered even if there are problems in
+  the central point."
+
+:class:`FaultInjector` provides the failure vocabulary experiments need to
+test those claims against the actual middleware:
+
+* **server crash** — kills running tasks (they are re-queued or offloaded per
+  the scheduler's policy via :meth:`crash_server`'s salvage hook) and powers
+  the board off until :meth:`recover_server`;
+* **master outage** — the cluster's indirect-request path is down: the edge
+  gateway rejects indirect submissions, while *heat regulation continues*
+  (regulators are local to each server — the §IV decentralisation property);
+* **WAN partition** — vertical offloading is disconnected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.requests import CloudRequest, EdgeRequest, RequestStatus
+from repro.hardware.server import ComputeServer, Task
+
+__all__ = ["FaultInjector", "FaultLog"]
+
+
+@dataclass
+class FaultLog:
+    """What the injector did, for experiment reports."""
+
+    server_crashes: int = 0
+    server_recoveries: int = 0
+    tasks_killed: int = 0
+    tasks_salvaged: int = 0
+    master_outages: int = 0
+    wan_partitions: int = 0
+    events: List[str] = field(default_factory=list)
+
+    def note(self, t: float, what: str) -> None:
+        """Append a timestamped log line."""
+        self.events.append(f"t={t:.0f}s {what}")
+
+
+class FaultInjector:
+    """Injects faults into a :class:`~repro.core.middleware.DF3Middleware`.
+
+    All methods are safe to call from scheduled engine events.
+    """
+
+    def __init__(self, middleware):
+        self.mw = middleware
+        self.log = FaultLog()
+        self._down_servers: Set[str] = set()
+        self._masters_down: Set[int] = set()
+        self._wan_partitioned = False
+        self._saved_dc = None
+        self._gateway_patched: Dict[int, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # server crashes
+    # ------------------------------------------------------------------ #
+    def crash_server(self, server_name: str, salvage: bool = True) -> int:
+        """Hard-fail a DF server.  Returns the number of tasks it was running.
+
+        With ``salvage``, killed cloud requests re-enter their cluster's queue
+        and killed edge requests are re-submitted (they may still make their
+        deadline elsewhere); filler is dropped.
+        """
+        server, district = self._find(server_name)
+        killed = server.kill_all()
+        server.power_off()
+        self._down_servers.add(server_name)
+        self.log.server_crashes += 1
+        self.log.tasks_killed += len(killed)
+        self.log.note(self.mw.engine.now, f"crash {server_name} ({len(killed)} tasks)")
+        if salvage:
+            sched = self.mw.schedulers[district]
+            for task in killed:
+                kind = task.metadata.get("kind")
+                req = task.metadata.get("request")
+                if kind == "cloud" and req is not None:
+                    req.cycles = max(task.remaining_cycles, 1.0)
+                    req.status = RequestStatus.QUEUED
+                    sched.cloud_queue.push_front(req)
+                    self.log.tasks_salvaged += 1
+                elif kind == "edge" and req is not None:
+                    req.cycles = max(task.remaining_cycles, 1.0)
+                    sched.submit_edge(req)
+                    self.log.tasks_salvaged += 1
+            sched.drain()
+        return len(killed)
+
+    def recover_server(self, server_name: str) -> None:
+        """Bring a crashed server back (empty, powered on)."""
+        if server_name not in self._down_servers:
+            raise ValueError(f"server {server_name!r} is not down")
+        server, district = self._find(server_name)
+        server.power_on()
+        self._down_servers.discard(server_name)
+        self.log.server_recoveries += 1
+        self.log.note(self.mw.engine.now, f"recover {server_name}")
+        self.mw.schedulers[district].drain()
+
+    def _find(self, server_name: str):
+        for district, cluster in self.mw.clusters.items():
+            try:
+                return cluster.worker(server_name), district
+            except KeyError:
+                continue
+        raise KeyError(f"no server named {server_name!r} in any cluster")
+
+    @property
+    def down_servers(self) -> Set[str]:
+        """Names of currently crashed servers."""
+        return set(self._down_servers)
+
+    # ------------------------------------------------------------------ #
+    # master outage
+    # ------------------------------------------------------------------ #
+    def fail_master(self, district: int) -> None:
+        """Take a district's master down: indirect edge submission rejects."""
+        if district in self._masters_down:
+            raise ValueError(f"master of district {district} already down")
+        gateway = self.mw.edge_gateways[district]
+        original = gateway.submit
+        self._gateway_patched[district] = original
+
+        def rejecting_submit(req, direct_target=None):
+            if direct_target is not None:
+                # the direct path survives: it does not need the master (§II-C)
+                original(req, direct_target=direct_target)
+                return
+            gateway.received += 1
+            req.mark_rejected()
+            gateway.scheduler.expired_edge.append(req)
+            gateway.scheduler.stats.edge_expired += 1
+
+        gateway.submit = rejecting_submit
+        self._masters_down.add(district)
+        self.log.master_outages += 1
+        self.log.note(self.mw.engine.now, f"master outage district {district}")
+
+    def restore_master(self, district: int) -> None:
+        """Bring a district's master back."""
+        if district not in self._masters_down:
+            raise ValueError(f"master of district {district} is not down")
+        self.mw.edge_gateways[district].submit = self._gateway_patched.pop(district)
+        self._masters_down.discard(district)
+        self.log.note(self.mw.engine.now, f"master restored district {district}")
+
+    def master_is_down(self, district: int) -> bool:
+        """Whether a district's master is currently out."""
+        return district in self._masters_down
+
+    # ------------------------------------------------------------------ #
+    # WAN partition
+    # ------------------------------------------------------------------ #
+    def partition_wan(self) -> None:
+        """Cut the city off from the datacenter (vertical offloading fails)."""
+        if self._wan_partitioned:
+            raise ValueError("WAN already partitioned")
+        self._saved_dc = self.mw.offloader.datacenter
+        self.mw.offloader.datacenter = None
+        self._wan_partitioned = True
+        self.log.wan_partitions += 1
+        self.log.note(self.mw.engine.now, "WAN partitioned")
+
+    def heal_wan(self) -> None:
+        """Restore datacenter connectivity."""
+        if not self._wan_partitioned:
+            raise ValueError("WAN is not partitioned")
+        self.mw.offloader.datacenter = self._saved_dc
+        self._wan_partitioned = False
+        self.log.note(self.mw.engine.now, "WAN healed")
+
+    @property
+    def wan_partitioned(self) -> bool:
+        """Whether the WAN is currently cut."""
+        return self._wan_partitioned

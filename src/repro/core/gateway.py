@@ -1,0 +1,130 @@
+"""Edge and DCC gateways (paper Fig. 5).
+
+"In both classes each DF server could either run: an edge gateway system, a
+DCC gateway system or a worker system.  The gateways receive external
+computing requests and assign them to workers ...  The edge gateway will
+differ from the DCC gateway on the network interface it supports."
+
+* :class:`EdgeGateway` — fronts one cluster on the **low-power network**:
+  a request pays its radio delivery delay, then (indirect mode) the master's
+  handling overhead, before reaching the scheduler.  Direct requests go
+  straight to a named server's local LAN, skipping the master but losing
+  placement choice (and raising the §II-C security flags, which we record).
+* :class:`DCCGateway` — fronts the cluster on the **Internet**: WAN delivery,
+  then the scheduler's cloud queue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.requests import CloudRequest, EdgeMode, EdgeRequest, RequestStatus
+from repro.hardware.server import ComputeServer, Task
+from repro.network.link import Link
+from repro.network.lowpower import LowPowerLink, LowPowerProtocol, ZIGBEE
+
+__all__ = ["EdgeGateway", "DCCGateway"]
+
+#: LAN delay of the direct device→server path (one Ethernet/WiFi hop)
+_DIRECT_LAN_S = 0.001
+
+
+class EdgeGateway:
+    """Low-power-network front door of one cluster.
+
+    Parameters
+    ----------
+    scheduler: the cluster's scheduler (either architecture class).
+    engine: simulation engine.
+    protocol: low-power protocol of the building fabric (default Zigbee).
+    rng: optional jitter stream for the radio links.
+    """
+
+    def __init__(self, scheduler, engine, protocol: LowPowerProtocol = ZIGBEE, rng=None):
+        self.scheduler = scheduler
+        self.engine = engine
+        self.protocol = protocol
+        self.rng = rng
+        self._links: Dict[str, LowPowerLink] = {}
+        self.received = 0
+        self.direct_requests = 0
+        self.direct_rejections = 0
+
+    def _link_for(self, source: str) -> LowPowerLink:
+        link = self._links.get(source)
+        if link is None:
+            link = LowPowerLink(self.protocol, rng=self.rng,
+                                jitter_std_s=0.002 if self.rng is not None else 0.0)
+            self._links[source] = link
+        return link
+
+    # ------------------------------------------------------------------ #
+    def submit(self, req: EdgeRequest, direct_target: Optional[ComputeServer] = None) -> None:
+        """Accept an edge request from a device.
+
+        Indirect requests ride the radio to the gateway, pay the master
+        overhead and enter the scheduler.  Direct requests need a
+        ``direct_target`` server; if it cannot take the task immediately the
+        request is rejected (no master to queue it — the §II-C trade-off).
+        """
+        self.received += 1
+        link = self._link_for(req.source or "unknown")
+        delivered = link.send(self.engine.now, int(req.input_bytes))
+        radio_delay = delivered - self.engine.now
+        req.network_delay_s += radio_delay
+
+        if req.mode is EdgeMode.DIRECT:
+            if direct_target is None:
+                raise ValueError("direct edge request needs a target server")
+            self.direct_requests += 1
+            self.engine.schedule(radio_delay + _DIRECT_LAN_S,
+                                 lambda: self._direct_place(req, direct_target))
+        else:
+            overhead = self.scheduler.cluster.config.master_overhead_s
+            req.network_delay_s += overhead
+            self.engine.schedule(radio_delay + overhead,
+                                 lambda: self.scheduler.submit_edge(req))
+
+    def _direct_place(self, req: EdgeRequest, server: ComputeServer) -> None:
+        task = Task(
+            task_id=req.request_id,
+            work_cycles=req.cycles,
+            cores=req.cores,
+            on_complete=lambda t, now: self._direct_done(req, now),
+            metadata={"request": req, "kind": "edge"},
+        )
+        if server.free_cores >= req.cores and server.submit(task):
+            req.status = RequestStatus.RUNNING
+            req.started_at = self.engine.now
+            req.executed_on = server.name
+        else:
+            req.mark_rejected()
+            self.direct_rejections += 1
+            self.scheduler.expired_edge.append(req)
+            self.scheduler.stats.edge_expired += 1
+
+    def _direct_done(self, req: EdgeRequest, now: float) -> None:
+        req.mark_completed(now + _DIRECT_LAN_S)
+        self.scheduler.completed_edge.append(req)
+        self.scheduler.drain()
+
+
+class DCCGateway:
+    """Internet front door of one cluster."""
+
+    def __init__(self, scheduler, engine, wan: Link):
+        self.scheduler = scheduler
+        self.engine = engine
+        self.wan = wan
+        self.received = 0
+
+    def submit(self, req: CloudRequest) -> None:
+        """Accept a cloud request from the Internet (uplink delay applies)."""
+        self.received += 1
+        delay = self.wan.delay(req.input_bytes)
+        req.network_delay_s += delay
+        req.__dict__["_return_delay_s"] = (
+            float(req.__dict__.get("_return_delay_s", 0.0))
+            + self.wan.expected_delay(req.output_bytes)
+        )
+        self.engine.schedule(delay, lambda: self.scheduler.submit_cloud(req))

@@ -1,0 +1,476 @@
+"""`DF3Middleware`: one middleware for district heating, edge and DCC.
+
+The paper's thesis (§II-C): "With DF3, we propose to operate distributed cloud
+and edge on the same platform.  We also suggest to have a single middleware
+both for district heating, edge and DCC."  This class is that middleware,
+assembled from the substrates:
+
+* a city (:class:`~repro.network.topology.CityTopology`) of districts, each a
+  :class:`~repro.core.cluster.Cluster` of Q.rads — one per room of each
+  building — plus optional digital boilers;
+* per-cluster schedulers (architecture class 1 or 2) behind edge/DCC gateways;
+* an :class:`~repro.core.offloading.Offloader` wired to peer clusters and to
+  a classical :class:`~repro.hardware.datacenter.Datacenter`;
+* a :class:`~repro.core.regulation.HeatRegulator` per server bound to its
+  room, coordinated by a :class:`~repro.core.smartgrid.SmartGridManager`;
+* the thermal fabric (buildings + weather) stepped on a fixed tick, with
+  comfort and heat-island accounting.
+
+The **filler** mechanism keeps rooms warm when paying work is scarce: the
+seasonal/opportunistic application class of Liu et al. (paper ref [6], e.g.
+BOINC batches) is modelled as preemptible chunk tasks injected wherever heat
+is wanted and cores are idle — evicted instantly when real work arrives.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.cluster import Cluster, ClusterConfig
+from repro.core.collective import CollectiveController
+from repro.core.decision import DecisionConfig, DecisionSystem
+from repro.core.gateway import DCCGateway, EdgeGateway
+from repro.core.offloading import Offloader
+from repro.core.regulation import HeatRegulator, RegulatorConfig
+from repro.core.requests import CloudRequest, EdgeRequest, HeatingRequest
+from repro.core.scheduling.base import SaturationPolicy
+from repro.core.scheduling.dedicated import DedicatedWorkersScheduler
+from repro.core.scheduling.shared import SharedWorkersScheduler
+from repro.core.smartgrid import SmartGridManager
+from repro.hardware.boiler import STIMERGY_SMALL, DigitalBoiler
+from repro.hardware.datacenter import Datacenter
+from repro.hardware.qrad import QRAD_SPEC, QRad
+from repro.hardware.server import Task
+from repro.network.internet import WANLink, WANProfile
+from repro.network.link import Link
+from repro.network.lowpower import ZIGBEE, LowPowerProtocol
+from repro.network.topology import CityTopology
+from repro.sim.calendar import SimCalendar
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.thermal.building import Building, RoomConfig, ThermostatSchedule
+from repro.thermal.comfort import ComfortTracker
+from repro.thermal.heat_island import HeatIslandLedger, OutdoorHeatSource
+from repro.thermal.hydronics import WaterLoop, WaterLoopConfig
+from repro.thermal.rc_model import RoomThermalParams
+from repro.thermal.weather import Weather, WeatherConfig
+
+__all__ = ["MiddlewareConfig", "DF3Middleware"]
+
+_GHZ = 1e9
+
+
+@dataclass(frozen=True)
+class MiddlewareConfig:
+    """Deployment + policy knobs of a DF3 city.
+
+    The defaults describe a small laptop-scale city: 2 districts × 2 buildings
+    × 3 rooms, one 500 W Q.rad per room, one 8-node datacenter for vertical
+    offloading.
+    """
+
+    n_districts: int = 2
+    buildings_per_district: int = 2
+    rooms_per_building: int = 3
+    boilers_per_district: int = 0
+    architecture: str = "shared"          # "shared" (class 1) | "dedicated" (class 2)
+    dedicated_per_cluster: int = 1        # edge-reserved Q.rads (class 2 only)
+    saturation_policy: SaturationPolicy = SaturationPolicy.QUEUE
+    context_switch_s: float = 0.0
+    dc_nodes: int = 8
+    thermal_tick_s: float = 300.0
+    enable_filler: bool = True
+    filler_chunk_s: float = 300.0
+    hybrid_migration: bool = True
+    allow_privacy_vertical: bool = False
+    regulator: RegulatorConfig = field(default_factory=RegulatorConfig)
+    decision: DecisionConfig = field(default_factory=DecisionConfig)
+    edge_protocol: LowPowerProtocol = ZIGBEE
+    weather: WeatherConfig = field(default_factory=WeatherConfig)
+    wan: WANProfile = field(default_factory=WANProfile.national_internet)
+    start_time: float = 0.0
+    weather_horizon: float = 2 * 365 * 86400.0
+    seed: int = 0
+    initial_setpoint_c: float = 20.0
+    room_thermal: RoomThermalParams = field(default_factory=RoomThermalParams)
+
+    def __post_init__(self) -> None:
+        if self.architecture not in ("shared", "dedicated"):
+            raise ValueError(f"unknown architecture {self.architecture!r}")
+        if self.architecture == "dedicated" and not (
+            0 < self.dedicated_per_cluster
+            <= self.buildings_per_district * self.rooms_per_building
+        ):
+            raise ValueError("dedicated pool size out of range")
+        if self.thermal_tick_s <= 0 or self.filler_chunk_s <= 0:
+            raise ValueError("tick and filler chunk must be > 0")
+
+
+class DF3Middleware:
+    """The single middleware for the three flows.  See module docstring."""
+
+    def __init__(self, config: MiddlewareConfig = MiddlewareConfig()):
+        self.config = config
+        cfg = config
+        self.engine = Engine(start=cfg.start_time)
+        self.rngs = RngRegistry(cfg.seed)
+        self.cal = SimCalendar()
+        self.weather = Weather(
+            self.rngs.stream("weather"), cfg.weather, horizon=cfg.weather_horizon
+        )
+        self.topology = CityTopology.build(
+            cfg.n_districts, cfg.buildings_per_district, wan=cfg.wan
+        )
+        self.ledger = HeatIslandLedger()
+        self.comfort = ComfortTracker(band_c=1.0)
+
+        self.datacenter: Optional[Datacenter] = None
+        if cfg.dc_nodes > 0:
+            self.datacenter = Datacenter(
+                "dc", cfg.dc_nodes, self.engine, ledger=self.ledger
+            )
+        wan_link = WANLink(cfg.wan, rng=self.rngs.stream("wan"))
+        self.offloader = Offloader(
+            self.engine,
+            datacenter=self.datacenter,
+            wan=wan_link if self.datacenter else None,
+            allow_privacy_vertical=cfg.allow_privacy_vertical,
+        )
+
+        # --- districts: buildings, rooms, Q.rads, regulators, clusters ----
+        self.buildings: Dict[str, Building] = {}
+        self.clusters: Dict[int, Cluster] = {}
+        self.schedulers: Dict[int, object] = {}
+        self.edge_gateways: Dict[int, EdgeGateway] = {}
+        self.dcc_gateways: Dict[int, DCCGateway] = {}
+        self.regulators: Dict[str, HeatRegulator] = {}   # room name → regulator
+        self.collectives: Dict[str, CollectiveController] = {}  # building → ctrl
+        self._server_room: Dict[str, str] = {}           # server name → room name
+        self._room_server: Dict[str, QRad] = {}
+        self.boilers: List[DigitalBoiler] = []
+        self.smartgrid = SmartGridManager(self.engine)
+        self._filler_ids = itertools.count()
+        self.filler_completed = 0
+
+        for d in range(cfg.n_districts):
+            cluster = Cluster(ClusterConfig(name=f"district-{d}", district=d))
+            dedicated_left = (
+                cfg.dedicated_per_cluster if cfg.architecture == "dedicated" else 0
+            )
+            for b in range(cfg.buildings_per_district):
+                bname = f"district-{d}/building-{b}"
+                rooms = [
+                    RoomConfig(
+                        name=f"{bname}/room-{r}",
+                        thermal=cfg.room_thermal,
+                        schedule=ThermostatSchedule(),
+                    )
+                    for r in range(cfg.rooms_per_building)
+                ]
+                building = Building(rooms, self.weather, t_init_c=18.0)
+                self.buildings[bname] = building
+                building_regs = []
+                for r, room in enumerate(building.rooms):
+                    qrad = QRad(f"{bname}/qrad-{r}", self.engine, QRAD_SPEC)
+                    room.attach(qrad)
+                    reg = HeatRegulator(cfg.regulator)
+                    reg.set_target(cfg.initial_setpoint_c)
+                    self.regulators[room.name] = reg
+                    building_regs.append(reg)
+                    self._server_room[qrad.name] = room.name
+                    self._room_server[room.name] = qrad
+                    self.smartgrid.register(qrad, reg)
+                    cluster.add_worker(qrad, dedicated_edge=dedicated_left > 0)
+                    dedicated_left -= 1
+                self.collectives[bname] = CollectiveController(building_regs)
+            for bi in range(cfg.boilers_per_district):
+                loop = WaterLoop(WaterLoopConfig(), t_init_c=40.0)
+                boiler = DigitalBoiler(
+                    f"district-{d}/boiler-{bi}", self.engine, loop,
+                    spec=STIMERGY_SMALL, ledger=self.ledger,
+                )
+                self.boilers.append(boiler)
+                self.smartgrid.register_boiler(boiler)
+                cluster.add_worker(boiler)
+            self.clusters[d] = cluster
+
+            decision = (
+                DecisionSystem(cfg.decision)
+                if cfg.saturation_policy is SaturationPolicy.DECISION
+                else None
+            )
+            sched_kwargs = dict(
+                cluster=cluster,
+                engine=self.engine,
+                policy=cfg.saturation_policy,
+                offloader=self.offloader,
+                decision_system=decision,
+                worker_priority=self._worker_priority,
+            )
+            if cfg.architecture == "shared":
+                sched = SharedWorkersScheduler(
+                    context_switch_s=cfg.context_switch_s, **sched_kwargs
+                )
+            else:
+                sched = DedicatedWorkersScheduler(**sched_kwargs)
+            self.schedulers[d] = sched
+            self.edge_gateways[d] = EdgeGateway(
+                sched, self.engine, protocol=cfg.edge_protocol,
+                rng=self.rngs.stream(f"edge-net-{d}"),
+            )
+            self.dcc_gateways[d] = DCCGateway(sched, self.engine, wan_link)
+
+        for d, sched in self.schedulers.items():
+            self.offloader.register_peer(
+                f"district-{d}", sched, Link(f"metro-{d}", 0.004, 1e9)
+            )
+
+        self.engine.add_process("df3-tick", cfg.thermal_tick_s, self._tick)
+
+    # ------------------------------------------------------------------ #
+    # placement priority: servers whose room wants heat go first
+    # ------------------------------------------------------------------ #
+    def _worker_priority(self, server) -> tuple:
+        room = self._server_room.get(server.name)
+        if room is None:  # boiler: wants heat while the tank has headroom
+            wanted = any(
+                b.name == server.name and b.heat_demand_w() > 0 for b in self.boilers
+            )
+        else:
+            wanted = self.regulators[room].heat_wanted
+        return (0 if wanted else 1, -server.free_cores)
+
+    # ------------------------------------------------------------------ #
+    # the periodic tick: regulation, migration, filler, thermal stepping
+    # ------------------------------------------------------------------ #
+    def _tick(self, now: float, dt: float) -> None:
+        # 1) regulators observe their rooms (collective controllers first:
+        #    they rebalance per-room targets toward the requested mean)
+        for bname, building in self.buildings.items():
+            temps = building.temperatures
+            ctrl = self.collectives.get(bname)
+            if ctrl is not None and ctrl.active:
+                ctrl.update(temps)
+            for room in building.rooms:
+                self.regulators[room.name].update(dt, float(temps[room.index]))
+        # 2) fleet coordination actuates DVFS caps / power states
+        self.smartgrid.tick(now, dt)
+        # 3) hybrid migration: drain compute off servers that must go cold
+        if self.config.hybrid_migration:
+            self._migrate_cold_servers()
+        # 4) filler keeps wanted-heat servers busy
+        if self.config.enable_filler:
+            self._inject_filler()
+        # 5) thermal fabric advances
+        hod = self.cal.hour_of_day(now)
+        for bname, building in self.buildings.items():
+            building.step(now, dt)
+            setpoints = [self.regulators[r.name].setpoint_c for r in building.rooms]
+            self.comfort.add(dt, building.temperatures, setpoints,
+                             month=self.cal.month(now))
+            for room in building.rooms:
+                p = room.heater_power_w()
+                if p > 0 and self.regulators[room.name].heat_wanted:
+                    self.ledger.add_useful_heat(p * dt)
+        for boiler in self.boilers:
+            boiler.thermal_step(now, dt, hod)
+        if self.datacenter is not None:
+            self.datacenter.account_heat(dt)
+
+    def _migrate_cold_servers(self) -> None:
+        """Move preemptible cloud work off servers whose room rejects heat.
+
+        The Qarnot hybrid infrastructure (§III-A): boards turn off when no
+        heat is requested, and pending Internet work continues in the
+        datacenter.
+        """
+        for d, sched in self.schedulers.items():
+            for w in self.clusters[d].workers:
+                room = self._server_room.get(w.name)
+                if room is None or self.regulators[room].heat_wanted:
+                    continue
+                for task in list(w.running_tasks):
+                    kind = task.metadata.get("kind")
+                    if kind == "filler":
+                        w.preempt(task.task_id)
+                    elif kind == "cloud" and task.metadata["request"].preemptible:
+                        t = w.preempt(task.task_id)
+                        creq = t.metadata["request"]
+                        creq.cycles = max(t.remaining_cycles, 1.0)
+                        if self.offloader.can_vertical(creq):
+                            self.offloader.vertical(creq, sched)
+                            sched.stats.cloud_offloaded_vertical += 1
+                        else:
+                            sched.cloud_queue.push_front(creq)
+
+    def _inject_filler(self) -> None:
+        for server in self.smartgrid.heat_wanted_servers():
+            while server.free_cores > 0:
+                chunk = Task(
+                    task_id=f"filler-{next(self._filler_ids)}",
+                    work_cycles=(
+                        server.core_rate_cycles_per_s() or server.spec.ladder.top.freq_ghz * _GHZ
+                    )
+                    * self.config.filler_chunk_s,
+                    cores=1,
+                    on_complete=lambda t, now: self._filler_done(),
+                    metadata={"kind": "filler"},
+                )
+                if not server.submit(chunk):
+                    break
+
+    def _filler_done(self) -> None:
+        self.filler_completed += 1
+
+    # ------------------------------------------------------------------ #
+    # the three flows
+    # ------------------------------------------------------------------ #
+    def _district_of(self, source: str) -> int:
+        try:
+            return int(source.split("/")[0].split("-")[1])
+        except (IndexError, ValueError):
+            raise ValueError(f"cannot infer district from source {source!r}") from None
+
+    def submit_heating(self, req: HeatingRequest) -> None:
+        """First flow: update comfort targets of the rooms in scope.
+
+        A collective request covering *all* rooms of one building activates
+        that building's mean-temperature controller (§II-C); individual
+        requests set single regulators and release collective control there.
+        """
+        for room in req.rooms:
+            if room not in self.regulators:
+                raise KeyError(f"unknown room {room!r}")
+        if req.collective:
+            building = req.rooms[0].rsplit("/", 1)[0]
+            ctrl = self.collectives.get(building)
+            if ctrl is not None and building in self.buildings:
+                rooms_of_building = {r.name for r in self.buildings[building].rooms}
+                if set(req.rooms) == rooms_of_building:
+                    ctrl.set_mean_target(req.target_temp_c)
+                    return
+        for room in req.rooms:
+            self.regulators[room].set_target(req.target_temp_c)
+            building = room.rsplit("/", 1)[0]
+            ctrl = self.collectives.get(building)
+            if ctrl is not None:
+                ctrl.clear()
+
+    def submit_cloud(self, req: CloudRequest, district: Optional[int] = None) -> None:
+        """Second flow: Internet request through a district's DCC gateway.
+
+        Routed to the district whose cluster currently has the most
+        heat-authorised free capacity (the smart-grid goal: compute lands
+        where heat is requested); falls back to round-robin on ties.
+        """
+        if district is None:
+            district = max(
+                self.clusters,
+                key=lambda d: sum(
+                    w.free_cores
+                    for w in self.clusters[d].workers
+                    if self._wants_heat(w)
+                ),
+            )
+        self.dcc_gateways[district].submit(req)
+
+    def _wants_heat(self, server) -> bool:
+        room = self._server_room.get(server.name)
+        if room is None:
+            return any(b.name == server.name and b.heat_demand_w() > 0 for b in self.boilers)
+        return self.regulators[room].heat_wanted
+
+    def submit_edge(self, req: EdgeRequest, direct_target: Optional[str] = None) -> None:
+        """Third flow: local request through its district's edge gateway."""
+        d = self._district_of(req.source)
+        if d not in self.edge_gateways:
+            raise ValueError(f"no such district {d}")
+        target = None
+        if direct_target is not None:
+            target = self.clusters[d].worker(direct_target)
+        self.edge_gateways[d].submit(req, direct_target=target)
+
+    # ------------------------------------------------------------------ #
+    # experiment helpers
+    # ------------------------------------------------------------------ #
+    def inject(self, requests, direct_targets: Optional[Dict[str, str]] = None) -> None:
+        """Schedule a batch of requests at their arrival times."""
+        for req in requests:
+            if isinstance(req, HeatingRequest):
+                self.engine.schedule_at(req.time, lambda r=req: self.submit_heating(r))
+            elif isinstance(req, EdgeRequest):
+                tgt = (direct_targets or {}).get(req.request_id)
+                self.engine.schedule_at(
+                    req.time, lambda r=req, t=tgt: self.submit_edge(r, direct_target=t)
+                )
+            elif isinstance(req, CloudRequest):
+                self.engine.schedule_at(req.time, lambda r=req: self.submit_cloud(r))
+            else:
+                raise TypeError(f"cannot inject {type(req).__name__}")
+
+    def run_until(self, t: float) -> None:
+        """Advance the whole city to simulated time ``t``."""
+        self.engine.run_until(t)
+
+    # ------------------------------------------------------------------ #
+    # aggregated results
+    # ------------------------------------------------------------------ #
+    @property
+    def all_servers(self) -> List:
+        """Every DF server in the city (Q.rads + boilers)."""
+        return [w for c in self.clusters.values() for w in c.workers]
+
+    def completed_edge(self) -> List[EdgeRequest]:
+        """Edge requests completed anywhere in the city."""
+        return [r for s in self.schedulers.values() for r in s.completed_edge]
+
+    def completed_cloud(self) -> List[CloudRequest]:
+        """Cloud requests completed anywhere (including vertical offloads)."""
+        return [r for s in self.schedulers.values() for r in s.completed_cloud]
+
+    def expired_edge(self) -> List[EdgeRequest]:
+        """Edge requests dropped past their deadline."""
+        return [r for s in self.schedulers.values() for r in s.expired_edge]
+
+    def edge_deadline_miss_rate(self) -> float:
+        """City-wide edge deadline miss rate (expired count as misses)."""
+        done = self.completed_edge()
+        expired = self.expired_edge()
+        n = len(done) + len(expired)
+        if n == 0:
+            return 0.0
+        misses = sum(1 for r in done if not r.deadline_met()) + len(expired)
+        return misses / n
+
+    def fleet_energy_j(self) -> float:
+        """Electrical energy of all DF servers so far (J)."""
+        for s in self.all_servers:
+            s.sync()
+        return sum(s.energy_j for s in self.all_servers)
+
+    def total_cycles_executed(self) -> float:
+        """Cycles executed by the DF fleet so far."""
+        for s in self.all_servers:
+            s.sync()
+        return sum(s.cycles_executed for s in self.all_servers)
+
+    def audit_isolation(self):
+        """Audit executed placements against the natural segmentation policy.
+
+        Architecture class 2 implies the §III-B isolated policy (edge VPN +
+        DCC net per the dedication split); class 1 implies the flat policy.
+        Returns the list of :class:`~repro.network.segmentation.Violation`.
+        """
+        from repro.network.segmentation import IsolationAuditor, SegmentationPolicy
+
+        shared = self.config.architecture == "shared"
+        policy = SegmentationPolicy.flat() if shared else SegmentationPolicy.isolated()
+        segment_of = {}
+        for cluster in self.clusters.values():
+            segment_of.update(
+                IsolationAuditor.segments_for_cluster(cluster, shared=shared)
+            )
+        auditor = IsolationAuditor(policy, segment_of)
+        return auditor.audit(self.completed_edge() + self.completed_cloud())

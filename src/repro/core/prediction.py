@@ -1,0 +1,108 @@
+"""Heat-demand / thermosensitivity prediction (paper §III-C).
+
+"A solution to manage the variability in heat demand is to build a predictive
+computing platform, with a model to predict the heat demand and the
+thermosensitivity in houses equipped with DF servers.  Several studies reveal
+that the thermosensitivity is in general correlated to the external weather."
+
+The standard utility-industry model is piecewise linear in outdoor
+temperature: demand is zero above a base temperature and grows linearly as it
+gets colder,
+
+.. math:: \\hat D(T) = s \\cdot \\max(T_{base} - T, 0)
+
+where ``s`` (W/°C) is the **thermosensitivity**.  :class:`ThermosensitivityModel`
+fits ``(s, T_base)`` from observed (temperature, demand) pairs by a grid
+search on the base temperature with a closed-form least-squares slope — small,
+dependency-free, and exactly the shape the smart-grid manager needs to
+forecast tomorrow's compute capacity from a weather forecast.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["ThermosensitivityModel"]
+
+
+class ThermosensitivityModel:
+    """Piecewise-linear heat-demand predictor.
+
+    Use :meth:`fit` on history, then :meth:`predict` on forecast temperatures.
+    """
+
+    def __init__(self) -> None:
+        self.sensitivity_w_per_c: float = 0.0
+        self.base_temp_c: float = 18.0
+        self.r2: float = 0.0
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    def fit(self, outdoor_temps_c, demands_w,
+            base_grid=None) -> Tuple[float, float]:
+        """Fit ``(sensitivity, base_temp)`` to observations.
+
+        Parameters
+        ----------
+        outdoor_temps_c, demands_w:
+            Paired observations (arrays of equal length >= 3).
+        base_grid:
+            Candidate base temperatures; default 10..24 °C by 0.5.
+
+        Returns
+        -------
+        ``(sensitivity_w_per_c, base_temp_c)``.
+        """
+        t = np.asarray(outdoor_temps_c, dtype=float)
+        d = np.asarray(demands_w, dtype=float)
+        if t.shape != d.shape or t.size < 3:
+            raise ValueError("need >= 3 paired observations")
+        if np.any(d < 0):
+            raise ValueError("demand cannot be negative")
+        if base_grid is None:
+            base_grid = np.arange(10.0, 24.01, 0.5)
+
+        best = (0.0, float(base_grid[0]), -np.inf)
+        ss_tot = float(np.sum((d - d.mean()) ** 2))
+        for base in base_grid:
+            x = np.maximum(base - t, 0.0)
+            xx = float(x @ x)
+            if xx == 0.0:
+                continue
+            slope = float(x @ d) / xx  # LS through origin
+            if slope < 0:
+                continue
+            resid = d - slope * x
+            ss_res = float(resid @ resid)
+            r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0
+            if r2 > best[2]:
+                best = (slope, float(base), r2)
+        self.sensitivity_w_per_c, self.base_temp_c, self.r2 = best
+        if not np.isfinite(self.r2):
+            self.r2 = 0.0
+        self._fitted = True
+        return self.sensitivity_w_per_c, self.base_temp_c
+
+    def predict(self, outdoor_temps_c):
+        """Predicted demand (W) for forecast temperature(s)."""
+        if not self._fitted:
+            raise RuntimeError("fit() the model first")
+        t = np.asarray(outdoor_temps_c, dtype=float)
+        out = self.sensitivity_w_per_c * np.maximum(self.base_temp_c - t, 0.0)
+        return float(out) if out.ndim == 0 else out
+
+    # ------------------------------------------------------------------ #
+    def predict_capacity_cores(self, outdoor_temps_c, watts_per_core: float,
+                               fleet_cores: int):
+        """Compute capacity (cores) unlocked by the predicted heat demand.
+
+        The DF3 coupling: heat demand caps how much server power may run, so
+        ``cores = min(demand / watts_per_core, fleet)``.  Used by E3/E8.
+        """
+        if watts_per_core <= 0 or fleet_cores < 0:
+            raise ValueError("watts_per_core must be > 0, fleet >= 0")
+        demand = np.asarray(self.predict(outdoor_temps_c), dtype=float)
+        cores = np.minimum(demand / watts_per_core, float(fleet_cores))
+        return float(cores) if cores.ndim == 0 else cores

@@ -1,0 +1,119 @@
+"""Seasonal pricing and SLA economics (paper §IV).
+
+"Data furnace introduces another dimension to classical cloud pricing models:
+the seasonality ... in winter, the heat demand increases the computing power
+that is then reduced in the summer."
+
+:class:`SeasonalPricing` turns a monthly capacity profile into spot prices
+with a constant-elasticity rule: scarce summer capacity prices high, abundant
+winter capacity prices low.  It also accounts the host-side incentive the
+paper describes in §III-C — "the hosts of DF servers do not pay electricity" —
+as the euros of heating electricity the operator absorbs per host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+__all__ = ["PricingModel", "SeasonalPricing"]
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Spot-pricing parameters.
+
+    ``base_price_per_core_hour`` is charged when capacity equals the annual
+    mean; the price scales as ``(mean_capacity / capacity) ** elasticity``,
+    bounded to ``[floor_factor, cap_factor] × base``.
+    """
+
+    base_price_per_core_hour: float = 0.02  # €, Qarnot-render ballpark
+    elasticity: float = 0.7
+    floor_factor: float = 0.5
+    cap_factor: float = 3.0
+    electricity_price_per_kwh: float = 0.17  # French residential tariff
+
+    def __post_init__(self) -> None:
+        if self.base_price_per_core_hour <= 0:
+            raise ValueError("base price must be > 0")
+        if self.elasticity < 0:
+            raise ValueError("elasticity must be >= 0")
+        if not 0 < self.floor_factor <= 1 <= self.cap_factor:
+            raise ValueError("need floor <= 1 <= cap")
+
+
+class SeasonalPricing:
+    """Monthly spot prices from a monthly capacity profile.
+
+    Parameters
+    ----------
+    monthly_capacity_core_hours:
+        Mapping month (1..12) → available capacity.  Typically produced by
+        experiment E3's seasonal-capacity run.
+    model:
+        Pricing parameters.
+    """
+
+    def __init__(self, monthly_capacity_core_hours: Mapping[int, float],
+                 model: PricingModel = PricingModel()):
+        caps = dict(monthly_capacity_core_hours)
+        if not caps:
+            raise ValueError("need at least one month of capacity")
+        for m, c in caps.items():
+            if not 1 <= m <= 12:
+                raise ValueError(f"month {m} out of range")
+            if c < 0:
+                raise ValueError(f"capacity of month {m} is negative")
+        self.capacity = caps
+        self.model = model
+        self._mean = sum(caps.values()) / len(caps)
+
+    # ------------------------------------------------------------------ #
+    def spot_price(self, month: int) -> float:
+        """€ per core-hour in ``month``."""
+        if month not in self.capacity:
+            raise KeyError(f"no capacity recorded for month {month}")
+        m = self.model
+        cap = self.capacity[month]
+        if cap <= 0:
+            return m.base_price_per_core_hour * m.cap_factor
+        raw = m.base_price_per_core_hour * (self._mean / cap) ** m.elasticity
+        lo = m.base_price_per_core_hour * m.floor_factor
+        hi = m.base_price_per_core_hour * m.cap_factor
+        return max(lo, min(hi, raw))
+
+    def price_table(self) -> Dict[int, float]:
+        """Spot price per recorded month."""
+        return {m: self.spot_price(m) for m in sorted(self.capacity)}
+
+    def monthly_revenue(self, month: int, sold_core_hours: float) -> float:
+        """Revenue of selling ``sold_core_hours`` in ``month`` (€)."""
+        if sold_core_hours < 0:
+            raise ValueError("sold volume must be >= 0")
+        if sold_core_hours > self.capacity[month] * (1 + 1e-9):
+            raise ValueError(
+                f"cannot sell {sold_core_hours} core-hours: month {month} has "
+                f"only {self.capacity[month]}"
+            )
+        return self.spot_price(month) * sold_core_hours
+
+    def winter_summer_ratio(self) -> float:
+        """Capacity ratio (Dec+Jan+Feb) / (Jun+Jul+Aug) — the §IV seasonality."""
+        winter = [self.capacity.get(m) for m in (12, 1, 2)]
+        summer = [self.capacity.get(m) for m in (6, 7, 8)]
+        if any(v is None for v in winter + summer):
+            raise ValueError("need all of Dec/Jan/Feb and Jun/Jul/Aug recorded")
+        s = sum(summer)
+        return sum(winter) / s if s > 0 else float("inf")
+
+    # ------------------------------------------------------------------ #
+    def host_subsidy_eur(self, heating_kwh: float) -> float:
+        """Electricity cost absorbed by the operator for one host (€).
+
+        The §III-C incentive: hosts get their heating electricity for free,
+        which is why winter setpoints — and hence capacity — stay stable.
+        """
+        if heating_kwh < 0:
+            raise ValueError("energy must be >= 0")
+        return heating_kwh * self.model.electricity_price_per_kwh

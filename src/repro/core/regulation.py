@@ -1,0 +1,113 @@
+"""The per-server heat regulator (paper §III-B, last paragraph).
+
+"To make sure that the expectations will be complied, we propose to add a heat
+regulator system in each DF server.  The heat regulator implements a DVFS
+based technique (voltage and frequency regulation) to guarantee that the
+energy consumed corresponds to the heat demand."
+
+The regulator is a PI controller on room-temperature error:
+
+* **input** — the room's thermostat setpoint and measured air temperature;
+* **output** — a *power-budget fraction* in [0, 1] of the server's envelope,
+  actuated as (a) a DVFS frequency cap chosen with
+  :meth:`~repro.hardware.cpu.DVFSLadder.index_for_power_budget` and (b) a
+  ``heat_wanted`` admission flag the middleware uses to decide whether this
+  server should receive filler compute (and whether idle motherboards may be
+  powered off — the Qarnot hybrid-infrastructure behaviour of §III-A).
+
+Anti-windup: the integral term is clamped so a long cold spell cannot latch
+the controller at saturation for hours after the error clears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RegulatorConfig", "HeatRegulator"]
+
+
+@dataclass(frozen=True)
+class RegulatorConfig:
+    """PI gains and actuation limits.
+
+    ``kp`` is in power-fraction per °C; ``ki`` in power-fraction per °C·hour.
+    ``off_threshold`` — below this commanded fraction the server's boards may
+    be switched off (no heat wanted at all); ``min_on_fraction`` — floor
+    fraction when on (idle power exists anyway).
+    """
+
+    kp: float = 0.5
+    ki: float = 0.4
+    integral_limit: float = 2.5
+    off_threshold: float = 0.05
+    min_on_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kp < 0 or self.ki < 0:
+            raise ValueError("gains must be >= 0")
+        if self.integral_limit <= 0:
+            raise ValueError("integral limit must be > 0")
+        if not 0 <= self.off_threshold <= 1 or not 0 <= self.min_on_fraction <= 1:
+            raise ValueError("thresholds must be in [0, 1]")
+
+
+class HeatRegulator:
+    """PI controller binding one server to one room.
+
+    Call :meth:`update` on the thermal tick; read :attr:`power_fraction` and
+    :attr:`heat_wanted`, and let it drive the server's DVFS cap via
+    :meth:`apply_to_server`.
+    """
+
+    def __init__(self, config: RegulatorConfig = RegulatorConfig()):
+        self.config = config
+        self.setpoint_c = 20.0
+        self._integral = 0.0
+        self.power_fraction = 0.0
+        self.last_error_c = 0.0
+
+    def set_target(self, setpoint_c: float) -> None:
+        """Update the comfort target (a heating request landing)."""
+        if not 5.0 <= setpoint_c <= 30.0:
+            raise ValueError(f"setpoint {setpoint_c} outside sane range")
+        self.setpoint_c = float(setpoint_c)
+
+    def update(self, dt_s: float, room_temp_c: float) -> float:
+        """Advance the controller by ``dt_s``; returns the power fraction."""
+        if dt_s <= 0:
+            raise ValueError(f"dt must be > 0, got {dt_s}")
+        cfg = self.config
+        err = self.setpoint_c - room_temp_c
+        self.last_error_c = err
+        self._integral += err * dt_s / 3600.0
+        self._integral = max(min(self._integral, cfg.integral_limit), -cfg.integral_limit)
+        u = cfg.kp * err + cfg.ki * self._integral
+        self.power_fraction = max(0.0, min(1.0, u))
+        return self.power_fraction
+
+    @property
+    def heat_wanted(self) -> bool:
+        """True when the room needs heat (server should receive compute)."""
+        return self.power_fraction > self.config.off_threshold
+
+    def apply_to_server(self, server) -> None:
+        """Actuate the server: DVFS cap, and power on/off when safe.
+
+        A server with running tasks is never powered off here — draining and
+        migration are the scheduler's job; the regulator only gates idle
+        boards (the §III-A "motherboards are turned off when no heat is
+        requested" behaviour).
+        """
+        if self.heat_wanted:
+            if not server.enabled:
+                server.power_on()
+            budget = max(self.power_fraction, self.config.min_on_fraction)
+            server.set_freq_cap(server.spec.ladder.index_for_power_budget(budget))
+        else:
+            if server.enabled and not server.running_tasks:
+                server.power_off()
+
+    def reset(self) -> None:
+        """Clear integral state (e.g. on season change)."""
+        self._integral = 0.0
+        self.power_fraction = 0.0

@@ -1,0 +1,167 @@
+"""The three request flows of the DF3 model (paper §II-C).
+
+* :class:`HeatingRequest` — "deliver heat to the environment in which the DF
+  server is deployed"; numerical comfort targets, individual or collective;
+* :class:`CloudRequest` — Internet computing requests serviced with a
+  distributed-cloud model (rendering, risk computation, BOINC-like batches);
+* :class:`EdgeRequest` — local computing requests, **direct** (device talks
+  straight to a DF server) or **indirect** (via the cluster master), with
+  near-real-time deadlines and a privacy class.
+
+Requests carry their own outcome timeline (queued → started → completed /
+rejected / missed-deadline) so metric collectors can reduce over plain lists
+of requests without auxiliary bookkeeping.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+__all__ = [
+    "Flow",
+    "EdgeMode",
+    "RequestStatus",
+    "HeatingRequest",
+    "CloudRequest",
+    "EdgeRequest",
+]
+
+_ids = itertools.count()
+
+
+def _next_id(prefix: str) -> str:
+    return f"{prefix}-{next(_ids)}"
+
+
+class Flow(str, Enum):
+    """The three flows of the DF3 processing model."""
+
+    HEATING = "heating"
+    CLOUD = "cloud"
+    EDGE = "edge"
+
+
+class EdgeMode(str, Enum):
+    """How an edge request reaches its worker (paper §II-C)."""
+
+    DIRECT = "direct"      # straight to a DF server on the local network
+    INDIRECT = "indirect"  # via the cluster master (safer, + latency)
+
+
+class RequestStatus(str, Enum):
+    """Lifecycle of a compute request."""
+
+    CREATED = "created"
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    REJECTED = "rejected"
+    OFFLOADED = "offloaded"
+
+
+@dataclass
+class HeatingRequest:
+    """A comfort target from a host (the first flow).
+
+    Collective requests target the mean temperature of several rooms
+    ("set the mean temperature in rooms of an apartment"); individual
+    requests target one server's room.
+    """
+
+    target_temp_c: float
+    time: float
+    rooms: tuple = ()           # room names in scope
+    collective: bool = False
+    request_id: str = field(default_factory=lambda: _next_id("heat"))
+
+    def __post_init__(self) -> None:
+        if not 5.0 <= self.target_temp_c <= 30.0:
+            raise ValueError(
+                f"target temperature {self.target_temp_c} outside sane range 5..30 °C"
+            )
+        if self.collective and len(self.rooms) < 2:
+            raise ValueError("collective request needs at least two rooms")
+
+
+@dataclass
+class _ComputeRequest:
+    """Shared fields of cloud and edge requests."""
+
+    cycles: float
+    time: float
+    cores: int = 1
+    input_bytes: float = 0.0
+    output_bytes: float = 0.0
+
+    status: RequestStatus = RequestStatus.CREATED
+    started_at: float = -1.0
+    completed_at: float = -1.0
+    executed_on: str = ""
+    network_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ValueError(f"cycles must be > 0, got {self.cycles}")
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.input_bytes < 0 or self.output_bytes < 0:
+            raise ValueError("message sizes must be >= 0")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def finished(self) -> bool:
+        """True once the request reached a terminal state."""
+        return self.status in (RequestStatus.COMPLETED, RequestStatus.REJECTED)
+
+    def response_time(self) -> float:
+        """Submission-to-completion latency including network (s)."""
+        if self.status is not RequestStatus.COMPLETED:
+            raise ValueError(f"request {self.request_id} not completed")
+        return self.completed_at - self.time
+
+    def mark_completed(self, now: float) -> None:
+        """Transition to COMPLETED at ``now``."""
+        self.status = RequestStatus.COMPLETED
+        self.completed_at = now
+
+    def mark_rejected(self) -> None:
+        """Transition to REJECTED (no capacity anywhere, or inadmissible)."""
+        self.status = RequestStatus.REJECTED
+
+
+@dataclass
+class CloudRequest(_ComputeRequest):
+    """An Internet/DCC computing request (the second flow)."""
+
+    user: str = "anonymous"
+    preemptible: bool = True
+    request_id: str = field(default_factory=lambda: _next_id("cloud"))
+
+    flow = Flow.CLOUD
+
+
+@dataclass
+class EdgeRequest(_ComputeRequest):
+    """A local computing request (the third flow, the paper's addition)."""
+
+    deadline_s: float = 1.0          # relative near-real-time deadline
+    mode: EdgeMode = EdgeMode.INDIRECT
+    source: str = ""                 # topology node (building) of origin
+    privacy_sensitive: bool = True   # edge data should not leave the cluster
+    request_id: str = field(default_factory=lambda: _next_id("edge"))
+
+    flow = Flow.EDGE
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.deadline_s <= 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline_s}")
+
+    def deadline_met(self) -> bool:
+        """True when the request completed within its deadline."""
+        if self.status is not RequestStatus.COMPLETED:
+            return False
+        return self.response_time() <= self.deadline_s + 1e-12

@@ -1,0 +1,28 @@
+"""Cluster scheduling: the paper's two architecture classes and peak policies.
+
+* :class:`~repro.core.scheduling.shared.SharedWorkersScheduler` — architecture
+  **class 1**: every worker may serve edge or DCC requests; saturation is
+  handled by a configurable policy (queue / preempt / offload / delay /
+  decision-system).
+* :class:`~repro.core.scheduling.dedicated.DedicatedWorkersScheduler` —
+  architecture **class 2**: a reserved worker pool guarantees edge QoS; DCC
+  runs on the rest.
+
+Queue disciplines live in :mod:`repro.core.scheduling.queues` (FCFS for the
+cloud flow, EDF for the edge flow).
+"""
+
+from repro.core.scheduling.base import BaseScheduler, SaturationPolicy, SchedulerStats
+from repro.core.scheduling.dedicated import DedicatedWorkersScheduler
+from repro.core.scheduling.queues import EDFQueue, FCFSQueue
+from repro.core.scheduling.shared import SharedWorkersScheduler
+
+__all__ = [
+    "BaseScheduler",
+    "DedicatedWorkersScheduler",
+    "EDFQueue",
+    "FCFSQueue",
+    "SaturationPolicy",
+    "SchedulerStats",
+    "SharedWorkersScheduler",
+]

@@ -1,0 +1,319 @@
+"""Common scheduler machinery for both architecture classes.
+
+A scheduler owns a cluster's queues and the request↔task mapping.  Subclasses
+only define which workers are eligible for each flow; saturation handling
+(what to do when an edge request finds no free cores — paper §III-B's
+preemption / offloading / delay menu) is implemented here once.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.cluster import Cluster
+from repro.core.requests import CloudRequest, EdgeRequest, RequestStatus
+from repro.core.scheduling.queues import EDFQueue, FCFSQueue
+from repro.hardware.server import ComputeServer, Task
+
+__all__ = ["SaturationPolicy", "SchedulerStats", "BaseScheduler"]
+
+
+class SaturationPolicy(str, Enum):
+    """What to do with an edge request when eligible workers are full."""
+
+    QUEUE = "queue"          # EDF-queue it and hope (the 'delay' option)
+    PREEMPT = "preempt"      # preempt DCC work (§III-B solution 1)
+    VERTICAL = "vertical"    # offload to the datacenter (§III-B solution 2a)
+    HORIZONTAL = "horizontal"  # offload to a peer cluster (§III-B solution 2b)
+    DECISION = "decision"    # delegate to the automated decision system
+
+
+@dataclass
+class SchedulerStats:
+    """Counters exposed for experiments."""
+
+    edge_submitted: int = 0
+    edge_placed_immediately: int = 0
+    edge_queued: int = 0
+    edge_expired: int = 0
+    edge_preemptions_triggered: int = 0
+    edge_offloaded_vertical: int = 0
+    edge_offloaded_horizontal: int = 0
+    cloud_submitted: int = 0
+    cloud_queued: int = 0
+    cloud_preempted: int = 0
+    cloud_offloaded_vertical: int = 0
+
+
+class BaseScheduler(ABC):
+    """Queues + placement for one cluster.
+
+    Parameters
+    ----------
+    cluster: the worker pool.
+    engine: simulation engine.
+    policy: saturation policy for the edge flow.
+    offloader: required for VERTICAL/HORIZONTAL/DECISION policies.
+    decision_system: required for the DECISION policy.
+    worker_priority: optional key function ordering candidate workers
+        (the middleware passes heat-wanted-first so compute lands where heat
+        is requested).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        engine,
+        policy: SaturationPolicy = SaturationPolicy.QUEUE,
+        offloader=None,
+        decision_system=None,
+        worker_priority: Optional[Callable[[ComputeServer], float]] = None,
+    ):
+        if policy in (SaturationPolicy.VERTICAL, SaturationPolicy.HORIZONTAL) and offloader is None:
+            raise ValueError(f"policy {policy.value} requires an offloader")
+        if policy is SaturationPolicy.DECISION and (offloader is None or decision_system is None):
+            raise ValueError("DECISION policy requires offloader and decision system")
+        self.cluster = cluster
+        self.engine = engine
+        self.policy = policy
+        self.offloader = offloader
+        self.decision_system = decision_system
+        self.worker_priority = worker_priority
+        self.cloud_queue: FCFSQueue[CloudRequest] = FCFSQueue()
+        self.edge_queue = EDFQueue()
+        self.stats = SchedulerStats()
+        self.completed_edge: List[EdgeRequest] = []
+        self.completed_cloud: List[CloudRequest] = []
+        self.expired_edge: List[EdgeRequest] = []
+
+    # ------------------------------------------------------------------ #
+    # worker eligibility (architecture classes differ here)
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def edge_workers(self) -> Sequence[ComputeServer]:
+        """Workers eligible for edge requests."""
+
+    @abstractmethod
+    def cloud_workers(self) -> Sequence[ComputeServer]:
+        """Workers eligible for cloud requests."""
+
+    def _ordered(self, workers: Sequence[ComputeServer]) -> List[ComputeServer]:
+        if self.worker_priority is None:
+            return list(workers)
+        return sorted(workers, key=self.worker_priority)
+
+    # ------------------------------------------------------------------ #
+    # placement primitives
+    # ------------------------------------------------------------------ #
+    def _make_task(self, req, kind: str) -> Task:
+        return Task(
+            task_id=req.request_id,
+            work_cycles=req.cycles,
+            cores=req.cores,
+            on_complete=lambda task, now: self._on_task_complete(req, kind, now),
+            metadata={"request": req, "kind": kind},
+        )
+
+    def _try_place(self, req, kind: str, workers: Sequence[ComputeServer]) -> bool:
+        ordered = self._ordered(workers)
+        for w in ordered:
+            if w.free_cores >= req.cores:
+                if w.submit(self._make_task(req, kind)):
+                    req.status = RequestStatus.RUNNING
+                    req.started_at = self.engine.now
+                    req.executed_on = w.name
+                    return True
+        # no plain room: evict filler chunks (BOINC-class heat work is always
+        # displaceable by paying requests) and retry
+        for w in ordered:
+            if not w.enabled:
+                continue
+            filler = [t for t in w.running_tasks if t.metadata.get("kind") == "filler"]
+            filler_cores = sum(t.cores for t in filler)
+            if w.free_cores + filler_cores < req.cores:
+                continue
+            for t in filler:
+                if w.free_cores >= req.cores:
+                    break
+                w.preempt(t.task_id)
+            if w.free_cores >= req.cores and w.submit(self._make_task(req, kind)):
+                req.status = RequestStatus.RUNNING
+                req.started_at = self.engine.now
+                req.executed_on = w.name
+                return True
+        return False
+
+    def _on_task_complete(self, req, kind: str, now: float) -> None:
+        ret = float(req.__dict__.get("_return_delay_s", 0.0))
+        if ret > 0:
+            self.engine.schedule(ret, lambda: req.mark_completed(self.engine.now))
+        else:
+            req.mark_completed(now)
+        if kind == "edge":
+            self.completed_edge.append(req)
+        else:
+            self.completed_cloud.append(req)
+        self.drain()
+
+    # ------------------------------------------------------------------ #
+    # submission API
+    # ------------------------------------------------------------------ #
+    def submit_cloud(self, req: CloudRequest) -> None:
+        """Admit a cloud request: place now or FCFS-queue."""
+        self.stats.cloud_submitted += 1
+        if not self._try_place(req, "cloud", self.cloud_workers()):
+            req.status = RequestStatus.QUEUED
+            self.cloud_queue.push(req)
+            self.stats.cloud_queued += 1
+
+    def submit_edge(self, req: EdgeRequest) -> None:
+        """Admit an edge request: place now or apply the saturation policy."""
+        self.stats.edge_submitted += 1
+        if self._try_place(req, "edge", self.edge_workers()):
+            self.stats.edge_placed_immediately += 1
+            return
+        self._handle_edge_saturation(req)
+
+    # ------------------------------------------------------------------ #
+    # saturation handling (§III-B)
+    # ------------------------------------------------------------------ #
+    def _handle_edge_saturation(self, req: EdgeRequest) -> None:
+        policy = self.policy
+        if policy is SaturationPolicy.DECISION:
+            self._apply_decision(req)
+            return
+        if policy is SaturationPolicy.PREEMPT and self._preempt_for(req):
+            return
+        if policy is SaturationPolicy.VERTICAL and self._offload_vertical(req):
+            return
+        if policy is SaturationPolicy.HORIZONTAL and self._offload_horizontal(req):
+            return
+        self._enqueue_edge(req)
+
+    def _enqueue_edge(self, req: EdgeRequest) -> None:
+        req.status = RequestStatus.QUEUED
+        self.edge_queue.push(req)
+        self.stats.edge_queued += 1
+
+    def _preempt_for(self, req: EdgeRequest) -> bool:
+        """Free ``req.cores`` on one edge-eligible worker by preempting DCC.
+
+        Chooses the worker where preempting the *fewest* cloud tasks
+        suffices; preempted requests re-enter the cloud queue head with their
+        remaining work preserved.
+        """
+        best: Optional[tuple] = None
+        for w in self.edge_workers():
+            if not w.enabled:
+                continue
+            victims = self._select_victims(w, req.cores - w.free_cores)
+            if victims is not None:
+                cand = (len(victims), w, victims)
+                if best is None or cand[0] < best[0]:
+                    best = cand
+        if best is None:
+            return False
+        _, worker, victims = best
+        for task in victims:
+            preempted = worker.preempt(task.task_id)
+            creq: CloudRequest = preempted.metadata["request"]
+            creq.status = RequestStatus.QUEUED
+            creq.cycles = max(preempted.remaining_cycles, 1.0)
+            self.cloud_queue.push_front(creq)
+            self.stats.cloud_preempted += 1
+        self.stats.edge_preemptions_triggered += 1
+        placed = self._try_place(req, "edge", [worker])
+        if not placed:  # pragma: no cover - defensive; victims freed the cores
+            self._enqueue_edge(req)
+        return placed
+
+    @staticmethod
+    def _select_victims(worker: ComputeServer, cores_needed: int):
+        """Smallest set of preemptible cloud tasks freeing ``cores_needed``."""
+        if cores_needed <= 0:
+            return []
+        candidates = [
+            t
+            for t in worker.running_tasks
+            if t.metadata.get("kind") == "cloud"
+            and t.metadata["request"].preemptible
+        ]
+        candidates.sort(key=lambda t: -t.cores)  # big victims first: fewest kills
+        victims, freed = [], 0
+        for t in candidates:
+            victims.append(t)
+            freed += t.cores
+            if freed >= cores_needed:
+                return victims
+        return None
+
+    def _offload_vertical(self, req: EdgeRequest) -> bool:
+        if self.offloader is None or not self.offloader.can_vertical(req):
+            return False
+        self.offloader.vertical(req, self)
+        self.stats.edge_offloaded_vertical += 1
+        return True
+
+    def _offload_horizontal(self, req: EdgeRequest) -> bool:
+        if self.offloader is None:
+            return False
+        if req.__dict__.get("_offloaded_once"):
+            return False  # no ping-pong between clusters
+        if not self.offloader.horizontal(req, self):
+            return False
+        self.stats.edge_offloaded_horizontal += 1
+        return True
+
+    def _apply_decision(self, req: EdgeRequest) -> None:
+        from repro.core.decision import Decision
+
+        choice = self.decision_system.decide(req, self)
+        if choice is Decision.PREEMPT and self._preempt_for(req):
+            return
+        if choice is Decision.HORIZONTAL and self._offload_horizontal(req):
+            return
+        if choice is Decision.VERTICAL and self._offload_vertical(req):
+            return
+        if choice is Decision.REJECT:
+            req.mark_rejected()
+            self.expired_edge.append(req)
+            self.stats.edge_expired += 1
+            return
+        self._enqueue_edge(req)  # LOCAL-but-full, QUEUE, DELAY all land here
+
+    # ------------------------------------------------------------------ #
+    # queue draining
+    # ------------------------------------------------------------------ #
+    def drain(self) -> None:
+        """Serve queued work after capacity freed up (EDF first, then FCFS)."""
+        now = self.engine.now
+        for stale in self.edge_queue.pop_expired(now):
+            stale.mark_rejected()
+            self.expired_edge.append(stale)
+            self.stats.edge_expired += 1
+        while self.edge_queue:
+            head = self.edge_queue.peek()
+            if not self._try_place(head, "edge", self.edge_workers()):
+                break
+            self.edge_queue.pop()
+        while self.cloud_queue:
+            head = self.cloud_queue.peek()
+            if not self._try_place(head, "cloud", self.cloud_workers()):
+                break
+            self.cloud_queue.pop()
+
+    # ------------------------------------------------------------------ #
+    def edge_deadline_miss_rate(self) -> float:
+        """Fraction of finished edge requests that missed their deadline.
+
+        Expired (never-served) requests count as misses.
+        """
+        served = self.completed_edge
+        finished = len(served) + len(self.expired_edge)
+        if finished == 0:
+            return 0.0
+        misses = sum(1 for r in served if not r.deadline_met()) + len(self.expired_edge)
+        return misses / finished

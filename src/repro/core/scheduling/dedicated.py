@@ -1,0 +1,42 @@
+"""Architecture class 2: a dedicated edge worker pool (paper §III-B).
+
+"In the second class of DF3 architecture ... a dedicated number of workers
+within the set of all workers.  With a dedicated number of workers, we can
+guarantee a minimal quality of service ... we can envision to put the
+dedicated edge servers in a (virtual) private network to ensure that the
+isolation with DCC workers is guaranteed."
+
+Strict partition: edge requests run only on the dedicated pool (the VPN
+boundary), DCC only on the rest.  The class's open questions — "How do we
+decide on the number of workers?  How do we manage peak of requests?" — are
+exactly what experiment E4 sweeps (pool size × load).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.scheduling.base import BaseScheduler
+from repro.hardware.server import ComputeServer
+
+__all__ = ["DedicatedWorkersScheduler"]
+
+
+class DedicatedWorkersScheduler(BaseScheduler):
+    """Edge flow confined to the cluster's dedicated pool."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not self.cluster.edge_dedicated_workers:
+            raise ValueError(
+                f"cluster {self.cluster.name!r} has no edge-dedicated workers; "
+                "dedicate some before using the class-2 architecture"
+            )
+
+    def edge_workers(self) -> Sequence[ComputeServer]:
+        """Only the dedicated pool (the VPN-isolated edge servers)."""
+        return self.cluster.edge_dedicated_workers
+
+    def cloud_workers(self) -> Sequence[ComputeServer]:
+        """Only the general pool: DCC never touches edge workers."""
+        return self.cluster.general_workers

@@ -1,0 +1,72 @@
+"""Architecture class 1: shared workers (paper §III-B).
+
+"In the first class of DF3 architecture, workers can either service edge or
+DCC requests."  Maximum utilisation, contended QoS: every worker is eligible
+for both flows, and the saturation policy decides what happens when an edge
+request meets a full cluster.
+
+The paper also raises **context switching** ("the environment deployed on
+nodes must cover the need of edge and DCC requests.  Otherwise, we should be
+able to reboot workers") — modelled as an optional per-worker switch cost paid
+whenever a worker changes the *kind* of task it runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.requests import RequestStatus
+from repro.core.scheduling.base import BaseScheduler
+from repro.hardware.server import ComputeServer
+
+__all__ = ["SharedWorkersScheduler"]
+
+
+class SharedWorkersScheduler(BaseScheduler):
+    """Every worker serves both flows.
+
+    Parameters
+    ----------
+    context_switch_s:
+        Cost (seconds of extra work-time, modelled as added cycles at the
+        worker's top frequency) paid when a worker that last ran one flow
+        starts a task of the other flow.  0 disables the model — e.g. when
+        a single container environment covers both flows.
+    """
+
+    def __init__(self, *args, context_switch_s: float = 0.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if context_switch_s < 0:
+            raise ValueError("context switch cost must be >= 0")
+        self.context_switch_s = float(context_switch_s)
+        self._last_kind: Dict[str, str] = {}
+        self.context_switches = 0
+
+    def edge_workers(self) -> Sequence[ComputeServer]:
+        """All cluster workers."""
+        return self.cluster.workers
+
+    def cloud_workers(self) -> Sequence[ComputeServer]:
+        """All cluster workers."""
+        return self.cluster.workers
+
+    def _try_place(self, req, kind: str, workers) -> bool:
+        if self.context_switch_s == 0.0:
+            return super()._try_place(req, kind, workers)
+        for w in self._ordered(workers):
+            if w.free_cores >= req.cores:
+                penalty_cycles = 0.0
+                if self._last_kind.get(w.name, kind) != kind:
+                    top = w.spec.ladder.top.freq_ghz * 1e9
+                    penalty_cycles = self.context_switch_s * top * req.cores
+                    self.context_switches += 1
+                task = self._make_task(req, kind)
+                task.work_cycles += penalty_cycles
+                task.remaining_cycles += penalty_cycles
+                if w.submit(task):
+                    self._last_kind[w.name] = kind
+                    req.status = RequestStatus.RUNNING
+                    req.started_at = self.engine.now
+                    req.executed_on = w.name
+                    return True
+        return False

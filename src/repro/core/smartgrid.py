@@ -1,0 +1,151 @@
+"""The smart-grid manager (paper §III-A, closing).
+
+"An obvious task of the smart-grid manager is to ensure that the heat
+processing of computing requests produces the heat requested by customers.
+The manager must also negotiate with external systems (e.g. energy operators,
+edge computing services, smart-cities services) to calibrate its energy
+consumption and service delivery to the demand."
+
+The manager aggregates every server's regulator state into fleet-level
+signals — how much power the heat demand authorises, how many cores that
+unlocks — and applies grid-operator constraints (demand-response caps) by
+scaling regulator budgets down.  Experiment E3's seasonal-capacity series is
+the manager's :attr:`capacity_log` accumulated over a year.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.calendar import SimCalendar
+
+__all__ = ["SmartGridManager"]
+
+
+@dataclass
+class _FleetEntry:
+    server: object           # ComputeServer
+    regulator: object        # HeatRegulator
+
+
+class SmartGridManager:
+    """Fleet-level heat/compute coordination.
+
+    Register each (server, regulator) pair; boilers register with their water
+    loop's ``headroom`` as a pseudo-regulator via :meth:`register_boiler`.
+    Call :meth:`tick` on the thermal tick, *after* regulators updated.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._fleet: List[_FleetEntry] = []
+        self._boilers: List[object] = []
+        self.grid_cap_w: Optional[float] = None
+        self._cal = SimCalendar()
+        #: month → accumulated available core-seconds (E3's series)
+        self.capacity_log: Dict[int, float] = {}
+        #: month → accumulated authorised energy (J)
+        self.energy_budget_log: Dict[int, float] = {}
+        self.curtailment_events = 0
+
+    # ------------------------------------------------------------------ #
+    def register(self, server, regulator) -> None:
+        """Track a heater-class server with its heat regulator."""
+        self._fleet.append(_FleetEntry(server=server, regulator=regulator))
+
+    def register_boiler(self, boiler) -> None:
+        """Track a digital boiler (heat demand = its tank headroom)."""
+        self._boilers.append(boiler)
+
+    @property
+    def fleet_size(self) -> int:
+        """Number of registered heater servers."""
+        return len(self._fleet)
+
+    # ------------------------------------------------------------------ #
+    # fleet signals
+    # ------------------------------------------------------------------ #
+    def authorized_power_w(self) -> float:
+        """Power the current heat demand authorises across the fleet (W)."""
+        p = sum(
+            e.regulator.power_fraction * e.server.spec.p_max_w for e in self._fleet
+        )
+        p += sum(min(b.heat_demand_w(), b.spec.p_max_w) for b in self._boilers)
+        return p
+
+    def available_cores(self) -> int:
+        """Cores on servers whose room currently wants heat (+ boiler cores).
+
+        Boiler cores count whenever the tank has meaningful headroom — the
+        §III-C observation that boilers decouple compute from space-heating
+        seasons.
+        """
+        cores = sum(e.server.n_cores for e in self._fleet if e.regulator.heat_wanted)
+        cores += sum(
+            b.n_cores for b in self._boilers if b.heat_demand_w() > 0.05 * b.spec.p_max_w
+        )
+        return cores
+
+    def heat_wanted_servers(self) -> List[object]:
+        """Heater servers whose regulator currently requests heat."""
+        return [e.server for e in self._fleet if e.regulator.heat_wanted]
+
+    # ------------------------------------------------------------------ #
+    # grid negotiation
+    # ------------------------------------------------------------------ #
+    def set_grid_cap(self, cap_w: Optional[float]) -> None:
+        """Apply (or clear) a demand-response power cap from the operator."""
+        if cap_w is not None and cap_w < 0:
+            raise ValueError("grid cap must be >= 0")
+        self.grid_cap_w = cap_w
+
+    def _apply_cap(self) -> float:
+        """Scale regulator outputs down to the grid cap; returns the scale."""
+        if self.grid_cap_w is None:
+            return 1.0
+        p = self.authorized_power_w()
+        if p <= self.grid_cap_w or p == 0:
+            return 1.0
+        scale = self.grid_cap_w / p
+        self.curtailment_events += 1
+        for e in self._fleet:
+            e.regulator.power_fraction *= scale
+        return scale
+
+    # ------------------------------------------------------------------ #
+    def tick(self, now: float, dt: float) -> None:
+        """Fleet bookkeeping for one thermal tick.
+
+        Applies the grid cap, re-actuates every server from its (possibly
+        scaled) regulator output, and accumulates the monthly capacity and
+        energy-budget logs.
+        """
+        self._apply_cap()
+        for e in self._fleet:
+            e.regulator.apply_to_server(e.server)
+        month = self._cal.month(now)
+        self.capacity_log[month] = (
+            self.capacity_log.get(month, 0.0) + self.available_cores() * dt
+        )
+        self.energy_budget_log[month] = (
+            self.energy_budget_log.get(month, 0.0) + self.authorized_power_w() * dt
+        )
+
+    # ------------------------------------------------------------------ #
+    def monthly_capacity_core_hours(self) -> Dict[int, float]:
+        """Month → available core-hours (the E3 table / §IV seasonality)."""
+        return {m: v / 3600.0 for m, v in sorted(self.capacity_log.items())}
+
+    def heat_match_error(self) -> float:
+        """|consumed − authorised| / authorised, instantaneous.
+
+        The §III-B regulator goal: energy consumed should track heat demand.
+        """
+        auth = self.authorized_power_w()
+        used = sum(e.server.power_w() for e in self._fleet) + sum(
+            b.power_w() for b in self._boilers
+        )
+        if auth <= 0:
+            return 0.0 if used == 0 else float("inf")
+        return abs(used - auth) / auth

@@ -1,0 +1,10 @@
+"""Experiment layer: every table/figure of DESIGN.md §3, regenerable.
+
+Each module exposes ``run(...) -> ExperimentResult``; the benchmark harness in
+``benchmarks/`` executes them and asserts the shape expectations of
+DESIGN.md §4.  EXPERIMENTS.md records the rendered outputs.
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

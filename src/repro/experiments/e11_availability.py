@@ -1,0 +1,77 @@
+"""E11 — fleet availability, stability and the electricity incentive (§III-C).
+
+"The availability and stability of DF servers could also be a problem.  In
+particular the computing power of DF servers depends on the heat demand ...
+economic incentives could play a role.  For instance, in the Qarnot computing
+model, the hosts of DF servers do not pay electricity.  Consequently, during
+the winter, these hosts generally keep the same target temperature."
+
+Two host populations drive the same fleet through winter/shoulder months:
+INCENTIVIZED (free electricity → steady setpoints) and COST_CONSCIOUS (paid
+heat → deep setbacks).  Reported: mean available cores, capacity volatility
+(coefficient of variation sampled hourly), and the operator's subsidy bill.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.pricing import PricingModel, SeasonalPricing
+from repro.experiments.common import ExperimentResult, mid_month_start, small_city
+from repro.metrics.report import Table
+from repro.sim.calendar import DAY, HOUR, month_name
+from repro.workloads.heating import HeatingBehavior, HeatingRequestGenerator
+
+__all__ = ["run"]
+
+
+def _run_behavior(behavior: HeatingBehavior, month: int, days: float, seed: int):
+    mw = small_city(seed=seed, start_time=mid_month_start(month))
+    t0 = mw.engine.now
+    for bname, building in mw.buildings.items():
+        gen = HeatingRequestGenerator(
+            mw.rngs.stream(f"heat-{bname}"),
+            rooms=[r.name for r in building.rooms], behavior=behavior,
+        )
+        mw.inject(gen.generate(t0, t0 + days * DAY))
+    samples = []
+    t = t0
+    while t < t0 + days * DAY:
+        mw.run_until(t + HOUR)
+        t = mw.engine.now
+        samples.append(mw.smartgrid.available_cores())
+    arr = np.asarray(samples, dtype=float)
+    heating_kwh = mw.fleet_energy_j() / 3.6e6
+    return {
+        "mean_cores": float(arr.mean()),
+        "cv": float(arr.std() / arr.mean()) if arr.mean() > 0 else float("inf"),
+        "heating_kwh": heating_kwh,
+    }
+
+
+def run(days: float = 2.0, seed: int = 47) -> ExperimentResult:
+    """Both behaviours across January, March and May."""
+    months = (1, 3, 5)
+    results: Dict[str, Dict[str, float]] = {}
+    pricing = SeasonalPricing({m: 1.0 for m in range(1, 13)}, PricingModel())
+    table = Table(
+        ["month", "behaviour", "mean_available_cores", "capacity_cv", "subsidy_eur"],
+        title="E11 — availability and the free-electricity incentive (§III-C)",
+    )
+    for month in months:
+        for behavior in (HeatingBehavior.INCENTIVIZED, HeatingBehavior.COST_CONSCIOUS):
+            r = _run_behavior(behavior, month, days, seed)
+            subsidy = pricing.host_subsidy_eur(r["heating_kwh"]) / 12  # per host
+            key = f"{month_name(month)}/{behavior.value}"
+            results[key] = {**r, "subsidy_eur": subsidy}
+            table.add_row(month_name(month), behavior.value,
+                          round(r["mean_cores"], 1), round(r["cv"], 3),
+                          round(subsidy, 2))
+    return ExperimentResult(
+        experiment_id="E11",
+        title="Fleet availability vs host behaviour (§III-C)",
+        text=table.render(),
+        data=results,
+    )

@@ -1,0 +1,72 @@
+"""E14 (extension) — "But at what scale?" (§III-C).
+
+"There is no doubt that with DF servers, we can build systems with near
+real-time response time.  But at what scale ...?  This is more tricky."
+
+A weak-scaling sweep: the city grows (1 → 4 districts, fleet 6 → 24 Q.rads)
+with edge load proportional to the building count.  If the DF3 architecture
+scales, per-request QoS is flat: clusters are independent, masters are
+per-district, and no central component sees more than its own district.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.core.scheduling.base import SaturationPolicy
+from repro.experiments.common import ExperimentResult, mid_month_start, small_city
+from repro.metrics.latency import LatencyStats
+from repro.metrics.report import Table
+from repro.sim.calendar import DAY
+from repro.sim.rng import RngRegistry
+from repro.workloads.edge import EdgeWorkloadConfig, EdgeWorkloadGenerator
+
+__all__ = ["run"]
+
+
+def _scale_point(n_districts: int, seed: int, sim_days: float) -> Dict[str, float]:
+    t0 = mid_month_start(1)
+    mw = small_city(seed=seed, start_time=t0, n_districts=n_districts,
+                    buildings_per_district=2, rooms_per_building=3,
+                    saturation_policy=SaturationPolicy.PREEMPT)
+    rngs = RngRegistry(seed)
+    edge = []
+    for bname in mw.buildings:
+        gen = EdgeWorkloadGenerator(rngs.stream(f"edge-{bname}"), source=bname,
+                                    config=EdgeWorkloadConfig(rate_per_hour=60.0))
+        edge.extend(gen.generate(t0, t0 + sim_days * DAY))
+    mw.inject(edge)
+    wall0 = time.perf_counter()
+    mw.run_until(t0 + (sim_days + 0.05) * DAY)
+    wall = time.perf_counter() - wall0
+    stats = LatencyStats.from_requests(mw.completed_edge(), mw.expired_edge())
+    return {
+        "servers": len(mw.all_servers),
+        "edge_requests": len(edge),
+        "median_ms": stats.median_s * 1e3,
+        "p95_ms": stats.p95_s * 1e3,
+        "miss_rate": mw.edge_deadline_miss_rate(),
+        "events": mw.engine.events_executed,
+        "events_per_s": mw.engine.events_executed / wall if wall > 0 else float("inf"),
+    }
+
+
+def run(seed: int = 83, sim_days: float = 0.25) -> ExperimentResult:
+    """Weak scaling over 1, 2 and 4 districts."""
+    points = {n: _scale_point(n, seed, sim_days) for n in (1, 2, 4)}
+    table = Table(
+        ["districts", "servers", "edge_reqs", "median_ms", "p95_ms", "miss_rate",
+         "sim_events/s"],
+        title="E14 — weak scaling of the DF3 city (§III-C)",
+    )
+    for n, p in points.items():
+        table.add_row(n, p["servers"], p["edge_requests"], round(p["median_ms"], 1),
+                      round(p["p95_ms"], 1), round(p["miss_rate"], 4),
+                      round(p["events_per_s"]))
+    return ExperimentResult(
+        experiment_id="E14",
+        title="Weak scaling: QoS vs city size (§III-C)",
+        text=table.render(),
+        data={str(n): p for n, p in points.items()},
+    )

@@ -1,0 +1,68 @@
+"""E3 — seasonality of compute capacity (§III-C, §IV).
+
+"In winter, the heat demand increases the computing power that is then
+reduced in the summer."  We sample a representative window of every month,
+record the smart-grid manager's available-core log, extrapolate to monthly
+core-hours, and feed the result to the §IV seasonal pricing model.  A second
+fleet with digital boilers shows the §III-C claim that boilers flatten the
+curve ("we can continue to produce hot water independently of heating
+requests").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.pricing import SeasonalPricing
+from repro.experiments.common import ExperimentResult, mid_month_start, small_city
+from repro.metrics.report import Table
+from repro.sim.calendar import DAY, MONTH_LENGTHS, month_name
+
+__all__ = ["run"]
+
+
+def _monthly_capacity(seed: int, days: float, boilers: int) -> Dict[int, float]:
+    caps: Dict[int, float] = {}
+    for month in range(1, 13):
+        mw = small_city(seed=seed, start_time=mid_month_start(month),
+                        boilers_per_district=boilers)
+        mw.run_until(mw.engine.now + days * DAY)
+        sampled = mw.smartgrid.monthly_capacity_core_hours().get(month, 0.0)
+        caps[month] = sampled * MONTH_LENGTHS[month - 1] / days
+    return caps
+
+
+def run(days_per_month: float = 1.0, seed: int = 19) -> ExperimentResult:
+    """Monthly capacity with and without boilers + the §IV price table."""
+    heaters_only = _monthly_capacity(seed, days_per_month, boilers=0)
+    with_boilers = _monthly_capacity(seed, days_per_month, boilers=1)
+
+    pricing = SeasonalPricing(heaters_only)
+    table = Table(
+        ["month", "heater_core_hours", "with_boilers_core_hours", "spot_eur_per_core_hour"],
+        title="E3 — monthly compute capacity and seasonal spot price",
+    )
+    for m in range(1, 13):
+        table.add_row(month_name(m), round(heaters_only[m]),
+                      round(with_boilers[m]), round(pricing.spot_price(m), 4))
+
+    ratio = pricing.winter_summer_ratio()
+    boiler_pricing = SeasonalPricing(with_boilers)
+    boiler_ratio = boiler_pricing.winter_summer_ratio()
+    text = table.render() + (
+        f"\nwinter/summer capacity ratio: heaters-only = "
+        f"{'inf' if ratio == float('inf') else round(ratio, 1)}, "
+        f"with boilers = {'inf' if boiler_ratio == float('inf') else round(boiler_ratio, 1)}"
+    )
+    return ExperimentResult(
+        experiment_id="E3",
+        title="Seasonal capacity and pricing (§III-C, §IV)",
+        text=text,
+        data={
+            "heaters_only": heaters_only,
+            "with_boilers": with_boilers,
+            "winter_summer_ratio": ratio,
+            "boiler_winter_summer_ratio": boiler_ratio,
+            "price_table": pricing.price_table(),
+        },
+    )

@@ -1,0 +1,73 @@
+"""Figure 4: average monthly room temperature across the heating season.
+
+The paper's only measured data: "Average temperature From November (11) to May
+(5) 2016 on Qarnot computing sites", plotted between 17 and 26 °C with monthly
+means around 20–25 °C.  We regenerate it by running the full DF3 stack — Q.rads
+under heat regulators, filler compute producing the heat, Paris-like weather —
+across Nov 1 → May 31 and reducing room temperatures to monthly means.
+
+Sampling note: to keep the benchmark fast we simulate a representative window
+of each month (``days_per_month`` days starting the 10th) rather than all 212
+days; the monthly mean of a stationary controlled process is insensitive to
+this (verified against full-month runs during development).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import ExperimentResult, mid_month_start, small_city
+from repro.metrics.report import format_series
+from repro.sim.calendar import DAY, HEATING_SEASON_MONTHS, month_name
+
+__all__ = ["run"]
+
+
+def run(days_per_month: float = 2.0, seed: int = 7, rooms_per_building: int = 3) -> ExperimentResult:
+    """Regenerate the Fig. 4 series.
+
+    Each month is simulated as an independent window (fresh middleware warmed
+    up for half a day) so months do not leak controller state — matching how
+    the paper averages many sites over calendar months.
+    """
+    if days_per_month <= 0:
+        raise ValueError("days_per_month must be > 0")
+    monthly: Dict[int, float] = {}
+    for month in HEATING_SEASON_MONTHS:
+        mw = small_city(
+            seed=seed,
+            rooms_per_building=rooms_per_building,
+            start_time=mid_month_start(month),
+            enable_filler=True,
+        )
+        # drive the heating flow the way incentivized hosts do (§III-C)
+        from repro.workloads.heating import HeatingBehavior, HeatingRequestGenerator
+
+        for bname, building in mw.buildings.items():
+            gen = HeatingRequestGenerator(
+                mw.rngs.stream(f"heating-{bname}"),
+                rooms=[r.name for r in building.rooms],
+                behavior=HeatingBehavior.INCENTIVIZED,
+            )
+            mw.inject(gen.generate(mw.engine.now, mw.engine.now + (days_per_month + 1) * DAY))
+        warmup = 0.5 * DAY
+        mw.run_until(mw.engine.now + warmup)
+        # discard warm-up samples: measure a fresh tracker from here
+        from repro.thermal.comfort import ComfortTracker
+
+        mw.comfort = ComfortTracker(band_c=1.0)
+        mw.run_until(mw.engine.now + days_per_month * DAY)
+        monthly[month] = mw.comfort.monthly_mean_temps()[month]
+
+    xs = [month_name(m) for m in HEATING_SEASON_MONTHS]
+    ys = [round(monthly[m], 2) for m in HEATING_SEASON_MONTHS]
+    text = format_series(
+        "Figure 4 — mean room temperature on DF3-heated sites (Nov → May)",
+        xs, ys, x_label="month", y_label="temp_C",
+    )
+    return ExperimentResult(
+        experiment_id="F4",
+        title="Average room temperature, heating season (paper Fig. 4)",
+        text=text,
+        data={"monthly_mean_c": monthly},
+    )

@@ -1,0 +1,54 @@
+"""Hardware models: data-furnace servers, datacenter nodes, sensors, aging.
+
+The paper's catalogue (§II-B) maps to classes here:
+
+* Qarnot **Q.rad** digital heater (500 W, 3–4 CPUs, sensors, free cooling) →
+  :class:`repro.hardware.qrad.QRad`;
+* Nerdalize **e-radiator** (1000 W, dual pipe) →
+  :class:`repro.hardware.qrad.ERadiator`;
+* Qarnot **crypto-heater** (650 W, 2 GPUs) →
+  :class:`repro.hardware.qrad.CryptoHeater`;
+* Asperitas / Stimergy **digital boilers** (1–20 kW, 20–200 CPUs) →
+  :class:`repro.hardware.boiler.DigitalBoiler`;
+* classical air-cooled **datacenter** nodes (the comparator) →
+  :class:`repro.hardware.datacenter.DatacenterNode`.
+
+All of them share the DVFS-capable compute engine of
+:class:`repro.hardware.server.ComputeServer`.
+"""
+
+from repro.hardware.aging import AgingModel, AgingTracker
+from repro.hardware.boiler import ASPERITAS_AIC24, STIMERGY_SMALL, BoilerSpec, DigitalBoiler
+from repro.hardware.containers import ContainerImage, DeploymentStack, Registry
+from repro.hardware.cpu import DVFSLadder, PState
+from repro.hardware.datacenter import Datacenter, DatacenterNode
+from repro.hardware.qrad import CryptoHeater, ERadiator, HeatDumpMode, QRad
+from repro.hardware.sensors import Sensor, SensorKind, SensorSuite
+from repro.hardware.server import ComputeServer, ServerSpec, Task, TaskState
+
+__all__ = [
+    "ASPERITAS_AIC24",
+    "AgingModel",
+    "AgingTracker",
+    "BoilerSpec",
+    "ComputeServer",
+    "ContainerImage",
+    "DeploymentStack",
+    "Registry",
+    "CryptoHeater",
+    "Datacenter",
+    "DatacenterNode",
+    "DigitalBoiler",
+    "DVFSLadder",
+    "ERadiator",
+    "HeatDumpMode",
+    "PState",
+    "QRad",
+    "Sensor",
+    "SensorKind",
+    "SensorSuite",
+    "ServerSpec",
+    "STIMERGY_SMALL",
+    "Task",
+    "TaskState",
+]

@@ -1,0 +1,116 @@
+"""Digital boilers: immersion-cooled racks heating water (paper §II-B2).
+
+Two published shapes are provided:
+
+* **Asperitas AIC24-like** — 200 CPUs on 10 Gbps Ethernet, 20 kW;
+* **Stimergy-like** — oil-immersed, 1–4 kW, 20–40 servers.
+
+A :class:`DigitalBoiler` is a :class:`~repro.hardware.server.ComputeServer`
+whose heat goes into a :class:`~repro.thermal.hydronics.WaterLoop` instead of
+a room.  The split between *useful* heat (absorbed by the tank) and *dumped*
+heat (tank at ceiling) is what experiment E7 measures: "with a boiler that
+always generates heat, the intensity of the waste heat rejected will be more
+important" (§III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cpu import DVFSLadder
+from repro.hardware.server import ComputeServer, ServerSpec
+from repro.thermal.heat_island import HeatIslandLedger, OutdoorHeatSource
+from repro.thermal.hydronics import DrawProfile, WaterLoop
+
+__all__ = ["BoilerSpec", "DigitalBoiler", "ASPERITAS_AIC24", "STIMERGY_SMALL"]
+
+
+@dataclass(frozen=True)
+class BoilerSpec:
+    """Compute + hydraulic envelope of a boiler product."""
+
+    server: ServerSpec
+    description: str
+
+
+ASPERITAS_AIC24 = BoilerSpec(
+    server=ServerSpec(
+        model="asperitas-aic24",
+        n_cores=200,
+        ladder=DVFSLadder.intel_like(),
+        p_idle_w=1200.0,
+        p_max_w=20000.0,
+        heat_fraction=1.0,  # immersion: all heat into the oil/water circuit
+    ),
+    description="Asperitas AIC24: 200 CPUs, 10 Gbps, 20 kW immersion boiler",
+)
+
+STIMERGY_SMALL = BoilerSpec(
+    server=ServerSpec(
+        model="stimergy-4kw",
+        n_cores=40,
+        ladder=DVFSLadder.intel_like(),
+        p_idle_w=250.0,
+        p_max_w=4000.0,
+        heat_fraction=1.0,
+    ),
+    description="Stimergy oil-immersed boiler: 40 servers, 4 kW",
+)
+
+
+class DigitalBoiler(ComputeServer):
+    """A boiler rack coupled to a building water loop.
+
+    Parameters
+    ----------
+    name: instance name.
+    engine: simulation engine.
+    loop: the water tank receiving the heat.
+    spec: product envelope (default Asperitas AIC24).
+    draw_profile: building hot-water draw.
+    ledger: optional heat-island ledger receiving overflow heat.
+
+    Notes
+    -----
+    Call :meth:`thermal_step` on the building tick (it is **not** automatic):
+    it feeds the tank with the boiler's current heat output and books any
+    overflow as ``BOILER_OVERFLOW`` outdoor heat.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        engine,
+        loop: WaterLoop,
+        spec: BoilerSpec = ASPERITAS_AIC24,
+        draw_profile: DrawProfile = DrawProfile(),
+        ledger: HeatIslandLedger | None = None,
+    ):
+        super().__init__(name, spec.server, engine)
+        self.boiler_spec = spec
+        self.loop = loop
+        self.draw_profile = draw_profile
+        self.ledger = ledger
+        self.useful_heat_j = 0.0
+        self.dumped_heat_j = 0.0
+
+    def heat_demand_w(self) -> float:
+        """Power the water loop can currently absorb (smart-grid signal)."""
+        return self.loop.headroom_w
+
+    def thermal_step(self, now: float, dt: float, hour_of_day: float) -> tuple[float, float]:
+        """Push ``dt`` seconds of boiler heat into the tank.
+
+        Returns ``(useful_w, dumped_w)``.
+        """
+        self.sync()
+        p = self.heat_output_w()
+        useful_w, dumped_w = self.loop.step(dt, p, hour_of_day, self.draw_profile)
+        self.useful_heat_j += useful_w * dt
+        self.dumped_heat_j += dumped_w * dt
+        if self.ledger is not None:
+            if dumped_w > 0:
+                self.ledger.add_outdoor(OutdoorHeatSource.BOILER_OVERFLOW, dumped_w * dt)
+            if useful_w > 0:
+                self.ledger.add_useful_heat(useful_w * dt)
+        return useful_w, dumped_w

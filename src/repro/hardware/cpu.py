@@ -1,0 +1,109 @@
+"""DVFS frequency/voltage ladders.
+
+The paper's heat regulator (§III-B) "implements a DVFS based technique
+(voltage and frequency regulation) to guarantee that the energy consumed
+corresponds to the heat demand".  This module provides the ladder the
+regulator climbs: a sorted list of P-states ``(frequency GHz, voltage V)``.
+
+The dynamic-power scaling factor of a state follows the classic
+:math:`P \\propto f \\cdot V^2` law (Le Sueur & Heiser, the paper's ref [17]),
+normalised so the top state has factor 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["PState", "DVFSLadder"]
+
+
+@dataclass(frozen=True)
+class PState:
+    """One DVFS operating point."""
+
+    freq_ghz: float
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.freq_ghz <= 0 or self.voltage_v <= 0:
+            raise ValueError(f"P-state must have positive freq/voltage: {self}")
+
+
+class DVFSLadder:
+    """An ordered set of P-states, lowest frequency first.
+
+    Parameters
+    ----------
+    states:
+        P-states in strictly increasing frequency order.  Voltages must be
+        non-decreasing with frequency (physical DVFS curves are).
+    """
+
+    def __init__(self, states: Sequence[PState]):
+        states = list(states)
+        if not states:
+            raise ValueError("ladder needs at least one P-state")
+        for a, b in zip(states, states[1:]):
+            if b.freq_ghz <= a.freq_ghz:
+                raise ValueError("P-states must be in strictly increasing frequency order")
+            if b.voltage_v < a.voltage_v:
+                raise ValueError("voltage must be non-decreasing with frequency")
+        self.states: Tuple[PState, ...] = tuple(states)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def __getitem__(self, i: int) -> PState:
+        return self.states[i]
+
+    @property
+    def top(self) -> PState:
+        """Highest-frequency state."""
+        return self.states[-1]
+
+    @property
+    def bottom(self) -> PState:
+        """Lowest-frequency state."""
+        return self.states[0]
+
+    def power_scale(self, index: int) -> float:
+        """Dynamic-power factor of state ``index`` relative to the top state.
+
+        ``f·V²`` normalised to the top state: in (0, 1].
+        """
+        s, t = self.states[index], self.top
+        return (s.freq_ghz * s.voltage_v**2) / (t.freq_ghz * t.voltage_v**2)
+
+    def speed_scale(self, index: int) -> float:
+        """Throughput factor of state ``index`` relative to the top state."""
+        return self.states[index].freq_ghz / self.top.freq_ghz
+
+    def index_for_power_budget(self, budget_fraction: float) -> int:
+        """Highest state whose power factor is within ``budget_fraction``.
+
+        This is the regulator's primitive: given "you may dissipate at most
+        x·P_max", pick the fastest allowed P-state.  Always returns at least
+        the bottom state (a server that is on cannot go below its floor).
+        """
+        best = 0
+        for i in range(len(self.states)):
+            if self.power_scale(i) <= budget_fraction + 1e-12:
+                best = i
+        return best
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def intel_like(n_states: int = 6, f_min: float = 1.2, f_max: float = 3.5,
+                   v_min: float = 0.8, v_max: float = 1.25) -> "DVFSLadder":
+        """A ladder shaped like a mobile Intel i7 (the CPUs Qarnot shipped)."""
+        if n_states < 1:
+            raise ValueError("need at least one state")
+        if n_states == 1:
+            return DVFSLadder([PState(f_max, v_max)])
+        states: List[PState] = []
+        for i in range(n_states):
+            a = i / (n_states - 1)
+            states.append(PState(f_min + a * (f_max - f_min), v_min + a * (v_max - v_min)))
+        return DVFSLadder(states)

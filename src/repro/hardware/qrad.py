@@ -1,0 +1,117 @@
+"""Digital heaters: Q.rad, Nerdalize e-radiator, crypto-heater.
+
+Published envelopes reproduced from the paper (§II-B1):
+
+* **Q.rad** — 500 W, 110–230 V, 3–4 CPUs on Ethernet, sensor suite, free
+  cooling (all heat goes to the room), totally silent, fiber uplink;
+* **Nerdalize e-radiator** — 1000 W, dual pipeline: winter → heat into the
+  home, summer → heat expelled outside (the wall-hole install);
+* **Qarnot crypto-heater QC-1** — 650 W, 2 GPUs.
+
+These classes bind a :class:`~repro.hardware.server.ComputeServer` to a room:
+``heat_output_w()`` is what :class:`repro.thermal.building.Room` pulls on the
+thermal tick, and the dump mode routes the same watts outdoors instead (the
+urban-heat-island mechanism of §III-A).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.hardware.cpu import DVFSLadder
+from repro.hardware.server import ComputeServer, ServerSpec
+
+__all__ = ["QRad", "ERadiator", "CryptoHeater", "HeatDumpMode", "QRAD_SPEC", "ERADIATOR_SPEC", "CRYPTO_SPEC"]
+
+
+class HeatDumpMode(Enum):
+    """Where a dual-pipe heater's heat currently goes."""
+
+    INDOOR = "indoor"
+    OUTDOOR = "outdoor"
+
+
+#: Q.rad: 4 mobile-i7-class CPUs (4 cores each), 500 W envelope, ~25 W idle.
+QRAD_SPEC = ServerSpec(
+    model="qrad",
+    n_cores=16,
+    ladder=DVFSLadder.intel_like(),
+    p_idle_w=25.0,
+    p_max_w=500.0,
+    heat_fraction=1.0,
+)
+
+#: Nerdalize e-radiator: 1000 W envelope, larger node count.
+ERADIATOR_SPEC = ServerSpec(
+    model="eradiator",
+    n_cores=32,
+    ladder=DVFSLadder.intel_like(),
+    p_idle_w=40.0,
+    p_max_w=1000.0,
+    heat_fraction=1.0,
+)
+
+#: Crypto-heater QC-1: 2 GPUs modelled as 2 wide "cores", 650 W.
+CRYPTO_SPEC = ServerSpec(
+    model="crypto-heater",
+    n_cores=2,
+    ladder=DVFSLadder.intel_like(n_states=3, f_min=1.0, f_max=1.8, v_min=0.85, v_max=1.05),
+    p_idle_w=30.0,
+    p_max_w=650.0,
+    heat_fraction=1.0,
+)
+
+
+class QRad(ComputeServer):
+    """The Qarnot digital heater.
+
+    Free-cooled: every electrical watt is delivered to the room, there is no
+    fan (silent) and no chiller.  The sensor suite is attached separately via
+    :class:`repro.hardware.sensors.SensorSuite` by callers that need it.
+    """
+
+    def __init__(self, name: str, engine, spec: ServerSpec = QRAD_SPEC):
+        super().__init__(name, spec, engine)
+
+
+class ERadiator(ComputeServer):
+    """Nerdalize-style dual-pipe heater.
+
+    In :attr:`HeatDumpMode.OUTDOOR` (summer), ``heat_output_w()`` — the heat a
+    *room* receives — is zero, and :meth:`outdoor_heat_w` carries the full
+    dissipation instead.  Callers feed the latter into the
+    :class:`~repro.thermal.heat_island.HeatIslandLedger`.
+    """
+
+    def __init__(self, name: str, engine, spec: ServerSpec = ERADIATOR_SPEC):
+        super().__init__(name, spec, engine)
+        self.dump_mode = HeatDumpMode.INDOOR
+
+    def set_dump_mode(self, mode: HeatDumpMode) -> None:
+        """Switch the pipeline between indoor heating and outdoor dumping."""
+        self.sync()  # settle energy under the old mode first
+        self.dump_mode = mode
+
+    def heat_output_w(self) -> float:
+        """Heat delivered to the room (0 when dumping outdoors)."""
+        if self.dump_mode is HeatDumpMode.OUTDOOR:
+            return 0.0
+        return super().heat_output_w()
+
+    def outdoor_heat_w(self) -> float:
+        """Heat rejected outdoors (0 when heating the room)."""
+        if self.dump_mode is HeatDumpMode.OUTDOOR:
+            return super().heat_output_w()
+        return 0.0
+
+
+class CryptoHeater(ComputeServer):
+    """Qarnot QC-1: a heater whose workload is GPU currency mining.
+
+    Mining is modelled as an always-available filler task stream: the mining
+    controller (see :mod:`repro.workloads.cloud`) keeps the GPUs saturated
+    whenever heat is requested, which is exactly how the product works.
+    """
+
+    def __init__(self, name: str, engine, spec: ServerSpec = CRYPTO_SPEC):
+        super().__init__(name, spec, engine)

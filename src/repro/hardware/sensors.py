@@ -1,0 +1,162 @@
+"""The Q.rad sensor suite.
+
+Paper §II-B1: "Q.rads also include several sensors, interfaces and actuators
+for humidity, temperature, noises, wireless charge, light etc."  These sensors
+are the data sources of the **sense-compute-actuate** loops (§III-B) that the
+edge flow serves: a sensor samples its environment, the reading rides the
+low-power network to an edge gateway, and a worker computes a response.
+
+Sensors sample an underlying truth callable with additive Gaussian noise plus
+optional quantisation, so fidelity experiments can separate physical dynamics
+from measurement error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["SensorKind", "Sensor", "SensorSuite", "Reading"]
+
+
+class SensorKind(str, Enum):
+    """Sensor types on a Q.rad front panel."""
+
+    TEMPERATURE = "temperature"  # °C
+    HUMIDITY = "humidity"        # %RH
+    NOISE = "noise"              # dBA
+    LIGHT = "light"              # lux
+    PRESENCE = "presence"        # 0/1
+    CO2 = "co2"                  # ppm
+
+
+@dataclass(frozen=True)
+class Reading:
+    """One timestamped sensor sample."""
+
+    sensor: str
+    kind: SensorKind
+    time: float
+    value: float
+
+
+class Sensor:
+    """A noisy sampler of an environmental truth signal.
+
+    Parameters
+    ----------
+    name: instance name (unique within a suite).
+    kind: sensor type.
+    truth: callable ``truth(t) -> float`` giving the physical value.
+    rng: noise stream.
+    noise_std: additive Gaussian noise standard deviation.
+    resolution: quantisation step (0 disables quantisation).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: SensorKind,
+        truth: Callable[[float], float],
+        rng: np.random.Generator,
+        noise_std: float = 0.0,
+        resolution: float = 0.0,
+    ):
+        if noise_std < 0 or resolution < 0:
+            raise ValueError("noise_std and resolution must be >= 0")
+        self.name = name
+        self.kind = kind
+        self.truth = truth
+        self.rng = rng
+        self.noise_std = noise_std
+        self.resolution = resolution
+        self.samples_taken = 0
+
+    def sample(self, t: float) -> Reading:
+        """Take one reading at simulated time ``t``."""
+        v = float(self.truth(t))
+        if self.noise_std > 0:
+            v += float(self.rng.normal(0.0, self.noise_std))
+        if self.resolution > 0:
+            v = round(v / self.resolution) * self.resolution
+        self.samples_taken += 1
+        return Reading(sensor=self.name, kind=self.kind, time=t, value=v)
+
+
+class SensorSuite:
+    """The set of sensors on one Q.rad.
+
+    Build with :meth:`standard` to get the published panel wired to a room's
+    temperature plus synthetic truths for the rest.
+    """
+
+    def __init__(self, sensors: List[Sensor]):
+        names = [s.name for s in sensors]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate sensor names: {names}")
+        self._sensors: Dict[str, Sensor] = {s.name: s for s in sensors}
+
+    def __len__(self) -> int:
+        return len(self._sensors)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sensors
+
+    def sensor(self, name: str) -> Sensor:
+        """Look up a sensor by name."""
+        try:
+            return self._sensors[name]
+        except KeyError:
+            raise KeyError(f"no sensor named {name!r}") from None
+
+    def sample_all(self, t: float) -> List[Reading]:
+        """Sample every sensor at time ``t`` (stable name order)."""
+        return [self._sensors[n].sample(t) for n in sorted(self._sensors)]
+
+    @staticmethod
+    def standard(
+        rng: np.random.Generator,
+        room_temperature: Callable[[float], float],
+        occupancy: Optional[Callable[[float], float]] = None,
+    ) -> "SensorSuite":
+        """The published Q.rad panel.
+
+        Parameters
+        ----------
+        rng: noise stream shared by the suite.
+        room_temperature: truth signal for the temperature sensor, typically
+            a closure over the room's RC state.
+        occupancy: optional 0/1 truth for the presence sensor; defaults to a
+            simple day-presence pattern.
+        """
+        if occupancy is None:
+            def occupancy(t: float) -> float:
+                hod = (t / 3600.0) % 24.0
+                return 1.0 if (7.0 <= hod < 9.0 or 18.0 <= hod < 23.0) else 0.0
+
+        def humidity(t: float) -> float:
+            return 45.0 + 10.0 * np.sin(2 * np.pi * t / 86400.0)
+
+        def noise_dba(t: float) -> float:
+            return 35.0 + 10.0 * occupancy(t)
+
+        def light_lux(t: float) -> float:
+            hod = (t / 3600.0) % 24.0
+            return 300.0 if 8.0 <= hod < 22.0 else 5.0
+
+        def co2_ppm(t: float) -> float:
+            return 420.0 + 300.0 * occupancy(t)
+
+        return SensorSuite(
+            [
+                Sensor("temp", SensorKind.TEMPERATURE, room_temperature, rng, 0.2, 0.1),
+                Sensor("hum", SensorKind.HUMIDITY, humidity, rng, 2.0, 1.0),
+                Sensor("noise", SensorKind.NOISE, noise_dba, rng, 1.5, 0.5),
+                Sensor("light", SensorKind.LIGHT, light_lux, rng, 10.0, 1.0),
+                Sensor("presence", SensorKind.PRESENCE, occupancy, rng, 0.0, 1.0),
+                Sensor("co2", SensorKind.CO2, co2_ppm, rng, 15.0, 1.0),
+            ]
+        )

@@ -1,0 +1,318 @@
+"""The generic DVFS-capable compute server.
+
+Every machine in the framework — Q.rad, e-radiator, boiler blade, datacenter
+node — is a :class:`ComputeServer`: ``n_cores`` cores stepping a DVFS ladder,
+running :class:`Task` objects measured in **cycles**.  The server integrates
+its own electrical energy, exposes its heat output, and schedules its own
+task-completion events on the simulation engine, so higher layers (gateways,
+schedulers) only deal in ``submit`` / ``preempt`` / ``on_complete``.
+
+Model choices (kept deliberately simple and documented):
+
+* a task occupies a fixed number of cores and progresses at
+  ``cores × freq × 10⁹`` cycles/s — perfect intra-task parallelism;
+* electrical power is ``P_idle + (P_max − P_idle) · util · powerscale(f)``
+  with the classic ``f·V²`` DVFS power scale (paper ref [17]);
+* a powered-off server (motherboards off — the Qarnot hybrid infrastructure,
+  §III-A) draws nothing and refuses work.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+from repro.hardware.cpu import DVFSLadder
+
+__all__ = ["Task", "TaskState", "ServerSpec", "ComputeServer"]
+
+_GHZ = 1e9
+#: tasks complete when fewer cycles than this remain (float-tolerance)
+_CYCLE_EPS = 1.0
+#: minimum schedulable completion horizon (s).  A horizon below the float ulp
+#: of the current simulation time would fire "now" with dt == 0 and never make
+#: progress; 1 µs is far below any latency this framework resolves and far
+#: above the ulp of a multi-year time axis (~7.5e-9 s at t = 2 years).
+_TIME_EPS = 1e-6
+
+
+class TaskState(Enum):
+    """Lifecycle of a task on a server."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    PREEMPTED = "preempted"
+    KILLED = "killed"
+
+
+@dataclass
+class Task:
+    """A unit of compute work.
+
+    Attributes
+    ----------
+    task_id: unique identifier (any string).
+    work_cycles: total CPU cycles the task needs (across all its cores).
+    cores: cores occupied while running.
+    on_complete: callback ``(task, now)`` invoked at completion.
+    metadata: free-form tags used by schedulers (flow kind, deadline, ...).
+    """
+
+    task_id: str
+    work_cycles: float
+    cores: int = 1
+    on_complete: Optional[Callable[["Task", float], None]] = None
+    metadata: dict = field(default_factory=dict)
+
+    state: TaskState = TaskState.PENDING
+    remaining_cycles: float = field(default=-1.0)
+    submitted_at: float = -1.0
+    completed_at: float = -1.0
+    server_name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.work_cycles <= 0:
+            raise ValueError(f"work_cycles must be > 0, got {self.work_cycles}")
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.remaining_cycles < 0:
+            self.remaining_cycles = float(self.work_cycles)
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Static electrical/compute envelope of a server model."""
+
+    model: str
+    n_cores: int
+    ladder: DVFSLadder
+    p_idle_w: float
+    p_max_w: float
+    heat_fraction: float = 1.0  # fraction of electrical power emitted as heat
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("n_cores must be >= 1")
+        if not 0 <= self.p_idle_w <= self.p_max_w:
+            raise ValueError("need 0 <= p_idle <= p_max")
+        if not 0.0 <= self.heat_fraction <= 1.0:
+            raise ValueError("heat_fraction must be in [0, 1]")
+
+
+class ComputeServer:
+    """A running server instance bound to a simulation engine.
+
+    Parameters
+    ----------
+    name: unique instance name.
+    spec: electrical/compute envelope.
+    engine: the simulation engine used for time and completion events.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, name: str, spec: ServerSpec, engine):
+        self.name = name
+        self.spec = spec
+        self.engine = engine
+        self._freq_cap = len(spec.ladder) - 1
+        self._enabled = True
+        self._running: Dict[str, Task] = {}
+        self._last_sync = engine.now
+        self._completion_event = None
+        # accounting
+        self.energy_j = 0.0
+        self.busy_core_seconds = 0.0
+        self.completed_count = 0
+        self.cycles_executed = 0.0
+
+    # ------------------------------------------------------------------ #
+    # state inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def enabled(self) -> bool:
+        """False when motherboards are powered off."""
+        return self._enabled
+
+    @property
+    def n_cores(self) -> int:
+        """Total cores of the server."""
+        return self.spec.n_cores
+
+    @property
+    def busy_cores(self) -> int:
+        """Cores currently occupied by running tasks."""
+        return sum(t.cores for t in self._running.values())
+
+    @property
+    def free_cores(self) -> int:
+        """Cores available for new tasks (0 when powered off)."""
+        return self.spec.n_cores - self.busy_cores if self._enabled else 0
+
+    @property
+    def utilization(self) -> float:
+        """Instantaneous core utilisation in [0, 1]."""
+        return self.busy_cores / self.spec.n_cores
+
+    @property
+    def freq_index(self) -> int:
+        """Current operating P-state index (the cap; idle cores gate off)."""
+        return self._freq_cap
+
+    @property
+    def running_tasks(self) -> List[Task]:
+        """Snapshot of running tasks."""
+        return list(self._running.values())
+
+    def core_rate_cycles_per_s(self) -> float:
+        """Per-core execution rate at the current P-state."""
+        if not self._enabled:
+            return 0.0
+        return self.spec.ladder[self._freq_cap].freq_ghz * _GHZ
+
+    def power_w(self) -> float:
+        """Instantaneous electrical draw (W)."""
+        if not self._enabled:
+            return 0.0
+        util = self.utilization
+        scale = self.spec.ladder.power_scale(self._freq_cap)
+        return self.spec.p_idle_w + (self.spec.p_max_w - self.spec.p_idle_w) * util * scale
+
+    def heat_output_w(self) -> float:
+        """Thermal power currently delivered to the environment (W)."""
+        return self.power_w() * self.spec.heat_fraction
+
+    # ------------------------------------------------------------------ #
+    # time integration
+    # ------------------------------------------------------------------ #
+    def sync(self) -> None:
+        """Advance task progress and energy accounting to ``engine.now``."""
+        now = self.engine.now
+        dt = now - self._last_sync
+        if dt < 0:
+            raise RuntimeError(f"server {self.name}: engine time went backwards")
+        if dt == 0:
+            return
+        self.energy_j += self.power_w() * dt
+        self.busy_core_seconds += self.busy_cores * dt
+        rate = self.core_rate_cycles_per_s()
+        if rate > 0:
+            for t in self._running.values():
+                step = rate * t.cores * dt
+                executed = min(step, t.remaining_cycles)
+                t.remaining_cycles -= executed
+                self.cycles_executed += executed
+        self._last_sync = now
+
+    def _reschedule_completion(self) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        rate = self.core_rate_cycles_per_s()
+        if rate <= 0 or not self._running:
+            return
+        horizon = min(t.remaining_cycles / (rate * t.cores) for t in self._running.values())
+        self._completion_event = self.engine.schedule(
+            max(horizon, _TIME_EPS), self._on_completion_event
+        )
+
+    def _on_completion_event(self) -> None:
+        self._completion_event = None
+        self.sync()
+        now = self.engine.now
+        rate = self.core_rate_cycles_per_s()
+        finished = [
+            t
+            for t in self._running.values()
+            if t.remaining_cycles <= max(_CYCLE_EPS, rate * t.cores * _TIME_EPS)
+        ]
+        for t in finished:
+            del self._running[t.task_id]
+            t.state = TaskState.COMPLETED
+            t.remaining_cycles = 0.0
+            t.completed_at = now
+            self.completed_count += 1
+        self._reschedule_completion()
+        for t in finished:  # callbacks last: they may submit new work
+            if t.on_complete is not None:
+                t.on_complete(t, now)
+
+    # ------------------------------------------------------------------ #
+    # task control
+    # ------------------------------------------------------------------ #
+    def submit(self, task: Task) -> bool:
+        """Start ``task`` now.  Returns False if it does not fit (or off)."""
+        if task.task_id in self._running:
+            raise ValueError(f"task {task.task_id!r} already running on {self.name}")
+        if task.cores > self.spec.n_cores:
+            raise ValueError(
+                f"task {task.task_id!r} needs {task.cores} cores; "
+                f"{self.name} has {self.spec.n_cores}"
+            )
+        self.sync()
+        if not self._enabled or task.cores > self.free_cores:
+            return False
+        task.state = TaskState.RUNNING
+        task.submitted_at = self.engine.now if task.submitted_at < 0 else task.submitted_at
+        task.server_name = self.name
+        self._running[task.task_id] = task
+        self._reschedule_completion()
+        return True
+
+    def preempt(self, task_id: str) -> Task:
+        """Stop a running task, preserving its remaining work for resubmission."""
+        self.sync()
+        try:
+            task = self._running.pop(task_id)
+        except KeyError:
+            raise KeyError(f"task {task_id!r} not running on {self.name}") from None
+        task.state = TaskState.PREEMPTED
+        self._reschedule_completion()
+        return task
+
+    def kill_all(self) -> List[Task]:
+        """Kill every running task (e.g. crash injection); returns them."""
+        self.sync()
+        tasks = list(self._running.values())
+        self._running.clear()
+        for t in tasks:
+            t.state = TaskState.KILLED
+        self._reschedule_completion()
+        return tasks
+
+    # ------------------------------------------------------------------ #
+    # power / DVFS control
+    # ------------------------------------------------------------------ #
+    def set_freq_cap(self, index: int) -> None:
+        """Clamp the P-state (the heat regulator's actuator)."""
+        if not 0 <= index < len(self.spec.ladder):
+            raise ValueError(f"freq index {index} out of range 0..{len(self.spec.ladder)-1}")
+        self.sync()
+        self._freq_cap = index
+        self._reschedule_completion()
+
+    def power_off(self) -> None:
+        """Turn the motherboards off.  Requires the server to be idle."""
+        self.sync()
+        if self._running:
+            raise RuntimeError(
+                f"cannot power off {self.name}: {len(self._running)} tasks running "
+                "(preempt or drain first)"
+            )
+        self._enabled = False
+
+    def power_on(self) -> None:
+        """Turn the motherboards back on."""
+        self.sync()
+        self._enabled = True
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name} cores={self.busy_cores}/{self.spec.n_cores} "
+            f"f={self.spec.ladder[self._freq_cap].freq_ghz:.1f}GHz "
+            f"{'on' if self._enabled else 'off'}>"
+        )

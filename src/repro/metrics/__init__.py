@@ -1,0 +1,20 @@
+"""Metric collection and reporting for DF3 experiments."""
+
+from repro.metrics.collectors import TimeSeries, percentile
+from repro.metrics.energy import EnergyReport, joules_to_kwh
+from repro.metrics.export import flatten, to_csv, to_json
+from repro.metrics.latency import LatencyStats
+from repro.metrics.report import Table, format_series
+
+__all__ = [
+    "EnergyReport",
+    "flatten",
+    "format_series",
+    "joules_to_kwh",
+    "LatencyStats",
+    "percentile",
+    "Table",
+    "TimeSeries",
+    "to_csv",
+    "to_json",
+]

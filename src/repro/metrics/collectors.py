@@ -1,0 +1,85 @@
+"""Generic time-series collection."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["TimeSeries", "percentile"]
+
+
+def percentile(values, q: float) -> float:
+    """Percentile of a sequence; raises on empty input.
+
+    A thin wrapper that fails loudly instead of returning NaN — empty metric
+    sets are experiment bugs, not data.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    return float(np.percentile(arr, q))
+
+
+class TimeSeries:
+    """An append-only (time, value) series with reduction helpers."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._t: List[float] = []
+        self._v: List[float] = []
+
+    def add(self, t: float, value: float) -> None:
+        """Append a sample; time must be non-decreasing."""
+        if self._t and t < self._t[-1]:
+            raise ValueError(f"{self.name}: time went backwards ({t} < {self._t[-1]})")
+        self._t.append(float(t))
+        self._v.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times."""
+        return np.asarray(self._t)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values."""
+        return np.asarray(self._v)
+
+    def mean(self) -> float:
+        """Unweighted mean of the samples."""
+        if not self._v:
+            raise ValueError(f"{self.name}: empty series")
+        return float(np.mean(self._v))
+
+    def time_weighted_mean(self) -> float:
+        """Mean weighting each sample by the interval it covers."""
+        if len(self._t) < 2:
+            return self.mean()
+        t, v = self.times, self.values
+        dt = np.diff(t)
+        return float(np.sum(v[:-1] * dt) / np.sum(dt))
+
+    def window(self, t0: float, t1: float) -> "TimeSeries":
+        """Sub-series with ``t0 <= t < t1``."""
+        out = TimeSeries(self.name)
+        for t, v in zip(self._t, self._v):
+            if t0 <= t < t1:
+                out.add(t, v)
+        return out
+
+    def bucket_means(self, edges) -> Dict[Tuple[float, float], float]:
+        """Mean per [edge_i, edge_i+1) bucket (empty buckets omitted)."""
+        edges = list(edges)
+        out: Dict[Tuple[float, float], float] = {}
+        t, v = self.times, self.values
+        for a, b in zip(edges, edges[1:]):
+            mask = (t >= a) & (t < b)
+            if np.any(mask):
+                out[(a, b)] = float(np.mean(v[mask]))
+        return out

@@ -1,0 +1,83 @@
+"""Energy and PUE accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["joules_to_kwh", "EnergyReport"]
+
+
+def joules_to_kwh(joules: float) -> float:
+    """Convert joules to kilowatt-hours."""
+    return joules / 3.6e6
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy split of a compute substrate over a run.
+
+    ``pue`` is total/IT energy; ``useful_heat_fraction`` is the share of
+    consumed energy delivered as *requested* heat — the data-furnace dividend
+    that a classical datacenter simply throws away.
+    """
+
+    it_energy_kwh: float
+    total_energy_kwh: float
+    useful_heat_kwh: float
+    cycles_executed: float
+
+    def __post_init__(self) -> None:
+        if self.total_energy_kwh + 1e-12 < self.it_energy_kwh:
+            raise ValueError("total energy cannot be below IT energy")
+        if min(self.it_energy_kwh, self.useful_heat_kwh, self.cycles_executed) < 0:
+            raise ValueError("energies and cycles must be >= 0")
+
+    @property
+    def pue(self) -> float:
+        """Power usage effectiveness (energy-weighted)."""
+        if self.it_energy_kwh == 0:
+            return float("inf")
+        return self.total_energy_kwh / self.it_energy_kwh
+
+    @property
+    def useful_heat_fraction(self) -> float:
+        """Requested heat delivered per unit of total energy."""
+        if self.total_energy_kwh == 0:
+            return 0.0
+        return min(self.useful_heat_kwh / self.total_energy_kwh, 1.0)
+
+    def kwh_per_gigacycle(self) -> float:
+        """Total energy per 10⁹ cycles of work — the cost-of-compute metric."""
+        if self.cycles_executed <= 0:
+            return float("inf")
+        return self.total_energy_kwh / (self.cycles_executed / 1e9)
+
+    @staticmethod
+    def from_df_fleet(servers: Sequence, useful_heat_j: float) -> "EnergyReport":
+        """Build a report from DF servers (no cooling: total = IT)."""
+        for s in servers:
+            s.sync()
+        it = sum(s.energy_j for s in servers)
+        cycles = sum(s.cycles_executed for s in servers)
+        return EnergyReport(
+            it_energy_kwh=joules_to_kwh(it),
+            total_energy_kwh=joules_to_kwh(it),
+            useful_heat_kwh=joules_to_kwh(min(useful_heat_j, it)),
+            cycles_executed=cycles,
+        )
+
+    @staticmethod
+    def from_datacenter(dc) -> "EnergyReport":
+        """Build a report from a :class:`~repro.hardware.datacenter.Datacenter`."""
+        for n in dc.nodes:
+            n.sync()
+        it = sum(n.it_energy_j for n in dc.nodes)
+        total = sum(n.energy_j for n in dc.nodes)
+        cycles = sum(n.cycles_executed for n in dc.nodes)
+        return EnergyReport(
+            it_energy_kwh=joules_to_kwh(it),
+            total_energy_kwh=joules_to_kwh(total),
+            useful_heat_kwh=0.0,  # DC heat is rejected, never requested
+            cycles_executed=cycles,
+        )

@@ -1,0 +1,72 @@
+"""Export experiment results to JSON/CSV for downstream analysis."""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping
+
+__all__ = ["to_json", "to_csv", "flatten"]
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, float) and (math.isnan(value) or math.isinf(value)):
+        return str(value)
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def to_json(result, path: str | Path) -> Path:
+    """Write an :class:`~repro.experiments.common.ExperimentResult` as JSON."""
+    path = Path(path)
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "text": result.text,
+        "data": _jsonable(result.data),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return path
+
+
+def flatten(data: Mapping, prefix: str = "") -> Dict[str, Any]:
+    """Flatten nested result dicts into dotted keys for tabular export."""
+    out: Dict[str, Any] = {}
+    for key, value in data.items():
+        name = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, Mapping):
+            out.update(flatten(value, name))
+        else:
+            out[name] = _jsonable(value)
+    return out
+
+
+def to_csv(results: Iterable, path: str | Path) -> Path:
+    """Write one CSV row per experiment result (union of flattened keys)."""
+    results = list(results)
+    if not results:
+        raise ValueError("no results to export")
+    rows: List[Dict[str, Any]] = []
+    for r in results:
+        row = {"experiment_id": r.experiment_id, "title": r.title}
+        row.update(flatten(r.data))
+        rows.append(row)
+    fields = ["experiment_id", "title"]
+    for row in rows:
+        for k in row:
+            if k not in fields:
+                fields.append(k)
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as f:
+        writer = csv.DictWriter(f, fieldnames=fields)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path

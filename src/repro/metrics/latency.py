@@ -1,0 +1,68 @@
+"""Response-time statistics over request lists."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.requests import EdgeRequest, RequestStatus
+
+__all__ = ["LatencyStats"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Reduced response-time distribution of a set of requests."""
+
+    count: int
+    mean_s: float
+    median_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+    deadline_miss_rate: float  # NaN when no deadlines apply
+
+    @staticmethod
+    def from_requests(requests: Sequence, expired: Iterable = ()) -> "LatencyStats":
+        """Reduce completed requests (+ optionally expired ones) to stats.
+
+        ``expired`` are deadline-carrying requests that never ran; they count
+        as misses but contribute no response time.
+        """
+        completed = [r for r in requests if r.status is RequestStatus.COMPLETED]
+        expired = list(expired)
+        if not completed and not expired:
+            raise ValueError("no finished requests to summarise")
+        rts = np.array([r.response_time() for r in completed]) if completed else np.array([0.0])
+        deadline_reqs = [r for r in completed if isinstance(r, EdgeRequest)]
+        n_deadline = len(deadline_reqs) + len(expired)
+        if n_deadline:
+            misses = sum(1 for r in deadline_reqs if not r.deadline_met()) + len(expired)
+            miss_rate = misses / n_deadline
+        else:
+            miss_rate = float("nan")
+        if completed:
+            return LatencyStats(
+                count=len(completed),
+                mean_s=float(np.mean(rts)),
+                median_s=float(np.percentile(rts, 50)),
+                p95_s=float(np.percentile(rts, 95)),
+                p99_s=float(np.percentile(rts, 99)),
+                max_s=float(np.max(rts)),
+                deadline_miss_rate=miss_rate,
+            )
+        return LatencyStats(0, float("nan"), float("nan"), float("nan"),
+                            float("nan"), float("nan"), miss_rate)
+
+    def __str__(self) -> str:
+        miss = (
+            f", miss={self.deadline_miss_rate:.1%}"
+            if not np.isnan(self.deadline_miss_rate)
+            else ""
+        )
+        return (
+            f"LatencyStats(n={self.count}, mean={self.mean_s*1e3:.1f}ms, "
+            f"median={self.median_s*1e3:.1f}ms, p95={self.p95_s*1e3:.1f}ms{miss})"
+        )

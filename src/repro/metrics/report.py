@@ -1,0 +1,71 @@
+"""Plain-text tables and series — the output format of every benchmark.
+
+Each benchmark prints the rows/series the paper's corresponding figure or
+claim would show; these helpers keep that output consistent and diffable
+(EXPERIMENTS.md embeds them verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["Table", "format_series"]
+
+
+class Table:
+    """A fixed-column text table."""
+
+    def __init__(self, columns: Sequence[str], title: str = ""):
+        if not columns:
+            raise ValueError("table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        """Append a row; cell count must match the header."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        """Render the table with aligned columns."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "nan"
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def format_series(name: str, xs: Iterable, ys: Iterable, x_label: str = "x",
+                  y_label: str = "y") -> str:
+    """Render an (x, y) series as a two-column block (a text 'figure')."""
+    t = Table([x_label, y_label], title=name)
+    for x, y in zip(xs, ys):
+        t.add_row(x, y)
+    return t.render()

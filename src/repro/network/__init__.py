@@ -1,0 +1,40 @@
+"""Network models: links, low-power IoT protocols, city topology, WAN.
+
+Edge requests in the DF3 model arrive over **low-power networks** (the paper
+names Zigbee, LoRa, Sigfox, EnOcean — §III-B), while Internet/DCC requests and
+vertical offloading ride fiber WAN paths.  This package models both classes of
+transport, plus the city-scale topology (buildings → district clusters →
+datacenter backbone) that horizontal/vertical offloading costs are computed
+over.
+"""
+
+from repro.network.internet import WANLink, WANProfile
+from repro.network.link import Link, TransferResult
+from repro.network.lowpower import (
+    ENOCEAN,
+    LORA,
+    SIGFOX,
+    ZIGBEE,
+    LowPowerLink,
+    LowPowerProtocol,
+)
+from repro.network.segmentation import IsolationAuditor, Segment, SegmentationPolicy
+from repro.network.topology import CityTopology, NodeKind
+
+__all__ = [
+    "ENOCEAN",
+    "CityTopology",
+    "IsolationAuditor",
+    "Link",
+    "Segment",
+    "SegmentationPolicy",
+    "LORA",
+    "LowPowerLink",
+    "LowPowerProtocol",
+    "NodeKind",
+    "SIGFOX",
+    "TransferResult",
+    "WANLink",
+    "WANProfile",
+    "ZIGBEE",
+]

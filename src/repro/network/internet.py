@@ -1,0 +1,60 @@
+"""WAN models: fiber uplinks and Internet paths.
+
+Q.rads have a fiber uplink to the Qarnot middleware (paper §II-B1); vertical
+offloading pays an Internet round trip to the datacenter.  WAN profiles bundle
+the latency/bandwidth shapes the experiments sweep over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.network.link import Link
+
+__all__ = ["WANProfile", "WANLink"]
+
+
+@dataclass(frozen=True)
+class WANProfile:
+    """Named WAN latency/bandwidth shape."""
+
+    name: str
+    latency_s: float
+    bandwidth_bps: float
+    jitter_std_s: float
+
+    @staticmethod
+    def metro_fiber() -> "WANProfile":
+        """Same-metro fiber: the Q.rad uplink (~4 ms, 1 Gbps)."""
+        return WANProfile("metro-fiber", 0.004, 1e9, 0.0005)
+
+    @staticmethod
+    def national_internet() -> "WANProfile":
+        """Edge site → national datacenter (~15 ms, 500 Mbps)."""
+        return WANProfile("national-internet", 0.015, 5e8, 0.002)
+
+    @staticmethod
+    def continental_internet() -> "WANProfile":
+        """Edge site → continental cloud region (~35 ms, 200 Mbps)."""
+        return WANProfile("continental-internet", 0.035, 2e8, 0.005)
+
+
+class WANLink(Link):
+    """A :class:`~repro.network.link.Link` built from a :class:`WANProfile`."""
+
+    def __init__(self, profile: WANProfile, rng: Optional[np.random.Generator] = None):
+        super().__init__(
+            name=profile.name,
+            latency_s=profile.latency_s,
+            bandwidth_bps=profile.bandwidth_bps,
+            jitter_std_s=profile.jitter_std_s if rng is not None else 0.0,
+            rng=rng,
+        )
+        self.profile = profile
+
+    def round_trip(self, request_bytes: float, response_bytes: float) -> float:
+        """Delay of a request/response exchange (both directions sampled)."""
+        return self.delay(request_bytes) + self.delay(response_bytes)

@@ -1,0 +1,100 @@
+"""Point-to-point link model: propagation + serialisation + jitter.
+
+The base cost of sending ``size_bytes`` over a link is
+
+.. code-block:: text
+
+    delay = latency + size_bytes * 8 / bandwidth + jitter_draw
+
+which is all the framework needs to compare direct edge requests, master-hop
+indirect requests, and WAN offloads (paper §II-C: "they imply to pay an
+additional latency cost").  Queueing effects inside a link are ignored here —
+contention is modelled at the *server* (cores) and, for low-power radio, via
+duty cycles in :mod:`repro.network.lowpower`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Link", "TransferResult"]
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one simulated transfer."""
+
+    delay_s: float
+    latency_s: float
+    serialisation_s: float
+    jitter_s: float
+
+
+class Link:
+    """A bidirectional link with fixed latency, bandwidth and optional jitter.
+
+    Parameters
+    ----------
+    name: display name.
+    latency_s: one-way propagation + processing latency (s).
+    bandwidth_bps: payload bandwidth (bits per second).
+    jitter_std_s: standard deviation of truncated-at-zero Gaussian jitter.
+    rng: stream for jitter; required when ``jitter_std_s > 0``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        latency_s: float,
+        bandwidth_bps: float,
+        jitter_std_s: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if latency_s < 0:
+            raise ValueError(f"latency must be >= 0, got {latency_s}")
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth_bps}")
+        if jitter_std_s < 0:
+            raise ValueError(f"jitter std must be >= 0, got {jitter_std_s}")
+        if jitter_std_s > 0 and rng is None:
+            raise ValueError("jittery link needs an rng stream")
+        self.name = name
+        self.latency_s = float(latency_s)
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.jitter_std_s = float(jitter_std_s)
+        self.rng = rng
+        self.bytes_carried = 0
+        self.transfers = 0
+
+    def transfer(self, size_bytes: float) -> TransferResult:
+        """Simulate one transfer; returns the component delays."""
+        if size_bytes < 0:
+            raise ValueError(f"size must be >= 0, got {size_bytes}")
+        ser = size_bytes * 8.0 / self.bandwidth_bps
+        jit = 0.0
+        if self.jitter_std_s > 0:
+            jit = max(float(self.rng.normal(0.0, self.jitter_std_s)), 0.0)
+        self.bytes_carried += int(size_bytes)
+        self.transfers += 1
+        return TransferResult(
+            delay_s=self.latency_s + ser + jit,
+            latency_s=self.latency_s,
+            serialisation_s=ser,
+            jitter_s=jit,
+        )
+
+    def delay(self, size_bytes: float) -> float:
+        """Convenience: just the total delay of one transfer."""
+        return self.transfer(size_bytes).delay_s
+
+    def expected_delay(self, size_bytes: float) -> float:
+        """Deterministic expected delay (no jitter draw, no accounting)."""
+        if size_bytes < 0:
+            raise ValueError(f"size must be >= 0, got {size_bytes}")
+        return self.latency_s + size_bytes * 8.0 / self.bandwidth_bps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} {self.latency_s*1e3:.1f}ms {self.bandwidth_bps/1e6:.1f}Mbps>"

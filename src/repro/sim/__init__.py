@@ -1,0 +1,38 @@
+"""Deterministic discrete-event simulation kernel for the DF3 framework.
+
+The kernel is intentionally small: a stable event heap (:mod:`repro.sim.engine`),
+a civil-time calendar over simulated seconds (:mod:`repro.sim.calendar`) and a
+registry of named, independently seeded random streams (:mod:`repro.sim.rng`).
+Every other subsystem in :mod:`repro` is built on these three pieces, which is
+what makes whole-city experiments bit-reproducible from a single seed.
+"""
+
+from repro.sim.calendar import (
+    DAY,
+    HEATING_SEASON_MONTHS,
+    HOUR,
+    MINUTE,
+    MONTH_LENGTHS,
+    WEEK,
+    YEAR,
+    SimCalendar,
+    month_name,
+)
+from repro.sim.engine import Engine, Event, Process
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "DAY",
+    "HEATING_SEASON_MONTHS",
+    "HOUR",
+    "MINUTE",
+    "MONTH_LENGTHS",
+    "WEEK",
+    "YEAR",
+    "Engine",
+    "Event",
+    "Process",
+    "RngRegistry",
+    "SimCalendar",
+    "month_name",
+]

@@ -1,0 +1,137 @@
+"""Civil time over simulated seconds.
+
+The simulation epoch (t = 0.0 s) is **January 1st, 00:00** of a non-leap year.
+Experiments that span the paper's Figure 4 window (November through May) simply
+start the engine at ``SimCalendar.month_start(11)`` and run across the year
+boundary; the calendar wraps modulo one year.
+
+All durations are plain floats in seconds so that the thermal integrators and
+the event engine share one time base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+__all__ = [
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "YEAR",
+    "MONTH_LENGTHS",
+    "HEATING_SEASON_MONTHS",
+    "SimCalendar",
+    "month_name",
+]
+
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+WEEK = 7 * DAY
+#: Days per month, non-leap year (the paper's Fig. 4 spans Nov 2015 – May 2016).
+MONTH_LENGTHS: Tuple[int, ...] = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+YEAR = sum(MONTH_LENGTHS) * DAY
+
+#: Months of the Fig. 4 heating season, in display order: Nov..May.
+HEATING_SEASON_MONTHS: Tuple[int, ...] = (11, 12, 1, 2, 3, 4, 5)
+
+_MONTH_NAMES = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+)
+
+_MONTH_STARTS_DAYS: List[int] = []
+_acc = 0
+for _len in MONTH_LENGTHS:
+    _MONTH_STARTS_DAYS.append(_acc)
+    _acc += _len
+
+
+def month_name(month: int) -> str:
+    """Three-letter English name for a 1-based month number."""
+    if not 1 <= month <= 12:
+        raise ValueError(f"month must be in 1..12, got {month}")
+    return _MONTH_NAMES[month - 1]
+
+
+@dataclass(frozen=True)
+class SimCalendar:
+    """Stateless converter between simulated seconds and civil time.
+
+    An instance exists (rather than module functions) so a future variant could
+    shift the epoch; all conversions wrap modulo one 365-day year.
+    """
+
+    epoch_offset: float = 0.0
+
+    # -------------------------------------------------------------- #
+    def _wrapped(self, t: float) -> float:
+        return (t + self.epoch_offset) % YEAR
+
+    def day_of_year(self, t: float) -> int:
+        """0-based day within the year at simulated time ``t``."""
+        return int(self._wrapped(t) // DAY)
+
+    def month(self, t: float) -> int:
+        """1-based month at simulated time ``t``."""
+        day = self.day_of_year(t)
+        for m in range(12, 0, -1):
+            if day >= _MONTH_STARTS_DAYS[m - 1]:
+                return m
+        return 1
+
+    def day_of_month(self, t: float) -> int:
+        """1-based day of month at ``t``."""
+        return self.day_of_year(t) - _MONTH_STARTS_DAYS[self.month(t) - 1] + 1
+
+    def hour_of_day(self, t: float) -> float:
+        """Fractional hour in [0, 24) at ``t``."""
+        return (self._wrapped(t) % DAY) / HOUR
+
+    def day_of_week(self, t: float) -> int:
+        """0 = Monday .. 6 = Sunday (epoch day is a Monday)."""
+        return self.day_of_year(t) % 7
+
+    def is_weekend(self, t: float) -> bool:
+        """True on Saturday/Sunday."""
+        return self.day_of_week(t) >= 5
+
+    def is_business_hours(self, t: float) -> bool:
+        """Weekday 09:00–18:00, the paper's DCC 'business opportunity' window."""
+        return (not self.is_weekend(t)) and 9.0 <= self.hour_of_day(t) < 18.0
+
+    # -------------------------------------------------------------- #
+    def month_start(self, month: int) -> float:
+        """Simulated time of 00:00 on the 1st of ``month`` (1-based)."""
+        if not 1 <= month <= 12:
+            raise ValueError(f"month must be in 1..12, got {month}")
+        return _MONTH_STARTS_DAYS[month - 1] * DAY - self.epoch_offset
+
+    def month_length(self, month: int) -> float:
+        """Duration of ``month`` in seconds."""
+        if not 1 <= month <= 12:
+            raise ValueError(f"month must be in 1..12, got {month}")
+        return MONTH_LENGTHS[month - 1] * DAY
+
+    def in_heating_season(self, t: float) -> bool:
+        """True during the Nov–May window the paper's Fig. 4 covers."""
+        return self.month(t) in HEATING_SEASON_MONTHS
+
+    def iter_heating_season(self) -> Iterator[Tuple[int, float, float]]:
+        """Yield ``(month, t_start, t_end)`` for Nov..May in display order.
+
+        The spring months (Jan–May) are returned one year after the autumn
+        months so that the intervals are monotonically increasing — callers
+        can run one engine across the whole season.
+        """
+        for m in HEATING_SEASON_MONTHS:
+            start = self.month_start(m)
+            if m < 11:  # Jan..May of the following year
+                start += YEAR
+            yield m, start, start + self.month_length(m)
+
+    def season_fraction(self, t: float) -> float:
+        """Position in the year as a fraction in [0, 1), 0 = Jan 1."""
+        return self._wrapped(t) / YEAR

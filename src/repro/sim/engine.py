@@ -1,0 +1,189 @@
+"""Discrete-event simulation engine.
+
+A deliberately small, deterministic kernel: events are ``(time, priority, seq)``
+ordered in a binary heap, where ``seq`` is a monotonically increasing insertion
+counter that guarantees a *stable* order for simultaneous events.  Determinism
+of the event order — together with the named RNG streams of
+:mod:`repro.sim.rng` — is what makes every experiment in this repository
+bit-reproducible.
+
+The engine supports two styles of activity:
+
+* **one-shot callbacks** scheduled with :meth:`Engine.schedule` /
+  :meth:`Engine.schedule_at`;
+* **periodic processes** (:class:`Process`) registered with
+  :meth:`Engine.add_process`, used by continuous subsystems (thermal
+  integration, controllers, metric sampling) that advance on a fixed tick.
+
+Periodic processes receive the elapsed ``dt`` so integrators do not need to
+track time themselves.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+__all__ = ["Engine", "Event", "Process", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid engine usage (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, priority, seq)``.  Lower ``priority`` runs first
+    among simultaneous events; ``seq`` breaks remaining ties by insertion
+    order.  ``cancelled`` events stay in the heap but are skipped when popped
+    (lazy deletion), which keeps cancellation O(1).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when its time comes."""
+        self.cancelled = True
+
+
+class Process:
+    """A periodic activity driven by the engine.
+
+    ``fn(now, dt)`` is invoked every ``period`` simulated seconds.  The first
+    invocation happens at ``start + period`` (a process observes the interval
+    that just elapsed, it does not fire at registration time).
+    """
+
+    __slots__ = ("name", "period", "fn", "_last", "active")
+
+    def __init__(self, name: str, period: float, fn: Callable[[float, float], None]):
+        if period <= 0:
+            raise SimulationError(f"process {name!r}: period must be > 0, got {period}")
+        self.name = name
+        self.period = float(period)
+        self.fn = fn
+        self._last: Optional[float] = None
+        self.active = True
+
+    def stop(self) -> None:
+        """Deactivate the process; it will not be rescheduled."""
+        self.active = False
+
+
+class Engine:
+    """The simulation event loop.
+
+    Parameters
+    ----------
+    start:
+        Simulation epoch in seconds (default 0.0 = Jan 1, 00:00 in
+        :class:`repro.sim.calendar.SimCalendar` terms).
+
+    Notes
+    -----
+    The engine never advances past the horizon given to :meth:`run_until`;
+    events scheduled beyond it remain queued and will run if the horizon is
+    extended by a later call.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.now: float = float(start)
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._processes: List[Process] = []
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(self, delay: float, callback: Callable[[], None], priority: int = 0) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        return self.schedule_at(self.now + delay, callback, priority)
+
+    def schedule_at(self, time: float, callback: Callable[[], None], priority: int = 0) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if math.isnan(time):
+            raise SimulationError("cannot schedule event at NaN time")
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: t={time} < now={self.now}"
+            )
+        ev = Event(time=float(time), priority=priority, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def add_process(self, name: str, period: float, fn: Callable[[float, float], None]) -> Process:
+        """Register a periodic process; see :class:`Process`."""
+        proc = Process(name, period, fn)
+        proc._last = self.now
+        self._processes.append(proc)
+        self._schedule_process(proc)
+        return proc
+
+    def _schedule_process(self, proc: Process) -> None:
+        def tick() -> None:
+            if not proc.active:
+                return
+            dt = self.now - proc._last
+            proc._last = self.now
+            proc.fn(self.now, dt)
+            if proc.active:
+                self._schedule_process(proc)
+
+        self.schedule(proc.period, tick, priority=10)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run_until(self, horizon: float) -> None:
+        """Execute all events with ``time <= horizon``, then set now=horizon."""
+        if horizon < self.now:
+            raise SimulationError(f"horizon {horizon} is before now={self.now}")
+        while self._heap and self._heap[0].time <= horizon:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            ev.callback()
+            self._events_executed += 1
+        self.now = float(horizon)
+
+    def step(self) -> bool:
+        """Execute the single next event.  Returns False if the queue is empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            ev.callback()
+            self._events_executed += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._heap)
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._events_executed
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None when the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,75 @@
+"""Named, independently seeded random streams.
+
+Every stochastic source in the framework (weather noise, request arrivals, job
+sizes, sensor noise, ...) draws from its own named stream derived from a single
+experiment seed via ``numpy.random.SeedSequence.spawn`` semantics.  Two
+properties follow:
+
+* **reproducibility** — the same experiment seed replays bit-identically;
+* **insensitivity** — adding a new stochastic source (a new stream name) does
+  not perturb draws of existing streams, because each stream's seed is derived
+  from ``(root seed, stream name)``, not from draw order.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterator
+
+import numpy as np
+
+__all__ = ["RngRegistry"]
+
+
+class RngRegistry:
+    """A factory of named :class:`numpy.random.Generator` streams.
+
+    Parameters
+    ----------
+    seed:
+        Root experiment seed. Any non-negative integer.
+
+    Examples
+    --------
+    >>> rngs = RngRegistry(42)
+    >>> weather = rngs.stream("weather")
+    >>> arrivals = rngs.stream("edge-arrivals")
+    >>> float(weather.standard_normal()) != float(arrivals.standard_normal())
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        if seed < 0:
+            raise ValueError(f"seed must be >= 0, got {seed}")
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        The same name always returns the *same generator object*, so sequential
+        draws from one logical source advance one state.
+        """
+        gen = self._streams.get(name)
+        if gen is None:
+            # Stable across processes/runs: derive a child key from the CRC of
+            # the name (not Python's salted hash()).
+            child = zlib.crc32(name.encode("utf-8"))
+            gen = np.random.Generator(np.random.PCG64(np.random.SeedSequence([self.seed, child])))
+            self._streams[name] = gen
+        return gen
+
+    def spawn(self, name: str) -> "RngRegistry":
+        """Derive a child registry (e.g. per replication) with independent streams."""
+        child_seed = (self.seed * 1_000_003 + zlib.crc32(name.encode("utf-8"))) % (2**63)
+        return RngRegistry(child_seed)
+
+    def names(self) -> Iterator[str]:
+        """Names of streams created so far."""
+        return iter(sorted(self._streams))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngRegistry(seed={self.seed}, streams={sorted(self._streams)})"

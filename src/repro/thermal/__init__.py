@@ -1,0 +1,36 @@
+"""Building thermal fabric: weather, lumped-RC rooms, hydronics, comfort.
+
+This package is the physical substrate under the paper's claims: data-furnace
+servers only make sense because the heat they dissipate lands in a *room* whose
+temperature people care about.  Paper Figure 4 (monthly mean room temperature
+over a heating season) is regenerated entirely from these models plus the heat
+regulator of :mod:`repro.core.regulation`.
+"""
+
+from repro.thermal.building import Building, Room, RoomConfig, ThermostatSchedule
+from repro.thermal.calibration import FirstOrderRC, fit_first_order
+from repro.thermal.comfort import ComfortStats, ComfortTracker
+from repro.thermal.heat_island import HeatIslandLedger, OutdoorHeatSource
+from repro.thermal.hydronics import DrawProfile, WaterLoop, WaterLoopConfig
+from repro.thermal.rc_model import RCNetwork, RoomThermalParams
+from repro.thermal.weather import Weather, WeatherConfig
+
+__all__ = [
+    "Building",
+    "ComfortStats",
+    "ComfortTracker",
+    "DrawProfile",
+    "FirstOrderRC",
+    "fit_first_order",
+    "HeatIslandLedger",
+    "OutdoorHeatSource",
+    "RCNetwork",
+    "Room",
+    "RoomConfig",
+    "RoomThermalParams",
+    "ThermostatSchedule",
+    "WaterLoop",
+    "WaterLoopConfig",
+    "Weather",
+    "WeatherConfig",
+]

@@ -1,0 +1,105 @@
+"""Grey-box identification of room thermal models (§III-C).
+
+The predictive platform the paper proposes needs a thermal model *per house*
+— and nobody knows a house's R and C a priori.  Operators learn them from the
+data the fleet already produces: room temperature (Q.rad sensors), heater
+power (known exactly — it is the server's power draw) and outdoor temperature.
+
+:func:`fit_first_order` identifies the standard 1R1C reduction
+
+.. math:: C\\,\\dot T = (T_{out} - T)/R + P
+
+by least squares on the discrete update
+``T[k+1] − T[k] = a·(T_out[k] − T[k]) + b·P[k]`` with ``a = dt/(RC)`` and
+``b = dt/C``.  The fitted model predicts heating demand and response — the
+inputs of :class:`~repro.core.prediction.ThermosensitivityModel` at the
+single-home scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FirstOrderRC", "fit_first_order"]
+
+
+@dataclass(frozen=True)
+class FirstOrderRC:
+    """An identified 1R1C room model."""
+
+    r_k_per_w: float
+    c_j_per_k: float
+    dt_s: float
+    r2: float
+
+    @property
+    def time_constant_h(self) -> float:
+        """RC time constant in hours."""
+        return self.r_k_per_w * self.c_j_per_k / 3600.0
+
+    def predict_next(self, t_air, t_out, p_heat):
+        """One-step-ahead temperature prediction (vectorised)."""
+        t_air = np.asarray(t_air, dtype=float)
+        a = self.dt_s / (self.r_k_per_w * self.c_j_per_k)
+        b = self.dt_s / self.c_j_per_k
+        out = t_air + a * (np.asarray(t_out, dtype=float) - t_air) + b * np.asarray(
+            p_heat, dtype=float
+        )
+        return float(out) if out.ndim == 0 else out
+
+    def required_power(self, t_out: float, t_target: float) -> float:
+        """Steady-state heater power to hold ``t_target`` (W, clipped ≥ 0)."""
+        return max((t_target - t_out) / self.r_k_per_w, 0.0)
+
+    def simulate(self, t_init: float, t_out, p_heat) -> np.ndarray:
+        """Free-run simulation over aligned input arrays; returns T per step."""
+        t_out = np.asarray(t_out, dtype=float)
+        p_heat = np.broadcast_to(np.asarray(p_heat, dtype=float), t_out.shape)
+        out = np.empty(t_out.size + 1)
+        out[0] = t_init
+        for k in range(t_out.size):
+            out[k + 1] = self.predict_next(out[k], t_out[k], p_heat[k])
+        return out
+
+
+def fit_first_order(t_air, t_out, p_heat, dt_s: float) -> FirstOrderRC:
+    """Identify a :class:`FirstOrderRC` from aligned measurement arrays.
+
+    Parameters
+    ----------
+    t_air: room air temperature samples (length N ≥ 10).
+    t_out: outdoor temperature samples (length N).
+    p_heat: heater power samples (length N, W).
+    dt_s: sampling interval (s); must be well below the room time constant.
+
+    Raises
+    ------
+    ValueError: on malformed input or a degenerate (non-exciting) trace.
+    """
+    t_air = np.asarray(t_air, dtype=float)
+    t_out = np.asarray(t_out, dtype=float)
+    p_heat = np.asarray(p_heat, dtype=float)
+    if not (t_air.shape == t_out.shape == p_heat.shape):
+        raise ValueError("t_air, t_out and p_heat must have identical shapes")
+    if t_air.size < 10:
+        raise ValueError("need at least 10 samples")
+    if dt_s <= 0:
+        raise ValueError("dt must be > 0")
+
+    dtemp = np.diff(t_air)
+    X = np.column_stack([(t_out - t_air)[:-1], p_heat[:-1]])
+    if np.linalg.matrix_rank(X) < 2:
+        raise ValueError("trace is not exciting enough to identify R and C "
+                         "(vary the heater power)")
+    coef, *_ = np.linalg.lstsq(X, dtemp, rcond=None)
+    a, b = float(coef[0]), float(coef[1])
+    if a <= 0 or b <= 0:
+        raise ValueError(f"non-physical fit (a={a:.3g}, b={b:.3g}); check the trace")
+    c = dt_s / b
+    r = b / a
+    resid = dtemp - X @ coef
+    ss_tot = float(np.sum((dtemp - dtemp.mean()) ** 2))
+    r2 = 1.0 - float(resid @ resid) / ss_tot if ss_tot > 0 else 0.0
+    return FirstOrderRC(r_k_per_w=r, c_j_per_k=c, dt_s=float(dt_s), r2=r2)

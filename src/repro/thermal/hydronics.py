@@ -1,0 +1,157 @@
+"""Hot-water hydronics for digital boilers.
+
+Digital boilers (paper §II-B2: Asperitas AIC24, Stimergy) heat **water**, not
+air: server heat goes into a storage tank from which the building draws
+domestic hot water and/or feeds a heating loop.  Two properties matter to the
+paper's arguments:
+
+* a boiler "can continue to produce hot water independently of heating
+  requests" (§III-C) — i.e. the tank absorbs compute heat year-round;
+* but once the tank is at its ceiling, further compute heat is **waste heat**
+  rejected outdoors, feeding the urban-heat-island discussion (§III-A/C).
+
+The model is a single well-mixed tank with standing losses, a draw profile,
+and an overflow (heat-dump) path whose energy is reported to the
+:class:`~repro.thermal.heat_island.HeatIslandLedger` by the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["DrawProfile", "WaterLoopConfig", "WaterLoop"]
+
+WATER_CP = 4186.0  # J/(kg·K)
+
+
+@dataclass(frozen=True)
+class DrawProfile:
+    """Diurnal domestic-hot-water draw profile.
+
+    Residential draw concentrates in a morning and an evening peak.  The
+    profile integrates to ``daily_litres`` over 24 h.
+    """
+
+    daily_litres: float = 600.0  # a small apartment building
+    morning_hour: float = 7.5
+    evening_hour: float = 19.5
+    peak_width_hours: float = 1.5
+
+    def draw_rate_lps(self, hour_of_day: float) -> float:
+        """Draw rate (litres/s) at a local hour."""
+        def bump(center: float) -> float:
+            d = min(abs(hour_of_day - center), 24.0 - abs(hour_of_day - center))
+            return float(np.exp(-0.5 * (d / self.peak_width_hours) ** 2))
+
+        base = 0.15  # fraction of volume drawn uniformly
+        w_m, w_e = bump(self.morning_hour), bump(self.evening_hour)
+        norm = self.peak_width_hours * np.sqrt(2 * np.pi) * 3600.0 * 2  # two peaks
+        peak_lps = (1 - base) * self.daily_litres / norm
+        base_lps = base * self.daily_litres / 86400.0
+        return base_lps + peak_lps * (w_m + w_e)
+
+
+@dataclass(frozen=True)
+class WaterLoopConfig:
+    """Tank and loop parameters.
+
+    Attributes
+    ----------
+    tank_litres: storage volume.
+    t_cold_c: mains water inlet temperature.
+    t_target_c: delivery setpoint — tank should sit at or above it.
+    t_max_c: hard ceiling; compute heat beyond it is dumped outdoors.
+    loss_coeff_w_per_k: standing-loss UA of the tank to its room/plant space.
+    t_ambient_c: temperature around the tank for standing losses.
+    """
+
+    tank_litres: float = 1000.0
+    t_cold_c: float = 12.0
+    t_target_c: float = 55.0
+    t_max_c: float = 75.0
+    loss_coeff_w_per_k: float = 3.0
+    t_ambient_c: float = 18.0
+
+
+class WaterLoop:
+    """Well-mixed storage tank fed by boiler (server) heat.
+
+    Call :meth:`step` each tick with the thermal power the boiler produced;
+    it returns how much of that power was usefully absorbed and how much had
+    to be dumped outdoors (tank at ceiling).
+    """
+
+    def __init__(self, config: WaterLoopConfig = WaterLoopConfig(), t_init_c: float | None = None):
+        if config.tank_litres <= 0:
+            raise ValueError("tank volume must be positive")
+        if not (config.t_cold_c < config.t_target_c <= config.t_max_c):
+            raise ValueError("need t_cold < t_target <= t_max")
+        self.config = config
+        self.mass_kg = config.tank_litres  # 1 L ≈ 1 kg
+        self.t_tank = float(t_init_c if t_init_c is not None else config.t_target_c)
+        self.useful_heat_j = 0.0
+        self.dumped_heat_j = 0.0
+        self.drawn_litres = 0.0
+        self.unmet_draw_degree_litres = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def headroom_w(self) -> float:
+        """Indicative power the tank can absorb this instant without dumping.
+
+        Uses a one-hour lookahead: energy to ceiling divided by 3600 s, plus
+        standing losses.  The smart-grid manager uses this as the boiler's
+        heat-demand signal.
+        """
+        cfg = self.config
+        e_to_ceiling = self.mass_kg * WATER_CP * max(cfg.t_max_c - self.t_tank, 0.0)
+        losses = cfg.loss_coeff_w_per_k * max(self.t_tank - cfg.t_ambient_c, 0.0)
+        return e_to_ceiling / 3600.0 + losses
+
+    def step(self, dt: float, p_in_w: float, hour_of_day: float, profile: DrawProfile) -> Tuple[float, float]:
+        """Advance by ``dt`` seconds with ``p_in_w`` of boiler heat.
+
+        Returns ``(useful_w, dumped_w)`` — the split of ``p_in_w`` into heat
+        absorbed by the tank/draw and heat rejected outdoors.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be > 0, got {dt}")
+        if p_in_w < 0:
+            raise ValueError(f"boiler power must be >= 0, got {p_in_w}")
+        cfg = self.config
+        # 1) draw replaces hot water with cold mains water
+        draw_lps = profile.draw_rate_lps(hour_of_day)
+        drawn = min(draw_lps * dt, self.mass_kg)  # litres≈kg drawn this tick
+        if drawn > 0:
+            frac = drawn / self.mass_kg
+            if self.t_tank < cfg.t_target_c:
+                self.unmet_draw_degree_litres += drawn * (cfg.t_target_c - self.t_tank)
+            self.t_tank = (1 - frac) * self.t_tank + frac * cfg.t_cold_c
+            self.drawn_litres += drawn
+        # 2) standing losses
+        loss_w = cfg.loss_coeff_w_per_k * max(self.t_tank - cfg.t_ambient_c, 0.0)
+        # 3) heat input, clipped at ceiling
+        cap = self.mass_kg * WATER_CP
+        e_in = p_in_w * dt
+        e_loss = loss_w * dt
+        t_next = self.t_tank + (e_in - e_loss) / cap
+        if t_next > cfg.t_max_c:
+            e_excess = (t_next - cfg.t_max_c) * cap
+            t_next = cfg.t_max_c
+        else:
+            e_excess = 0.0
+        self.t_tank = t_next
+        useful = e_in - e_excess
+        self.useful_heat_j += useful
+        self.dumped_heat_j += e_excess
+        return useful / dt, e_excess / dt
+
+    # ------------------------------------------------------------------ #
+    @property
+    def waste_fraction(self) -> float:
+        """Fraction of all boiler heat so far that was dumped outdoors."""
+        total = self.useful_heat_j + self.dumped_heat_j
+        return self.dumped_heat_j / total if total > 0 else 0.0

@@ -1,0 +1,252 @@
+r"""Lumped-parameter (2R2C) room thermal model, vectorised over rooms.
+
+Each room is modelled with two thermal nodes — indoor **air** and building
+**envelope** (walls/floor mass) — connected by conductances:
+
+.. code-block:: text
+
+            R_inf                    R_ie                R_ea
+   T_out ─/\/\/\/── T_air ───/\/\/\/─── T_env ───/\/\/\/─── T_out
+                     │ C_air            │ C_env
+             P_heat+P_gain           P_solar
+
+State equations (forward-Euler with automatic sub-stepping for stability):
+
+.. math::
+
+   C_a \\dot T_a = (T_e - T_a)/R_{ie} + (T_o - T_a)/R_{inf} + P_h + P_g
+
+   C_e \\dot T_e = (T_a - T_e)/R_{ie} + (T_o - T_e)/R_{ea} + P_s
+
+This is the standard grey-box model used in building-control literature; it is
+sufficient to capture what the paper needs from rooms: hours-scale thermal
+inertia ("the inertia of the heater produces enough heat", §III-A) and the
+coupling between server power and comfort (Fig. 4).
+
+All rooms in a network are stepped together with ``numpy`` array arithmetic —
+the hot loop of year-long district simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RoomThermalParams", "RCNetwork"]
+
+#: volumetric heat capacity of air, J/(m³·K)
+AIR_RHO_CP = 1.2 * 1005.0
+
+
+@dataclass(frozen=True)
+class RoomThermalParams:
+    """Thermal parameters of one room.
+
+    Defaults describe a moderately insulated ~20 m² French apartment room,
+    chosen so that a 500 W Q.rad can hold ~20 °C against a Paris winter —
+    the sizing implied by the paper (one Q.rad heats one room).
+
+    Attributes
+    ----------
+    c_air:
+        Effective air-node capacitance (J/K).  Includes furniture — the usual
+        grey-box fit multiplies the pure-air value by ~5.
+    c_env:
+        Envelope capacitance (J/K).
+    r_ie:
+        Air↔envelope resistance (K/W).
+    r_ea:
+        Envelope↔outdoor resistance (K/W).
+    r_inf:
+        Direct air↔outdoor (infiltration/ventilation) resistance (K/W).
+    """
+
+    c_air: float = 5.0 * AIR_RHO_CP * 50.0  # ~50 m³ room, ×5 furniture factor
+    c_env: float = 4.0e6
+    r_ie: float = 2.0e-2
+    r_ea: float = 4.0e-2
+    r_inf: float = 1.5e-1
+
+    @staticmethod
+    def from_geometry(
+        floor_area_m2: float,
+        height_m: float = 2.5,
+        u_value: float = 0.9,
+        envelope_area_m2: float | None = None,
+        ach: float = 0.5,
+        furniture_factor: float = 5.0,
+    ) -> "RoomThermalParams":
+        """Derive parameters from room geometry and insulation quality.
+
+        Parameters
+        ----------
+        floor_area_m2: floor area.
+        height_m: ceiling height.
+        u_value: envelope U-value, W/(m²·K) (0.4 = new build, 1.5 = old stock).
+        envelope_area_m2: exposed envelope area; default 1.2 × floor area.
+        ach: air changes per hour (infiltration).
+        furniture_factor: multiplier on the pure-air capacitance.
+        """
+        if floor_area_m2 <= 0 or height_m <= 0:
+            raise ValueError("room geometry must be positive")
+        volume = floor_area_m2 * height_m
+        env_area = envelope_area_m2 if envelope_area_m2 is not None else 1.2 * floor_area_m2
+        c_air = furniture_factor * AIR_RHO_CP * volume
+        c_env = 1.6e5 * env_area  # ~concrete/plaster areal capacitance
+        ua_env = u_value * env_area
+        # split envelope conductance: air→env is much larger than env→out
+        r_ie = 1.0 / (6.0 * ua_env)
+        r_ea = 1.0 / ua_env - r_ie if 1.0 / ua_env > r_ie else 0.5 / ua_env
+        q_inf = ach * volume / 3600.0  # m³/s
+        if q_inf <= 0:
+            raise ValueError("ach must be > 0")
+        r_inf = 1.0 / (1.2 * 1005.0 * q_inf)
+        return RoomThermalParams(c_air=c_air, c_env=c_env, r_ie=r_ie, r_ea=r_ea, r_inf=r_inf)
+
+
+class RCNetwork:
+    """Vectorised 2R2C integrator for N rooms.
+
+    Parameters
+    ----------
+    params:
+        Per-room thermal parameters (length-N sequence).
+    t_init_c:
+        Initial temperature (°C) applied to both nodes, scalar or length N.
+    """
+
+    def __init__(self, params, t_init_c: float | np.ndarray = 18.0):
+        params = list(params)
+        if not params:
+            raise ValueError("RCNetwork needs at least one room")
+        self.n = len(params)
+        self.c_air = np.array([p.c_air for p in params], dtype=float)
+        self.c_env = np.array([p.c_env for p in params], dtype=float)
+        self.g_ie = 1.0 / np.array([p.r_ie for p in params], dtype=float)
+        self.g_ea = 1.0 / np.array([p.r_ea for p in params], dtype=float)
+        self.g_inf = 1.0 / np.array([p.r_inf for p in params], dtype=float)
+        bad = (self.c_air <= 0) | (self.c_env <= 0)
+        if np.any(bad):
+            raise ValueError("thermal capacitances must be positive")
+        self.t_air = np.full(self.n, 0.0) + np.asarray(t_init_c, dtype=float)
+        self.t_env = self.t_air.copy()
+        # inter-room (party wall) couplings: parallel (i, j, g) arrays
+        self._adj_i = np.empty(0, dtype=int)
+        self._adj_j = np.empty(0, dtype=int)
+        self._adj_g = np.empty(0, dtype=float)
+        self._update_dt_max()
+
+    def _update_dt_max(self) -> None:
+        # stability bound for forward Euler: dt < 2*min(C / sum-of-G)
+        g_air = self.g_ie + self.g_inf
+        for i, j, g in zip(self._adj_i, self._adj_j, self._adj_g):
+            g_air = g_air.copy() if g_air.base is None else g_air
+            g_air[i] += g
+            g_air[j] += g
+        tau_air = self.c_air / g_air
+        tau_env = self.c_env / (self.g_ie + self.g_ea)
+        self._dt_max = 0.5 * float(np.min(np.minimum(tau_air, tau_env)))
+
+    def couple(self, i: int, j: int, g_w_per_k: float) -> None:
+        """Add a party-wall conductance between the air nodes of rooms i, j.
+
+        Adjacent rooms exchange heat: a heated living room warms the bedroom
+        next door.  Collective heating requests (paper §II-C) only make sense
+        with this coupling in place.
+        """
+        if not (0 <= i < self.n and 0 <= j < self.n) or i == j:
+            raise ValueError(f"invalid room pair ({i}, {j})")
+        if g_w_per_k <= 0:
+            raise ValueError("coupling conductance must be > 0")
+        self._adj_i = np.append(self._adj_i, i)
+        self._adj_j = np.append(self._adj_j, j)
+        self._adj_g = np.append(self._adj_g, float(g_w_per_k))
+        self._update_dt_max()
+
+    @property
+    def coupled(self) -> bool:
+        """Whether any inter-room couplings exist."""
+        return self._adj_i.size > 0
+
+    @property
+    def dt_max(self) -> float:
+        """Largest stable integration step (s); ``step`` sub-steps beyond it."""
+        return self._dt_max
+
+    def step(self, dt: float, t_out, p_heat=0.0, p_gain=0.0, p_solar=0.0) -> np.ndarray:
+        """Advance all rooms by ``dt`` seconds and return the new air temps.
+
+        Parameters
+        ----------
+        dt: interval to integrate (s); internally sub-stepped for stability.
+        t_out: outdoor temperature (°C), scalar or per-room array.
+        p_heat: heater power deposited in the air node (W), scalar or array.
+        p_gain: occupancy/appliance gains into the air node (W).
+        p_solar: solar gains into the envelope node (W).
+        """
+        if dt < 0:
+            raise ValueError(f"dt must be >= 0, got {dt}")
+        if dt == 0:
+            return self.t_air
+        t_out = np.broadcast_to(np.asarray(t_out, dtype=float), (self.n,))
+        p_heat = np.broadcast_to(np.asarray(p_heat, dtype=float), (self.n,))
+        p_gain = np.broadcast_to(np.asarray(p_gain, dtype=float), (self.n,))
+        p_solar = np.broadcast_to(np.asarray(p_solar, dtype=float), (self.n,))
+
+        nsub = max(1, int(np.ceil(dt / self._dt_max)))
+        h = dt / nsub
+        ta, te = self.t_air, self.t_env
+        for _ in range(nsub):
+            q_ie = self.g_ie * (te - ta)
+            q_inf = self.g_inf * (t_out - ta)
+            q_ea = self.g_ea * (t_out - te)
+            q_adj = np.zeros(self.n)
+            if self._adj_i.size:
+                flow = self._adj_g * (ta[self._adj_j] - ta[self._adj_i])
+                np.add.at(q_adj, self._adj_i, flow)
+                np.add.at(q_adj, self._adj_j, -flow)
+            ta = ta + h * (q_ie + q_inf + q_adj + p_heat + p_gain) / self.c_air
+            te = te + h * (-q_ie + q_ea + p_solar) / self.c_env
+        self.t_air, self.t_env = ta, te
+        return self.t_air
+
+    def steady_state(self, t_out, p_heat=0.0, p_gain=0.0, p_solar=0.0) -> np.ndarray:
+        """Closed-form equilibrium air temperature for constant inputs.
+
+        Useful in tests: solves the 2×2 linear system per room.  Only valid
+        for uncoupled rooms (raises otherwise).
+        """
+        if self.coupled:
+            raise NotImplementedError(
+                "closed-form steady state is per-room; not defined with "
+                "inter-room couplings"
+            )
+        t_out = np.broadcast_to(np.asarray(t_out, dtype=float), (self.n,))
+        p_a = np.broadcast_to(np.asarray(p_heat, dtype=float), (self.n,)) + np.broadcast_to(
+            np.asarray(p_gain, dtype=float), (self.n,)
+        )
+        p_e = np.broadcast_to(np.asarray(p_solar, dtype=float), (self.n,))
+        # 0 = g_ie(te-ta) + g_inf(to-ta) + p_a ; 0 = g_ie(ta-te) + g_ea(to-te) + p_e
+        a11 = self.g_ie + self.g_inf
+        a12 = -self.g_ie
+        a21 = -self.g_ie
+        a22 = self.g_ie + self.g_ea
+        b1 = self.g_inf * t_out + p_a
+        b2 = self.g_ea * t_out + p_e
+        det = a11 * a22 - a12 * a21
+        return (b1 * a22 - a12 * b2) / det
+
+    def required_power(self, t_out, t_target) -> np.ndarray:
+        """Heater power (W) that holds ``t_target`` at equilibrium for ``t_out``.
+
+        With inter-room couplings this is the no-exchange approximation
+        (exact when all rooms share the target, which collective heating
+        requests do).
+        """
+        t_out = np.broadcast_to(np.asarray(t_out, dtype=float), (self.n,))
+        t_target = np.broadcast_to(np.asarray(t_target, dtype=float), (self.n,))
+        # effective conductance from air to outdoor through both paths
+        g_series = 1.0 / (1.0 / self.g_ie + 1.0 / self.g_ea)
+        g_total = g_series + self.g_inf
+        return np.maximum(g_total * (t_target - t_out), 0.0)

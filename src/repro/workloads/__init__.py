@@ -1,0 +1,47 @@
+"""Workload generators for the three DF3 flows.
+
+Synthetic stand-ins for the paper's production traffic (see DESIGN.md
+substitution table): seasonal heating demand, business-hours DCC batches
+(including a scaled replay of the 2016 Qarnot render campaign), Poisson edge
+requests with deadlines, and the audio-alarm-detection stream of the paper's
+ref [11].
+"""
+
+from repro.workloads.alarms import AlarmStreamConfig, AlarmStreamGenerator
+from repro.workloads.arrivals import DiurnalProfile, sample_nhpp
+from repro.workloads.cloud import (
+    QARNOT_2016_CAMPAIGN,
+    CloudJobConfig,
+    CloudJobGenerator,
+    RenderCampaign,
+)
+from repro.workloads.edge import EdgeWorkloadConfig, EdgeWorkloadGenerator
+from repro.workloads.heating import HeatingBehavior, HeatingRequestGenerator
+from repro.workloads.mining import MiningController, MiningEconomics
+from repro.workloads.traces import (
+    Trace,
+    TraceEvent,
+    requests_from_trace,
+    requests_to_trace,
+)
+
+__all__ = [
+    "AlarmStreamConfig",
+    "AlarmStreamGenerator",
+    "CloudJobConfig",
+    "CloudJobGenerator",
+    "DiurnalProfile",
+    "EdgeWorkloadConfig",
+    "EdgeWorkloadGenerator",
+    "HeatingBehavior",
+    "HeatingRequestGenerator",
+    "MiningController",
+    "MiningEconomics",
+    "QARNOT_2016_CAMPAIGN",
+    "RenderCampaign",
+    "requests_from_trace",
+    "requests_to_trace",
+    "sample_nhpp",
+    "Trace",
+    "TraceEvent",
+]

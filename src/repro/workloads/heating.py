@@ -1,0 +1,134 @@
+"""Heating-request generation: how hosts drive the first flow.
+
+Hosts set comfort targets; the middleware must produce that heat with useful
+computation.  Two behavioural models matter to the paper:
+
+* **INCENTIVIZED** (§III-C): "in the Qarnot computing model, the hosts of DF
+  servers do not pay electricity.  Consequently, during the winter, these
+  hosts generally keep the same target temperature" — steady setpoints, so
+  compute capacity is steady too;
+* **COST_CONSCIOUS**: hosts who pay for their heat trim setpoints at night,
+  during absences and in mild weather — the fleet's compute capacity then
+  flickers with their thrift (the availability problem of §III-C).
+
+The generator emits :class:`~repro.core.requests.HeatingRequest` events:
+scheduled day/night transitions plus random manual adjustments, individual or
+collective (whole-apartment) in scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.requests import HeatingRequest
+from repro.sim.calendar import DAY, HOUR, SimCalendar
+
+__all__ = ["HeatingBehavior", "HeatingRequestGenerator"]
+
+
+class HeatingBehavior(Enum):
+    """Host behaviour model (experiment E11)."""
+
+    INCENTIVIZED = "incentivized"      # free heat → steady targets
+    COST_CONSCIOUS = "cost_conscious"  # paid heat → aggressive setbacks
+
+
+@dataclass(frozen=True)
+class _BehaviorParams:
+    day_setpoint_c: float
+    night_setpoint_c: float
+    tweak_rate_per_day: float   # random manual adjustments
+    tweak_std_c: float
+
+
+_PARAMS = {
+    HeatingBehavior.INCENTIVIZED: _BehaviorParams(21.0, 19.5, 0.3, 0.5),
+    HeatingBehavior.COST_CONSCIOUS: _BehaviorParams(19.5, 16.0, 1.0, 1.0),
+}
+
+
+class HeatingRequestGenerator:
+    """Emits the heating-request flow for a set of rooms.
+
+    Parameters
+    ----------
+    rng: random stream.
+    rooms: room names covered by this generator (one household).
+    behavior: host behaviour model.
+    collective_fraction: probability a manual tweak targets the whole
+        household mean rather than one room (paper §II-C's two request sorts).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        rooms: Sequence[str],
+        behavior: HeatingBehavior = HeatingBehavior.INCENTIVIZED,
+        collective_fraction: float = 0.3,
+    ):
+        if not rooms:
+            raise ValueError("need at least one room")
+        if not 0.0 <= collective_fraction <= 1.0:
+            raise ValueError("collective_fraction must be in [0, 1]")
+        self.rng = rng
+        self.rooms = tuple(rooms)
+        self.behavior = behavior
+        self.params = _PARAMS[behavior]
+        self.collective_fraction = collective_fraction if len(rooms) >= 2 else 0.0
+        self._cal = SimCalendar()
+
+    def generate(self, t0: float, t1: float) -> List[HeatingRequest]:
+        """All heating requests in [t0, t1), time-sorted."""
+        if t1 < t0:
+            raise ValueError("need t1 >= t0")
+        p = self.params
+        out: List[HeatingRequest] = []
+        # scheduled day/night transitions, per day, all rooms (collective)
+        day0 = int(t0 // DAY)
+        day1 = int(np.ceil(t1 / DAY))
+        for d in range(day0, day1):
+            for hour, target in ((6.5, p.day_setpoint_c), (22.5, p.night_setpoint_c)):
+                t = d * DAY + hour * HOUR
+                if t0 <= t < t1:
+                    out.append(
+                        HeatingRequest(
+                            target_temp_c=target,
+                            time=t,
+                            rooms=self.rooms,
+                            collective=len(self.rooms) >= 2,
+                        )
+                    )
+        # random manual tweaks
+        rate = p.tweak_rate_per_day / DAY
+        if rate > 0:
+            t = t0 + float(self.rng.exponential(1.0 / rate))
+            while t < t1:
+                base = (
+                    p.day_setpoint_c
+                    if 6.5 <= self._cal.hour_of_day(t) < 22.5
+                    else p.night_setpoint_c
+                )
+                target = float(np.clip(base + self.rng.normal(0.0, p.tweak_std_c), 12.0, 26.0))
+                collective = self.rng.random() < self.collective_fraction
+                rooms = (
+                    self.rooms
+                    if collective
+                    else (self.rooms[int(self.rng.integers(0, len(self.rooms)))],)
+                )
+                out.append(
+                    HeatingRequest(
+                        target_temp_c=target, time=t, rooms=rooms, collective=collective
+                    )
+                )
+                t += float(self.rng.exponential(1.0 / rate))
+        out.sort(key=lambda r: r.time)
+        return out
+
+    def mean_winter_setpoint(self) -> float:
+        """Duty-weighted mean setpoint (16 h day + 8 h night)."""
+        p = self.params
+        return (16.0 * p.day_setpoint_c + 8.0 * p.night_setpoint_c) / 24.0

@@ -1,0 +1,116 @@
+"""Crypto-mining as a heating workload (§II-B1, §IV).
+
+"Digital heaters are receiving a growing interest in the community of coin
+miners.  Comino and the Qarnot crypto-heater are special servers, built to
+serve both as a space heater and a crypto currency miner."  And §IV: "data
+furnace could disrupt blockchain ... DF servers constitute a significant
+computing power."
+
+:class:`MiningController` keeps a heater's GPUs saturated with mining chunks
+whenever its room wants heat — the perfect filler workload: infinitely
+divisible, preemptible, always profitable — and books hashes and revenue.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.hardware.server import ComputeServer, Task
+
+__all__ = ["MiningEconomics", "MiningController"]
+
+
+@dataclass(frozen=True)
+class MiningEconomics:
+    """Hashrate and market model.
+
+    ``hashes_per_cycle`` folds GPU architecture into a single constant
+    (a crypto-heater "core" here is one GPU; its cycles are shader cycles).
+    """
+
+    hashes_per_cycle: float = 0.05
+    coin_reward_per_hash: float = 1.5e-16   # coins per hash (difficulty)
+    coin_price_eur: float = 1800.0
+    electricity_eur_per_kwh: float = 0.17
+
+    def __post_init__(self) -> None:
+        if min(self.hashes_per_cycle, self.coin_reward_per_hash,
+               self.coin_price_eur, self.electricity_eur_per_kwh) <= 0:
+            raise ValueError("economics parameters must be > 0")
+
+    def revenue_eur(self, cycles: float) -> float:
+        """Mining revenue of executing ``cycles`` (€)."""
+        return cycles * self.hashes_per_cycle * self.coin_reward_per_hash * self.coin_price_eur
+
+
+class MiningController:
+    """Keeps one heater mining whenever heat is wanted.
+
+    Call :meth:`tick` on the thermal tick with the regulator's
+    ``heat_wanted`` flag; the controller tops the device up with mining
+    chunks, or drains it when heat is no longer wanted.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, server: ComputeServer, economics: MiningEconomics = MiningEconomics(),
+                 chunk_s: float = 600.0):
+        if chunk_s <= 0:
+            raise ValueError("chunk duration must be > 0")
+        self.server = server
+        self.economics = economics
+        self.chunk_s = float(chunk_s)
+        self.cycles_mined = 0.0
+        self.chunks_completed = 0
+
+    # ------------------------------------------------------------------ #
+    def tick(self, heat_wanted: bool) -> None:
+        """Top up or drain mining work according to heat demand."""
+        if heat_wanted:
+            if not self.server.enabled:
+                self.server.power_on()
+            rate = self.server.core_rate_cycles_per_s()
+            if rate <= 0:
+                rate = self.server.spec.ladder.top.freq_ghz * 1e9
+            while self.server.free_cores > 0:
+                chunk = Task(
+                    task_id=f"mine-{next(self._ids)}",
+                    work_cycles=rate * self.chunk_s,
+                    cores=1,
+                    on_complete=self._chunk_done,
+                    metadata={"kind": "filler", "mining": True},
+                )
+                if not self.server.submit(chunk):
+                    break
+        else:
+            for task in list(self.server.running_tasks):
+                if task.metadata.get("mining"):
+                    t = self.server.preempt(task.task_id)
+                    # partial chunks still mined their executed share
+                    self.cycles_mined += t.work_cycles - t.remaining_cycles
+            if self.server.enabled and not self.server.running_tasks:
+                self.server.power_off()
+
+    def _chunk_done(self, task: Task, now: float) -> None:
+        self.cycles_mined += task.work_cycles
+        self.chunks_completed += 1
+
+    # ------------------------------------------------------------------ #
+    @property
+    def hashes(self) -> float:
+        """Total hashes computed so far."""
+        return self.cycles_mined * self.economics.hashes_per_cycle
+
+    def revenue_eur(self) -> float:
+        """Coins mined so far, valued at the configured price (€)."""
+        return self.economics.revenue_eur(self.cycles_mined)
+
+    def electricity_cost_eur(self) -> float:
+        """Electricity consumed by the heater so far, at market price (€).
+
+        The host pays nothing (the Qarnot incentive); this is the operator's
+        input cost, to compare against :meth:`revenue_eur`.
+        """
+        self.server.sync()
+        return self.server.energy_j / 3.6e6 * self.economics.electricity_eur_per_kwh

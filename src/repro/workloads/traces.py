@@ -1,0 +1,144 @@
+"""Trace recording and replay.
+
+Experiments that compare policies (E4, E5, E9) must feed *identical* request
+streams to every policy; a :class:`Trace` freezes a generated stream to a
+JSON-lines file and replays it later, so comparisons are input-identical even
+across processes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List
+
+from repro.core.requests import CloudRequest, EdgeMode, EdgeRequest, HeatingRequest
+
+__all__ = ["TraceEvent", "Trace", "requests_to_trace", "requests_from_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped event with a kind tag and a JSON-able payload."""
+
+    time: float
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class Trace:
+    """An ordered sequence of :class:`TraceEvent`.
+
+    Events may be appended out of order; iteration and persistence are always
+    time-sorted (stable for equal times).
+    """
+
+    def __init__(self, events: List[TraceEvent] | None = None):
+        self._events: List[TraceEvent] = list(events) if events else []
+
+    def append(self, time: float, kind: str, **payload: Any) -> None:
+        """Record one event."""
+        if not kind:
+            raise ValueError("kind must be non-empty")
+        self._events.append(TraceEvent(time=float(time), kind=kind, payload=payload))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(sorted(self._events, key=lambda e: e.time))
+
+    def events_of_kind(self, kind: str) -> List[TraceEvent]:
+        """Time-sorted events matching ``kind``."""
+        return [e for e in self if e.kind == kind]
+
+    def window(self, t0: float, t1: float) -> "Trace":
+        """Sub-trace with ``t0 <= time < t1``."""
+        return Trace([e for e in self if t0 <= e.time < t1])
+
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> None:
+        """Write the trace as JSON lines."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as f:
+            for e in self:
+                f.write(json.dumps({"time": e.time, "kind": e.kind, "payload": e.payload}))
+                f.write("\n")
+
+    @staticmethod
+    def load(path: str | Path) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        path = Path(path)
+        events: List[TraceEvent] = []
+        with path.open("r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    d = json.loads(line)
+                    events.append(
+                        TraceEvent(time=float(d["time"]), kind=str(d["kind"]),
+                                   payload=dict(d.get("payload", {})))
+                    )
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                    raise ValueError(f"{path}:{lineno}: malformed trace line") from exc
+        return Trace(events)
+
+
+# --------------------------------------------------------------------------- #
+# request (de)serialisation: freeze generated workloads for replay
+# --------------------------------------------------------------------------- #
+def requests_to_trace(requests) -> Trace:
+    """Serialise heating/cloud/edge requests into a :class:`Trace`.
+
+    Only the *input* fields are recorded (outcome fields are run artefacts),
+    so a replayed request is indistinguishable from a freshly generated one.
+    """
+    trace = Trace()
+    for req in requests:
+        if isinstance(req, HeatingRequest):
+            trace.append(req.time, "heating", target_temp_c=req.target_temp_c,
+                         rooms=list(req.rooms), collective=req.collective)
+        elif isinstance(req, EdgeRequest):
+            trace.append(req.time, "edge", cycles=req.cycles, cores=req.cores,
+                         input_bytes=req.input_bytes, output_bytes=req.output_bytes,
+                         deadline_s=req.deadline_s, mode=req.mode.value,
+                         source=req.source, privacy=req.privacy_sensitive)
+        elif isinstance(req, CloudRequest):
+            trace.append(req.time, "cloud", cycles=req.cycles, cores=req.cores,
+                         input_bytes=req.input_bytes, output_bytes=req.output_bytes,
+                         user=req.user, preemptible=req.preemptible)
+        else:
+            raise TypeError(f"cannot serialise {type(req).__name__}")
+    return trace
+
+
+def requests_from_trace(trace: Trace) -> List:
+    """Rebuild request objects from a trace written by :func:`requests_to_trace`."""
+    out: List = []
+    for e in trace:
+        p = e.payload
+        try:
+            if e.kind == "heating":
+                out.append(HeatingRequest(target_temp_c=p["target_temp_c"],
+                                          time=e.time, rooms=tuple(p["rooms"]),
+                                          collective=p["collective"]))
+            elif e.kind == "edge":
+                out.append(EdgeRequest(cycles=p["cycles"], time=e.time,
+                                       cores=p["cores"], input_bytes=p["input_bytes"],
+                                       output_bytes=p["output_bytes"],
+                                       deadline_s=p["deadline_s"],
+                                       mode=EdgeMode(p["mode"]), source=p["source"],
+                                       privacy_sensitive=p["privacy"]))
+            elif e.kind == "cloud":
+                out.append(CloudRequest(cycles=p["cycles"], time=e.time,
+                                        cores=p["cores"], input_bytes=p["input_bytes"],
+                                        output_bytes=p["output_bytes"], user=p["user"],
+                                        preemptible=p["preemptible"]))
+            else:
+                raise ValueError(f"unknown request kind {e.kind!r}")
+        except KeyError as exc:
+            raise ValueError(f"trace event at t={e.time} missing field {exc}") from exc
+    return out

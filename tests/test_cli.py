@@ -1,0 +1,43 @@
+"""Tests for the CLI experiment runner."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def test_list_shows_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for eid in ("F4", "F3", "E1", "E12", "A1", "A4"):
+        assert eid in out
+
+
+def test_unknown_experiment_errors(capsys):
+    assert main(["run", "ZZ"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "A1"]) == 0
+    out = capsys.readouterr().out
+    assert "[A1]" in out
+    assert "completed in" in out
+
+
+def test_run_case_insensitive(capsys):
+    assert main(["run", "a1"]) == 0
+    assert "[A1]" in capsys.readouterr().out
+
+
+def test_run_with_seed_override(capsys):
+    assert main(["run", "A1", "--seed", "123"]) == 0
+    out1 = capsys.readouterr().out
+    assert main(["run", "A1", "--seed", "123"]) == 0
+    out2 = capsys.readouterr().out
+    assert out1.split("completed")[0] == out2.split("completed")[0]  # deterministic
+
+
+def test_registry_is_complete():
+    main(["list"])  # populate
+    assert len(EXPERIMENTS) == 21
+    assert set(EXPERIMENTS) >= {f"E{i}" for i in range(1, 13)}

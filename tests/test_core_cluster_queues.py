@@ -1,0 +1,180 @@
+"""Tests for clusters and queue disciplines."""
+
+import pytest
+
+from repro.core.cluster import Cluster, ClusterConfig
+from repro.core.requests import EdgeRequest
+from repro.core.scheduling.queues import EDFQueue, FCFSQueue
+from repro.hardware.qrad import QRad
+from repro.sim.engine import Engine
+
+
+@pytest.fixture()
+def engine():
+    return Engine()
+
+
+def make_cluster(engine, n=4):
+    c = Cluster(ClusterConfig(name="c0"))
+    for i in range(n):
+        c.add_worker(QRad(f"q{i}", engine))
+    return c
+
+
+# --------------------------------------------------------------------------- #
+# cluster
+# --------------------------------------------------------------------------- #
+def test_cluster_counts(engine):
+    c = make_cluster(engine, 3)
+    assert len(c) == 3
+    assert c.total_cores() == 48
+    assert c.free_cores() == 48
+    assert c.utilization() == 0.0
+
+
+def test_duplicate_worker_rejected(engine):
+    c = make_cluster(engine, 1)
+    with pytest.raises(ValueError):
+        c.add_worker(c.workers[0])
+
+
+def test_dedicated_pool(engine):
+    c = Cluster(ClusterConfig(name="c0"))
+    c.add_worker(QRad("a", engine), dedicated_edge=True)
+    c.add_worker(QRad("b", engine))
+    assert [w.name for w in c.edge_dedicated_workers] == ["a"]
+    assert [w.name for w in c.general_workers] == ["b"]
+    c.dedicate_to_edge("b")
+    assert len(c.edge_dedicated_workers) == 2
+    with pytest.raises(KeyError):
+        c.dedicate_to_edge("ghost")
+
+
+def test_worker_lookup(engine):
+    c = make_cluster(engine, 2)
+    assert c.worker("q1").name == "q1"
+    with pytest.raises(KeyError):
+        c.worker("nope")
+
+
+def test_wsn_partition(engine):
+    servers = [QRad(f"q{i}", engine) for i in range(8)]
+    # two clear spatial groups
+    positions = [(0, 0), (0, 1), (1, 0), (1, 1), (10, 10), (10, 11), (11, 10), (11, 11)]
+    clusters = Cluster.partition_wsn(servers, positions, k=2)
+    assert len(clusters) == 2
+    sizes = sorted(len(c) for c in clusters)
+    assert sizes == [4, 4]
+    names = {w.name for c in clusters for w in c.workers}
+    assert names == {f"q{i}" for i in range(8)}
+
+
+def test_wsn_partition_validation(engine):
+    servers = [QRad("q0", engine)]
+    with pytest.raises(ValueError):
+        Cluster.partition_wsn(servers, [(0, 0)], k=2)
+    with pytest.raises(ValueError):
+        Cluster.partition_wsn(servers, [], k=1)
+
+
+# --------------------------------------------------------------------------- #
+# queues
+# --------------------------------------------------------------------------- #
+def test_fcfs_order_and_front():
+    q = FCFSQueue()
+    q.push("a")
+    q.push("b")
+    q.push_front("urgent")
+    assert len(q) == 3
+    assert q.peek() == "urgent"
+    assert [q.pop(), q.pop(), q.pop()] == ["urgent", "a", "b"]
+    assert not q
+    assert q.peek() is None
+
+
+def edge(t, deadline):
+    return EdgeRequest(cycles=1e8, time=t, deadline_s=deadline)
+
+
+def test_edf_orders_by_absolute_deadline():
+    q = EDFQueue()
+    late = edge(0.0, 10.0)    # absolute 10
+    urgent = edge(5.0, 1.0)   # absolute 6
+    q.push(late)
+    q.push(urgent)
+    assert q.peek() is urgent
+    assert q.pop() is urgent
+    assert q.pop() is late
+
+
+def test_edf_pop_expired():
+    q = EDFQueue()
+    a = edge(0.0, 1.0)   # expires at 1
+    b = edge(0.0, 100.0)
+    q.push(a)
+    q.push(b)
+    expired = q.pop_expired(now=50.0)
+    assert expired == [a]
+    assert len(q) == 1
+    assert q.pop_expired(now=0.5) == []
+
+
+def test_edf_stable_for_equal_deadlines():
+    q = EDFQueue()
+    a, b = edge(0.0, 5.0), edge(0.0, 5.0)
+    q.push(a)
+    q.push(b)
+    assert q.pop() is a
+    assert q.pop() is b
+
+
+# --------------------------------------------------------------------------- #
+# property tests
+# --------------------------------------------------------------------------- #
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    reqs=st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100),
+                  st.floats(min_value=0.1, max_value=50)),
+        min_size=1, max_size=30,
+    )
+)
+def test_property_edf_pops_in_absolute_deadline_order(reqs):
+    q = EDFQueue()
+    for t, d in reqs:
+        q.push(edge(t, d))
+    popped = []
+    while q:
+        popped.append(q.pop())
+    deadlines = [r.time + r.deadline_s for r in popped]
+    assert deadlines == sorted(deadlines)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["push", "push_front", "pop"]), st.integers()),
+        min_size=1, max_size=40,
+    )
+)
+def test_property_fcfs_is_a_consistent_deque(ops):
+    """FCFS mirrors a reference deque under arbitrary operation sequences."""
+    from collections import deque
+
+    q = FCFSQueue()
+    ref = deque()
+    for op, val in ops:
+        if op == "push":
+            q.push(val)
+            ref.append(val)
+        elif op == "push_front":
+            q.push_front(val)
+            ref.appendleft(val)
+        elif ref:
+            assert q.pop() == ref.popleft()
+        assert len(q) == len(ref)
+        assert q.peek() == (ref[0] if ref else None)

@@ -1,0 +1,173 @@
+"""Tests for fault injection and the middleware's resilience."""
+
+import pytest
+
+from repro.core.faults import FaultInjector
+from repro.core.middleware import DF3Middleware, MiddlewareConfig
+from repro.core.requests import CloudRequest, EdgeRequest, RequestStatus
+from repro.core.scheduling.base import SaturationPolicy
+from repro.sim.calendar import DAY, HOUR
+
+GHZ = 1e9
+WINTER = 10 * DAY
+
+
+def make_mw(**kw):
+    defaults = dict(n_districts=2, buildings_per_district=1, rooms_per_building=2,
+                    dc_nodes=2, seed=3, start_time=WINTER, enable_filler=False)
+    defaults.update(kw)
+    return DF3Middleware(MiddlewareConfig(**defaults))
+
+
+def edge(t, source="district-0/building-0", deadline=30.0):
+    return EdgeRequest(cycles=0.2 * GHZ, time=t, deadline_s=deadline,
+                       source=source, input_bytes=2e3)
+
+
+# --------------------------------------------------------------------------- #
+# server crash
+# --------------------------------------------------------------------------- #
+def test_crash_kills_and_salvages_cloud_work():
+    mw = make_mw()
+    fi = FaultInjector(mw)
+    req = CloudRequest(cycles=1e13, time=WINTER, cores=4)
+    mw.schedulers[0].submit_cloud(req)
+    victim = req.executed_on
+    mw.run_until(WINTER + 60.0)
+    n = fi.crash_server(victim)
+    assert n == 1
+    assert fi.log.tasks_killed == 1
+    assert fi.log.tasks_salvaged == 1
+    assert victim in fi.down_servers
+    mw.run_until(WINTER + HOUR)
+    # the salvaged job finished elsewhere with its progress preserved
+    assert req.status is RequestStatus.COMPLETED
+    assert req.executed_on != victim
+
+
+def test_crash_unknown_server_raises():
+    mw = make_mw()
+    with pytest.raises(KeyError):
+        FaultInjector(mw).crash_server("ghost")
+
+
+def test_recover_restores_capacity():
+    mw = make_mw()
+    fi = FaultInjector(mw)
+    name = mw.clusters[0].workers[0].name
+    fi.crash_server(name)
+    assert not mw.clusters[0].worker(name).enabled
+    fi.recover_server(name)
+    assert mw.clusters[0].worker(name).enabled
+    assert name not in fi.down_servers
+    with pytest.raises(ValueError):
+        fi.recover_server(name)
+
+
+def test_crashed_edge_request_resubmitted():
+    mw = make_mw()
+    fi = FaultInjector(mw)
+    req = EdgeRequest(cycles=5 * GHZ, time=WINTER, deadline_s=120.0,
+                      source="district-0/building-0", input_bytes=2e3)
+    mw.engine.run_until(WINTER)
+    mw.schedulers[0].submit_edge(req)
+    victim = req.executed_on
+    mw.run_until(WINTER + 0.2)
+    fi.crash_server(victim)
+    mw.run_until(WINTER + 60.0)
+    assert req.status is RequestStatus.COMPLETED
+    assert req.executed_on != victim
+
+
+# --------------------------------------------------------------------------- #
+# master outage: the §IV decentralisation property
+# --------------------------------------------------------------------------- #
+def test_master_outage_rejects_indirect_but_heat_continues():
+    mw = make_mw(enable_filler=True)
+    fi = FaultInjector(mw)
+    fi.fail_master(0)
+    assert fi.master_is_down(0)
+    req = edge(WINTER + 10.0)
+    mw.inject([req])
+    mw.run_until(WINTER + HOUR)
+    assert req.status is RequestStatus.REJECTED
+    # heat regulation is local: rooms still warm despite the central outage
+    assert mw.comfort.result().mean_temp_c > 18.0
+    assert mw.filler_completed > 0
+
+
+def test_direct_requests_survive_master_outage():
+    mw = make_mw()
+    fi = FaultInjector(mw)
+    fi.fail_master(0)
+    from repro.core.requests import EdgeMode
+
+    req = edge(WINTER + 10.0)
+    req.mode = EdgeMode.DIRECT
+    target = mw.clusters[0].workers[0].name
+    mw.inject([req], direct_targets={req.request_id: target})
+    mw.run_until(WINTER + HOUR)
+    assert req.status is RequestStatus.COMPLETED
+
+
+def test_other_district_unaffected_by_master_outage():
+    mw = make_mw()
+    fi = FaultInjector(mw)
+    fi.fail_master(0)
+    req = edge(WINTER + 10.0, source="district-1/building-0")
+    mw.inject([req])
+    mw.run_until(WINTER + HOUR)
+    assert req.status is RequestStatus.COMPLETED
+
+
+def test_master_restore():
+    mw = make_mw()
+    fi = FaultInjector(mw)
+    fi.fail_master(0)
+    fi.restore_master(0)
+    req = edge(WINTER + 10.0)
+    mw.inject([req])
+    mw.run_until(WINTER + HOUR)
+    assert req.status is RequestStatus.COMPLETED
+    with pytest.raises(ValueError):
+        fi.restore_master(0)
+    fi.fail_master(0)
+    with pytest.raises(ValueError):
+        fi.fail_master(0)
+
+
+# --------------------------------------------------------------------------- #
+# WAN partition
+# --------------------------------------------------------------------------- #
+def test_wan_partition_blocks_vertical():
+    mw = make_mw(saturation_policy=SaturationPolicy.VERTICAL,
+                 allow_privacy_vertical=True)
+    fi = FaultInjector(mw)
+    fi.partition_wan()
+    assert not mw.offloader.can_vertical(CloudRequest(cycles=GHZ, time=WINTER))
+    fi.heal_wan()
+    assert mw.offloader.can_vertical(CloudRequest(cycles=GHZ, time=WINTER))
+    with pytest.raises(ValueError):
+        fi.heal_wan()
+    fi.partition_wan()
+    with pytest.raises(ValueError):
+        fi.partition_wan()
+
+
+def test_partitioned_city_falls_back_to_queue():
+    mw = make_mw(saturation_policy=SaturationPolicy.VERTICAL,
+                 allow_privacy_vertical=True)
+    fi = FaultInjector(mw)
+    # saturate district 0
+    for w in mw.clusters[0].workers:
+        for c in range(w.n_cores):
+            mw.schedulers[0].submit_cloud(
+                CloudRequest(cycles=1e12, time=WINTER, cores=1, preemptible=False)
+            )
+    fi.partition_wan()
+    req = edge(WINTER + 10.0, deadline=3600.0)
+    mw.inject([req])
+    mw.run_until(WINTER + 2 * HOUR)
+    # no WAN → queued locally, served when the blockers finish
+    assert req.status is RequestStatus.COMPLETED
+    assert req.executed_on.startswith("district-0/")

@@ -1,0 +1,208 @@
+"""Integration tests for the assembled DF3 middleware."""
+
+import pytest
+
+from repro.core.middleware import DF3Middleware, MiddlewareConfig
+from repro.core.requests import CloudRequest, EdgeRequest, HeatingRequest, RequestStatus
+from repro.core.scheduling.base import SaturationPolicy
+from repro.sim.calendar import DAY, HOUR
+
+GHZ = 1e9
+
+WINTER = 10 * DAY
+
+
+def small_config(**kw):
+    defaults = dict(
+        n_districts=2, buildings_per_district=1, rooms_per_building=2,
+        dc_nodes=2, seed=3, start_time=WINTER,
+    )
+    defaults.update(kw)
+    return MiddlewareConfig(**defaults)
+
+
+@pytest.fixture()
+def mw():
+    return DF3Middleware(small_config())
+
+
+def test_build_shape(mw):
+    assert len(mw.clusters) == 2
+    assert len(mw.buildings) == 2
+    assert len(mw.all_servers) == 4  # 2 districts × 1 building × 2 rooms
+    assert len(mw.regulators) == 4
+    assert mw.datacenter is not None
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MiddlewareConfig(architecture="weird")
+    with pytest.raises(ValueError):
+        MiddlewareConfig(architecture="dedicated", dedicated_per_cluster=0)
+    with pytest.raises(ValueError):
+        MiddlewareConfig(thermal_tick_s=0.0)
+
+
+def test_heating_flow_sets_regulator_targets(mw):
+    room = "district-0/building-0/room-0"
+    mw.submit_heating(HeatingRequest(target_temp_c=23.0, time=WINTER, rooms=(room,)))
+    assert mw.regulators[room].setpoint_c == 23.0
+    with pytest.raises(KeyError):
+        mw.submit_heating(HeatingRequest(target_temp_c=21.0, time=WINTER, rooms=("nope",)))
+
+
+def test_collective_heating_request(mw):
+    rooms = ("district-0/building-0/room-0", "district-0/building-0/room-1")
+    mw.submit_heating(HeatingRequest(target_temp_c=22.0, time=WINTER, rooms=rooms, collective=True))
+    assert all(mw.regulators[r].setpoint_c == 22.0 for r in rooms)
+
+
+def test_edge_flow_end_to_end(mw):
+    req = EdgeRequest(cycles=0.2 * GHZ, time=WINTER, deadline_s=5.0,
+                      source="district-0/building-0", input_bytes=2e3)
+    mw.engine.run_until(WINTER)  # settle
+    mw.submit_edge(req)
+    mw.run_until(WINTER + 60.0)
+    assert req.status is RequestStatus.COMPLETED
+    assert req.deadline_met()
+    assert req.executed_on.startswith("district-0/")
+
+
+def test_edge_routing_by_source(mw):
+    req = EdgeRequest(cycles=0.2 * GHZ, time=WINTER, deadline_s=5.0,
+                      source="district-1/building-0", input_bytes=2e3)
+    mw.submit_edge(req)
+    mw.run_until(WINTER + 60.0)
+    assert req.executed_on.startswith("district-1/")
+    bad = EdgeRequest(cycles=GHZ, time=WINTER, deadline_s=5.0, source="garbage")
+    with pytest.raises(ValueError):
+        mw.submit_edge(bad)
+
+
+def test_cloud_flow_end_to_end(mw):
+    req = CloudRequest(cycles=10 * GHZ, time=WINTER, cores=2, input_bytes=1e6)
+    mw.submit_cloud(req)
+    mw.run_until(WINTER + HOUR)
+    assert req.status is RequestStatus.COMPLETED
+
+
+def test_winter_rooms_track_setpoint():
+    mw = DF3Middleware(small_config())
+    mw.run_until(WINTER + 3 * DAY)
+    stats = mw.comfort.result()
+    assert stats.mean_temp_c > 18.5
+    assert stats.time_in_band > 0.6
+
+
+def test_filler_generates_heat_and_compute():
+    mw = DF3Middleware(small_config())
+    mw.run_until(WINTER + DAY)
+    assert mw.filler_completed > 0
+    assert mw.total_cycles_executed() > 0
+    assert mw.fleet_energy_j() > 0
+    assert mw.ledger.useful_heat_j > 0
+
+
+def test_filler_can_be_disabled():
+    mw = DF3Middleware(small_config(enable_filler=False))
+    mw.run_until(WINTER + 0.5 * DAY)
+    assert mw.filler_completed == 0
+
+
+def test_summer_servers_power_down():
+    """In July rooms don't want heat: boards off (the hybrid infrastructure)."""
+    mw = DF3Middleware(small_config(start_time=200 * DAY))
+    mw.run_until(200 * DAY + DAY)
+    assert all(not s.enabled for s in mw.all_servers)
+    assert mw.smartgrid.available_cores() == 0
+
+
+def test_winter_capacity_exceeds_summer():
+    mw = DF3Middleware(small_config(start_time=5 * DAY))
+    mw.run_until(7 * DAY)
+    winter_cores = mw.smartgrid.available_cores()
+    mws = DF3Middleware(small_config(start_time=200 * DAY))
+    mws.run_until(202 * DAY)
+    assert winter_cores > mws.smartgrid.available_cores()
+
+
+def test_dedicated_architecture_builds():
+    mw = DF3Middleware(small_config(architecture="dedicated", dedicated_per_cluster=1))
+    for c in mw.clusters.values():
+        assert len(c.edge_dedicated_workers) == 1
+
+
+def test_inject_schedules_all_kinds(mw):
+    room = "district-0/building-0/room-0"
+    reqs = [
+        HeatingRequest(target_temp_c=22.5, time=WINTER + 10.0, rooms=(room,)),
+        EdgeRequest(cycles=0.2 * GHZ, time=WINTER + 20.0, deadline_s=5.0,
+                    source="district-0/building-0", input_bytes=2e3),
+        CloudRequest(cycles=GHZ, time=WINTER + 30.0),
+    ]
+    mw.inject(reqs)
+    mw.run_until(WINTER + HOUR)
+    assert mw.regulators[room].setpoint_c == 22.5
+    assert reqs[1].status is RequestStatus.COMPLETED
+    assert reqs[2].status is RequestStatus.COMPLETED
+    with pytest.raises(TypeError):
+        mw.inject([object()])
+
+
+def test_boilers_join_fleet():
+    mw = DF3Middleware(small_config(boilers_per_district=1))
+    assert len(mw.boilers) == 2
+    assert len(mw.all_servers) == 6
+    mw.run_until(WINTER + DAY)
+    # boiler absorbed some compute heat into its tank
+    assert any(b.useful_heat_j > 0 for b in mw.boilers)
+
+
+def test_deterministic_across_runs():
+    a = DF3Middleware(small_config(seed=7))
+    a.run_until(WINTER + DAY)
+    b = DF3Middleware(small_config(seed=7))
+    b.run_until(WINTER + DAY)
+    assert a.fleet_energy_j() == b.fleet_energy_j()
+    assert a.filler_completed == b.filler_completed
+    assert a.comfort.result().mean_temp_c == b.comfort.result().mean_temp_c
+
+
+def test_isolation_audit_clean_for_both_architectures():
+    """The middleware's placements satisfy its architecture's natural policy."""
+    from repro.core.requests import EdgeRequest as ER
+
+    for arch in ("shared", "dedicated"):
+        mw = DF3Middleware(small_config(architecture=arch, dedicated_per_cluster=1))
+        reqs = [
+            ER(cycles=0.2 * GHZ, time=WINTER + 10.0 + i, deadline_s=30.0,
+               source="district-0/building-0", input_bytes=2e3)
+            for i in range(5)
+        ]
+        mw.inject(reqs)
+        mw.inject([CloudRequest(cycles=GHZ, time=WINTER + 20.0) for _ in range(3)])
+        mw.run_until(WINTER + HOUR)
+        assert mw.audit_isolation() == [], arch
+
+
+def test_collective_request_activates_mean_controller(mw):
+    rooms = ("district-0/building-0/room-0", "district-0/building-0/room-1")
+    mw.submit_heating(HeatingRequest(target_temp_c=22.0, time=WINTER,
+                                     rooms=rooms, collective=True))
+    ctrl = mw.collectives["district-0/building-0"]
+    assert ctrl.active
+    assert ctrl.mean_target_c == 22.0
+    # an individual request afterwards releases collective control
+    mw.submit_heating(HeatingRequest(target_temp_c=19.0, time=WINTER, rooms=(rooms[0],)))
+    assert not ctrl.active
+    assert mw.regulators[rooms[0]].setpoint_c == 19.0
+
+
+def test_collective_controller_drives_mean_through_tick():
+    mw = DF3Middleware(small_config())
+    rooms = tuple(r.name for r in mw.buildings["district-0/building-0"].rooms)
+    mw.submit_heating(HeatingRequest(target_temp_c=21.0, time=WINTER,
+                                     rooms=rooms, collective=True))
+    mw.run_until(WINTER + DAY)
+    temps = mw.buildings["district-0/building-0"].temperatures
+    assert abs(float(temps.mean()) - 21.0) < 1.0

@@ -1,0 +1,113 @@
+"""Middleware integration: policy paths not covered by the basic suite."""
+
+import pytest
+
+from repro.core.decision import DecisionConfig
+from repro.core.middleware import DF3Middleware, MiddlewareConfig
+from repro.core.requests import CloudRequest, EdgeMode, EdgeRequest, RequestStatus
+from repro.core.scheduling.base import SaturationPolicy
+from repro.sim.calendar import DAY, HOUR
+
+GHZ = 1e9
+WINTER = 10 * DAY
+
+
+def make_mw(**kw):
+    defaults = dict(n_districts=2, buildings_per_district=1, rooms_per_building=2,
+                    dc_nodes=2, seed=5, start_time=WINTER, enable_filler=False)
+    defaults.update(kw)
+    return DF3Middleware(MiddlewareConfig(**defaults))
+
+
+def saturate(mw, district=0, preemptible=False):
+    for _ in range(mw.clusters[district].free_cores()):
+        mw.schedulers[district].submit_cloud(
+            CloudRequest(cycles=1e14, time=WINTER, cores=1, preemptible=preemptible)
+        )
+
+
+def edge(deadline=60.0, privacy=False):
+    return EdgeRequest(cycles=0.2 * GHZ, time=WINTER + 10.0, deadline_s=deadline,
+                       source="district-0/building-0", input_bytes=2e3,
+                       privacy_sensitive=privacy)
+
+
+def test_horizontal_policy_through_middleware():
+    mw = make_mw(saturation_policy=SaturationPolicy.HORIZONTAL)
+    saturate(mw, 0)
+    req = edge()
+    mw.inject([req])
+    mw.run_until(WINTER + HOUR)
+    assert req.status is RequestStatus.COMPLETED
+    assert req.executed_on.startswith("district-1/")
+    assert mw.offloader.horizontal_count == 1
+    assert mw.offloader.ledger.given_by("district-1") > 0
+
+
+def test_vertical_policy_respects_privacy_through_middleware():
+    mw = make_mw(saturation_policy=SaturationPolicy.VERTICAL)
+    saturate(mw, 0)
+    private = edge(privacy=True)
+    public = edge(privacy=False)
+    mw.inject([private, public])
+    mw.run_until(WINTER + HOUR)
+    # public request crossed to the datacenter; private one stayed queued
+    assert public.executed_on == "dc"
+    assert private.status in (RequestStatus.QUEUED, RequestStatus.REJECTED)
+
+
+def test_decision_policy_through_middleware():
+    mw = make_mw(saturation_policy=SaturationPolicy.DECISION,
+                 decision=DecisionConfig(prefer_preempt=True))
+    saturate(mw, 0, preemptible=True)  # preemptible background fills district 0
+    req = edge(deadline=5.0)
+    mw.inject([req])
+    mw.run_until(WINTER + HOUR)
+    assert req.status is RequestStatus.COMPLETED
+    assert req.deadline_met()
+    assert mw.schedulers[0].stats.edge_preemptions_triggered >= 1
+
+
+def test_direct_edge_through_middleware_gateway():
+    mw = make_mw()
+    req = edge()
+    req.mode = EdgeMode.DIRECT
+    target = mw.clusters[0].workers[0].name
+    mw.inject([req], direct_targets={req.request_id: target})
+    mw.run_until(WINTER + HOUR)
+    assert req.status is RequestStatus.COMPLETED
+    assert req.executed_on == target
+    assert mw.edge_gateways[0].direct_requests == 1
+
+
+def test_context_switch_configured_through_middleware():
+    mw = make_mw(context_switch_s=3.0)
+    sched = mw.schedulers[0]
+    assert sched.context_switch_s == 3.0
+    c = CloudRequest(cycles=GHZ, time=WINTER, cores=1)
+    sched.submit_cloud(c)
+    e = edge(deadline=120.0)
+    mw.engine.run_until(WINTER + 5.0)
+    sched.submit_edge(e)
+    mw.run_until(WINTER + HOUR)
+    assert sched.context_switches >= 1
+
+
+def test_grid_cap_through_middleware_smartgrid():
+    mw = make_mw(enable_filler=True)
+    mw.run_until(WINTER + 2 * HOUR)
+    p_before = sum(s.power_w() for s in mw.all_servers)
+    mw.smartgrid.set_grid_cap(0.3 * p_before)
+    mw.run_until(WINTER + 6 * HOUR)
+    assert mw.smartgrid.curtailment_events > 0
+
+
+def test_no_datacenter_configuration():
+    mw = make_mw(dc_nodes=0)
+    assert mw.datacenter is None
+    assert not mw.offloader.can_vertical(CloudRequest(cycles=GHZ, time=WINTER))
+    # the city still serves local work
+    req = edge()
+    mw.inject([req])
+    mw.run_until(WINTER + HOUR)
+    assert req.status is RequestStatus.COMPLETED

@@ -1,0 +1,206 @@
+"""Tests for vertical/horizontal offloading and cooperation fairness."""
+
+import pytest
+
+from repro.core.cluster import Cluster, ClusterConfig
+from repro.core.offloading import CooperationLedger, Offloader
+from repro.core.requests import CloudRequest, EdgeRequest, RequestStatus
+from repro.core.scheduling.base import SaturationPolicy
+from repro.core.scheduling.shared import SharedWorkersScheduler
+from repro.hardware.cpu import DVFSLadder, PState
+from repro.hardware.datacenter import Datacenter
+from repro.hardware.server import ComputeServer, ServerSpec
+from repro.network.internet import WANLink, WANProfile
+from repro.network.link import Link
+from repro.sim.engine import Engine
+
+GHZ = 1e9
+
+
+def spec(n_cores=2):
+    return ServerSpec("t", n_cores, DVFSLadder([PState(1.0, 1.0)]), 10.0, 100.0)
+
+
+def make_sched(engine, name, offloader=None, policy=SaturationPolicy.QUEUE, cores=2):
+    c = Cluster(ClusterConfig(name=name))
+    c.add_worker(ComputeServer(f"{name}-w0", spec(cores), engine))
+    return SharedWorkersScheduler(c, engine, policy=policy, offloader=offloader)
+
+
+def edge(t=0.0, cycles=GHZ, deadline=60.0, privacy=False):
+    return EdgeRequest(cycles=cycles, time=t, deadline_s=deadline,
+                       privacy_sensitive=privacy, source="district-0/b",
+                       input_bytes=1e4, output_bytes=1e3)
+
+
+# --------------------------------------------------------------------------- #
+# ledger
+# --------------------------------------------------------------------------- #
+def test_ledger_balances():
+    led = CooperationLedger()
+    led.record("a", "b", 100.0)
+    led.record("a", "b", 50.0)
+    led.record("b", "a", 30.0)
+    assert led.given_by("a") == 150.0
+    assert led.received_by("a") == 30.0
+    assert led.net_balance("a") == 120.0
+    assert led.net_balance("b") == -120.0
+    assert led.clusters() == ["a", "b"]
+
+
+def test_ledger_validation():
+    led = CooperationLedger()
+    with pytest.raises(ValueError):
+        led.record("a", "a", 10.0)
+    with pytest.raises(ValueError):
+        led.record("a", "b", -1.0)
+
+
+def test_jain_fairness():
+    led = CooperationLedger()
+    assert led.jain_fairness() == 1.0  # empty
+    led.record("a", "b", 100.0)
+    led.record("b", "a", 100.0)
+    assert led.jain_fairness() == pytest.approx(1.0)
+    led2 = CooperationLedger()
+    led2.record("a", "b", 100.0)
+    led2.record("c", "b", 0.0)
+    assert led2.jain_fairness() < 1.0  # a carries everything
+
+
+# --------------------------------------------------------------------------- #
+# vertical
+# --------------------------------------------------------------------------- #
+def test_vertical_requires_wan():
+    eng = Engine()
+    dc = Datacenter("dc", 1, eng)
+    with pytest.raises(ValueError):
+        Offloader(eng, datacenter=dc, wan=None)
+
+
+def test_vertical_offload_executes_in_dc():
+    eng = Engine()
+    dc = Datacenter("dc", 1, eng)
+    wan = WANLink(WANProfile.national_internet())
+    off = Offloader(eng, datacenter=dc, wan=wan)
+    sched = make_sched(eng, "c0", offloader=off)
+    req = edge()
+    off.vertical(req, sched)
+    assert req.status is RequestStatus.OFFLOADED
+    eng.run_until(100.0)
+    assert req.status is RequestStatus.COMPLETED
+    assert req.executed_on == "dc"
+    assert req.network_delay_s > 0.02  # two WAN trips
+    assert req in sched.completed_edge
+    assert off.vertical_count == 1
+
+
+def test_vertical_latency_exceeds_local():
+    """The offload latency cost of §II-C, quantified."""
+    eng = Engine()
+    dc = Datacenter("dc", 1, eng)
+    wan = WANLink(WANProfile.national_internet())
+    off = Offloader(eng, datacenter=dc, wan=wan)
+    sched = make_sched(eng, "c0", offloader=off)
+    local = edge()
+    sched.submit_edge(local)
+    remote = edge()
+    off.vertical(remote, sched)
+    eng.run_until(100.0)
+    # same cycles; DC cores are 3.2 GHz vs local 1 GHz, but WAN adds latency.
+    assert remote.network_delay_s > local.network_delay_s
+
+
+def test_privacy_blocks_vertical_by_default():
+    eng = Engine()
+    dc = Datacenter("dc", 1, eng)
+    off = Offloader(eng, datacenter=dc, wan=WANLink(WANProfile.metro_fiber()))
+    sched = make_sched(eng, "c0", offloader=off)
+    private = edge(privacy=True)
+    assert not off.can_vertical(private)
+    with pytest.raises(PermissionError):
+        off.vertical(private, sched)
+    allow = Offloader(eng, datacenter=dc, wan=WANLink(WANProfile.metro_fiber()),
+                      allow_privacy_vertical=True)
+    assert allow.can_vertical(private)
+
+
+def test_cloud_requests_always_vertical_eligible():
+    eng = Engine()
+    dc = Datacenter("dc", 1, eng)
+    off = Offloader(eng, datacenter=dc, wan=WANLink(WANProfile.metro_fiber()))
+    assert off.can_vertical(CloudRequest(cycles=GHZ, time=0.0))
+
+
+def test_no_dc_no_vertical():
+    eng = Engine()
+    off = Offloader(eng)
+    assert not off.can_vertical(edge())
+
+
+# --------------------------------------------------------------------------- #
+# horizontal
+# --------------------------------------------------------------------------- #
+def make_pair(eng, policy=SaturationPolicy.HORIZONTAL):
+    off = Offloader(eng)
+    s0 = make_sched(eng, "c0", offloader=off, policy=policy, cores=1)
+    s1 = make_sched(eng, "c1", offloader=off, policy=policy, cores=4)
+    off.register_peer("c0", s0, Link("m0", 0.004, 1e9))
+    off.register_peer("c1", s1, Link("m1", 0.004, 1e9))
+    return off, s0, s1
+
+
+def test_horizontal_moves_to_free_peer():
+    eng = Engine()
+    off, s0, s1 = make_pair(eng)
+    blocker = CloudRequest(cycles=100 * GHZ, time=0.0)
+    s0.submit_cloud(blocker)  # fills c0's single core
+    req = edge()
+    s0.submit_edge(req)
+    eng.run_until(100.0)
+    assert req.status is RequestStatus.COMPLETED
+    assert req.executed_on == "c1-w0"
+    assert off.horizontal_count == 1
+    assert off.ledger.given_by("c1") == pytest.approx(req.cycles)
+    assert req in s1.completed_edge  # completion recorded at the executing peer
+    assert s0.stats.edge_offloaded_horizontal == 1
+
+
+def test_horizontal_no_pingpong():
+    """An already-offloaded request is queued, not offloaded again."""
+    eng = Engine()
+    off, s0, s1 = make_pair(eng)
+    # saturate both clusters
+    s0.submit_cloud(CloudRequest(cycles=1000 * GHZ, time=0.0))
+    for _ in range(4):
+        s1.submit_cloud(CloudRequest(cycles=1000 * GHZ, time=0.0))
+    req = edge(deadline=1e6)
+    req.__dict__["_offloaded_once"] = True  # simulate a prior hop
+    s0.submit_edge(req)
+    assert req.status is RequestStatus.QUEUED
+    assert off.horizontal_count == 0
+
+
+def test_horizontal_falls_back_to_queue_when_no_peer_fits():
+    eng = Engine()
+    off, s0, s1 = make_pair(eng)
+    for _ in range(4):
+        s1.submit_cloud(CloudRequest(cycles=1000 * GHZ, time=0.0))
+    s0.submit_cloud(CloudRequest(cycles=1000 * GHZ, time=0.0))
+    req = edge(deadline=1e6)
+    s0.submit_edge(req)
+    assert req.status is RequestStatus.QUEUED
+
+
+def test_best_peer_excludes_self():
+    eng = Engine()
+    off, s0, s1 = make_pair(eng)
+    assert off.best_peer(edge(), exclude="c0") == "c1"
+    assert off.best_peer(edge(), exclude="c1") == "c0"
+
+
+def test_duplicate_peer_rejected():
+    eng = Engine()
+    off, s0, s1 = make_pair(eng)
+    with pytest.raises(ValueError):
+        off.register_peer("c0", s0, Link("m", 0.001, 1e9))

@@ -1,0 +1,151 @@
+"""Tests for the thermosensitivity predictor and seasonal pricing."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import ThermosensitivityModel
+from repro.core.pricing import PricingModel, SeasonalPricing
+from repro.sim.rng import RngRegistry
+
+
+# --------------------------------------------------------------------------- #
+# thermosensitivity
+# --------------------------------------------------------------------------- #
+def synthetic_demand(temps, s=120.0, base=17.0, noise=0.0, rng=None):
+    d = s * np.maximum(base - temps, 0.0)
+    if noise > 0:
+        d = np.maximum(d + rng.normal(0, noise, size=d.shape), 0.0)
+    return d
+
+
+def test_recovers_true_parameters():
+    rng = RngRegistry(0).stream("p")
+    temps = rng.uniform(-5, 25, size=500)
+    demand = synthetic_demand(temps, s=120.0, base=17.0)
+    m = ThermosensitivityModel()
+    s, base = m.fit(temps, demand)
+    assert s == pytest.approx(120.0, rel=0.05)
+    assert base == pytest.approx(17.0, abs=0.5)
+    assert m.r2 > 0.99
+
+
+def test_noisy_fit_still_good():
+    rng = RngRegistry(1).stream("p")
+    temps = rng.uniform(-5, 25, size=1000)
+    demand = synthetic_demand(temps, s=100.0, base=18.0, noise=150.0, rng=rng)
+    m = ThermosensitivityModel()
+    s, base = m.fit(temps, demand)
+    assert s == pytest.approx(100.0, rel=0.15)
+    assert m.r2 > 0.7
+
+
+def test_predict_shapes_and_clipping():
+    m = ThermosensitivityModel()
+    m.fit(np.array([0.0, 10.0, 20.0]), np.array([1800.0, 800.0, 0.0]))
+    assert m.predict(30.0) == 0.0  # above base: no demand
+    out = m.predict(np.array([0.0, 30.0]))
+    assert out.shape == (2,)
+    assert out[0] > 0 and out[1] == 0.0
+
+
+def test_predict_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        ThermosensitivityModel().predict(10.0)
+
+
+def test_fit_validation():
+    m = ThermosensitivityModel()
+    with pytest.raises(ValueError):
+        m.fit(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+    with pytest.raises(ValueError):
+        m.fit(np.array([1.0, 2.0, 3.0]), np.array([1.0, -2.0, 3.0]))
+
+
+def test_capacity_forecast():
+    m = ThermosensitivityModel()
+    temps = np.linspace(-5, 25, 200)
+    m.fit(temps, synthetic_demand(temps))
+    cores = m.predict_capacity_cores(np.array([0.0, 25.0]), watts_per_core=30.0,
+                                     fleet_cores=100)
+    assert cores[0] > cores[1] == 0.0
+    assert cores[0] <= 100
+    with pytest.raises(ValueError):
+        m.predict_capacity_cores(0.0, watts_per_core=0.0, fleet_cores=10)
+
+
+# --------------------------------------------------------------------------- #
+# pricing
+# --------------------------------------------------------------------------- #
+def winterish_capacity():
+    # winter-heavy capacity in core-hours
+    return {1: 900.0, 2: 850.0, 6: 150.0, 7: 100.0, 8: 120.0, 12: 950.0}
+
+
+def test_winter_cheaper_than_summer():
+    p = SeasonalPricing(winterish_capacity())
+    assert p.spot_price(1) < p.spot_price(7)
+
+
+def test_price_bounds_respected():
+    model = PricingModel(base_price_per_core_hour=0.02, floor_factor=0.5, cap_factor=3.0)
+    # near-zero summer capacity → price capped at 3× base
+    p = SeasonalPricing({1: 1e6, 7: 1.0}, model)
+    assert p.spot_price(7) == pytest.approx(0.06)
+    # one month holding ~12× its peers' mean → price floored at 0.5× base
+    caps = {m: 1.0 for m in range(2, 13)}
+    caps[1] = 1200.0
+    p2 = SeasonalPricing(caps, model)
+    assert p2.spot_price(1) == pytest.approx(0.01)
+    for month in caps:
+        assert 0.01 <= p2.spot_price(month) <= 0.06
+
+
+def test_zero_capacity_priced_at_cap():
+    p = SeasonalPricing({1: 0.0, 7: 100.0})
+    assert p.spot_price(1) == p.model.base_price_per_core_hour * p.model.cap_factor
+
+
+def test_winter_summer_ratio():
+    p = SeasonalPricing(winterish_capacity())
+    ratio = p.winter_summer_ratio()
+    assert ratio == pytest.approx((900 + 850 + 950) / (150 + 100 + 120))
+    with pytest.raises(ValueError):
+        SeasonalPricing({1: 10.0}).winter_summer_ratio()
+
+
+def test_revenue_and_oversell():
+    p = SeasonalPricing(winterish_capacity())
+    assert p.monthly_revenue(1, 100.0) == pytest.approx(100.0 * p.spot_price(1))
+    with pytest.raises(ValueError):
+        p.monthly_revenue(1, 1e6)
+    with pytest.raises(ValueError):
+        p.monthly_revenue(1, -1.0)
+
+
+def test_host_subsidy():
+    p = SeasonalPricing(winterish_capacity())
+    assert p.host_subsidy_eur(1000.0) == pytest.approx(170.0)
+    with pytest.raises(ValueError):
+        p.host_subsidy_eur(-1.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SeasonalPricing({})
+    with pytest.raises(ValueError):
+        SeasonalPricing({13: 10.0})
+    with pytest.raises(ValueError):
+        SeasonalPricing({1: -5.0})
+    with pytest.raises(ValueError):
+        PricingModel(base_price_per_core_hour=0.0)
+    with pytest.raises(ValueError):
+        PricingModel(floor_factor=1.5)
+    with pytest.raises(KeyError):
+        SeasonalPricing({1: 10.0}).spot_price(2)
+
+
+def test_price_table_covers_recorded_months():
+    p = SeasonalPricing(winterish_capacity())
+    table = p.price_table()
+    assert set(table) == set(winterish_capacity())
+    assert all(v > 0 for v in table.values())

@@ -1,0 +1,126 @@
+"""Tests for the DVFS heat regulator."""
+
+import pytest
+
+from repro.core.regulation import HeatRegulator, RegulatorConfig
+from repro.hardware.qrad import QRad
+from repro.hardware.server import Task
+from repro.sim.engine import Engine
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        RegulatorConfig(kp=-1.0)
+    with pytest.raises(ValueError):
+        RegulatorConfig(integral_limit=0.0)
+    with pytest.raises(ValueError):
+        RegulatorConfig(off_threshold=2.0)
+
+
+def test_cold_room_demands_full_power():
+    reg = HeatRegulator()
+    reg.set_target(21.0)
+    u = reg.update(300.0, room_temp_c=15.0)
+    assert u == 1.0
+    assert reg.heat_wanted
+
+
+def test_warm_room_demands_nothing():
+    reg = HeatRegulator()
+    reg.set_target(20.0)
+    for _ in range(10):
+        u = reg.update(300.0, room_temp_c=24.0)
+    assert u == 0.0
+    assert not reg.heat_wanted
+
+
+def test_proportional_band_between():
+    reg = HeatRegulator(RegulatorConfig(kp=0.5, ki=0.0))
+    reg.set_target(20.0)
+    u = reg.update(300.0, room_temp_c=19.0)  # 1 °C error → 0.5
+    assert u == pytest.approx(0.5)
+
+
+def test_integral_accumulates_and_clamps():
+    cfg = RegulatorConfig(kp=0.0, ki=1.0, integral_limit=0.5)
+    reg = HeatRegulator(cfg)
+    reg.set_target(20.0)
+    for _ in range(100):
+        reg.update(3600.0, room_temp_c=19.0)  # 1 °C·h per step
+    assert reg._integral == pytest.approx(0.5)  # clamped
+    # anti-windup: warm room unwinds quickly
+    for _ in range(100):
+        reg.update(3600.0, room_temp_c=25.0)
+    assert reg.power_fraction == 0.0
+
+
+def test_set_target_validation():
+    reg = HeatRegulator()
+    with pytest.raises(ValueError):
+        reg.set_target(40.0)
+    with pytest.raises(ValueError):
+        reg.update(0.0, 20.0)
+
+
+def test_apply_powers_off_idle_cold_server():
+    eng = Engine()
+    q = QRad("q", eng)
+    reg = HeatRegulator()
+    reg.set_target(20.0)
+    reg.update(300.0, room_temp_c=25.0)  # no heat wanted
+    reg.apply_to_server(q)
+    assert not q.enabled
+
+
+def test_apply_never_powers_off_busy_server():
+    eng = Engine()
+    q = QRad("q", eng)
+    q.submit(Task("j", 1e15, cores=1))
+    reg = HeatRegulator()
+    reg.update(300.0, room_temp_c=25.0)
+    reg.apply_to_server(q)
+    assert q.enabled  # draining is the scheduler's job
+
+
+def test_apply_powers_back_on_and_caps_frequency():
+    eng = Engine()
+    q = QRad("q", eng)
+    q.power_off()
+    reg = HeatRegulator(RegulatorConfig(kp=0.5, ki=0.0))
+    reg.set_target(20.0)
+    reg.update(300.0, room_temp_c=19.2)  # 0.4 demand
+    reg.apply_to_server(q)
+    assert q.enabled
+    assert q.spec.ladder.power_scale(q.freq_index) <= 0.4 + 1e-9
+
+
+def test_full_demand_means_top_frequency():
+    eng = Engine()
+    q = QRad("q", eng)
+    reg = HeatRegulator()
+    reg.set_target(22.0)
+    reg.update(300.0, room_temp_c=10.0)
+    reg.apply_to_server(q)
+    assert q.freq_index == len(q.spec.ladder) - 1
+
+
+def test_reset_clears_state():
+    reg = HeatRegulator()
+    reg.update(3600.0, room_temp_c=10.0)
+    reg.reset()
+    assert reg._integral == 0.0
+    assert reg.power_fraction == 0.0
+
+
+def test_closed_loop_tracks_setpoint():
+    """Regulator + RC room converge near the setpoint in winter conditions."""
+    from repro.thermal.rc_model import RCNetwork, RoomThermalParams
+
+    net = RCNetwork([RoomThermalParams()], t_init_c=16.0)
+    reg = HeatRegulator()
+    reg.set_target(20.0)
+    p_max = 500.0
+    for _ in range(24 * 12):  # one day, 5-minute ticks
+        u = reg.update(300.0, float(net.t_air[0]))
+        net.step(300.0, t_out=3.0, p_heat=u * p_max)
+    assert net.t_air[0] == pytest.approx(20.0, abs=0.7)

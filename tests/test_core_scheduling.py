@@ -1,0 +1,234 @@
+"""Tests for the two architecture classes and saturation policies."""
+
+import pytest
+
+from repro.core.cluster import Cluster, ClusterConfig
+from repro.core.requests import CloudRequest, EdgeRequest, RequestStatus
+from repro.core.scheduling.base import SaturationPolicy
+from repro.core.scheduling.dedicated import DedicatedWorkersScheduler
+from repro.core.scheduling.shared import SharedWorkersScheduler
+from repro.hardware.cpu import DVFSLadder, PState
+from repro.hardware.server import ComputeServer, ServerSpec, Task
+from repro.sim.engine import Engine
+
+GHZ = 1e9
+
+
+def spec(n_cores=4):
+    return ServerSpec("t", n_cores, DVFSLadder([PState(1.0, 1.0)]), 10.0, 100.0)
+
+
+def make_cluster(engine, n_workers=2, cores=4, dedicated=0):
+    c = Cluster(ClusterConfig(name="c0"))
+    for i in range(n_workers):
+        c.add_worker(ComputeServer(f"w{i}", spec(cores), engine), dedicated_edge=i < dedicated)
+    return c
+
+
+def edge(t=0.0, cycles=1 * GHZ, deadline=10.0, cores=1):
+    return EdgeRequest(cycles=cycles, time=t, deadline_s=deadline, cores=cores, source="district-0/b")
+
+
+def cloud(t=0.0, cycles=1 * GHZ, cores=1, preemptible=True):
+    return CloudRequest(cycles=cycles, time=t, cores=cores, preemptible=preemptible)
+
+
+# --------------------------------------------------------------------------- #
+# shared architecture (class 1)
+# --------------------------------------------------------------------------- #
+def test_shared_places_both_flows_anywhere():
+    eng = Engine()
+    sched = SharedWorkersScheduler(make_cluster(eng), eng)
+    e, c = edge(), cloud()
+    sched.submit_edge(e)
+    sched.submit_cloud(c)
+    assert e.status is RequestStatus.RUNNING
+    assert c.status is RequestStatus.RUNNING
+    eng.run_until(100.0)
+    assert e.deadline_met()
+    assert [r.request_id for r in sched.completed_edge] == [e.request_id]
+    assert [r.request_id for r in sched.completed_cloud] == [c.request_id]
+
+
+def test_cloud_queues_when_full_and_drains():
+    eng = Engine()
+    sched = SharedWorkersScheduler(make_cluster(eng, n_workers=1, cores=2), eng)
+    a = cloud(cycles=2 * GHZ, cores=2)  # runs 1 s on 2 cores at 1 GHz
+    b = cloud(cycles=2 * GHZ, cores=2)
+    sched.submit_cloud(a)
+    sched.submit_cloud(b)
+    assert b.status is RequestStatus.QUEUED
+    assert sched.stats.cloud_queued == 1
+    eng.run_until(100.0)
+    assert b.status is RequestStatus.COMPLETED
+    assert b.completed_at == pytest.approx(2.0)  # FCFS: after a
+
+
+def test_edge_queue_policy_waits():
+    eng = Engine()
+    sched = SharedWorkersScheduler(
+        make_cluster(eng, n_workers=1, cores=1), eng, policy=SaturationPolicy.QUEUE
+    )
+    blocker = cloud(cycles=5 * GHZ)  # 5 s
+    sched.submit_cloud(blocker)
+    e = edge(deadline=20.0)
+    sched.submit_edge(e)
+    assert e.status is RequestStatus.QUEUED
+    eng.run_until(100.0)
+    assert e.status is RequestStatus.COMPLETED
+    assert e.completed_at == pytest.approx(6.0)  # waited for the blocker
+
+
+def test_edge_expires_in_queue():
+    eng = Engine()
+    sched = SharedWorkersScheduler(
+        make_cluster(eng, n_workers=1, cores=1), eng, policy=SaturationPolicy.QUEUE
+    )
+    sched.submit_cloud(cloud(cycles=50 * GHZ))  # 50 s blocker
+    e = edge(deadline=2.0)
+    sched.submit_edge(e)
+    eng.run_until(100.0)
+    assert e.status is RequestStatus.REJECTED
+    assert sched.stats.edge_expired == 1
+    assert sched.edge_deadline_miss_rate() == 1.0  # the only edge request missed
+    assert len(sched.completed_edge) == 0
+
+
+def test_preempt_policy_frees_cores_for_edge():
+    eng = Engine()
+    sched = SharedWorkersScheduler(
+        make_cluster(eng, n_workers=1, cores=2), eng, policy=SaturationPolicy.PREEMPT
+    )
+    blocker = cloud(cycles=20 * GHZ, cores=2)  # would run 10 s
+    sched.submit_cloud(blocker)
+    eng.run_until(2.0)
+    e = edge(t=2.0, cycles=1 * GHZ, deadline=3.0)
+    sched.submit_edge(e)
+    assert e.status is RequestStatus.RUNNING
+    assert blocker.status is RequestStatus.QUEUED  # preempted, requeued
+    assert sched.stats.cloud_preempted == 1
+    eng.run_until(100.0)
+    assert e.deadline_met()
+    assert blocker.status is RequestStatus.COMPLETED
+    # blocker kept its progress: 2 s done before preemption, 16 GHz·2cores left
+    # edge ran 1 s on 1 core; blocker resumed when 2 cores free at t=3
+    assert blocker.completed_at == pytest.approx(3.0 + 16.0 * GHZ / (2 * GHZ))
+
+
+def test_preempt_skips_non_preemptible():
+    eng = Engine()
+    sched = SharedWorkersScheduler(
+        make_cluster(eng, n_workers=1, cores=1), eng, policy=SaturationPolicy.PREEMPT
+    )
+    sched.submit_cloud(cloud(cycles=50 * GHZ, preemptible=False))
+    e = edge(deadline=1.0)
+    sched.submit_edge(e)
+    assert e.status is RequestStatus.QUEUED  # nothing preemptible → queued
+
+
+def test_edf_order_among_queued_edges():
+    eng = Engine()
+    sched = SharedWorkersScheduler(
+        make_cluster(eng, n_workers=1, cores=1), eng, policy=SaturationPolicy.QUEUE
+    )
+    sched.submit_cloud(cloud(cycles=5 * GHZ))
+    loose = edge(deadline=100.0, cycles=1 * GHZ)
+    tight = edge(deadline=10.0, cycles=1 * GHZ)
+    sched.submit_edge(loose)
+    sched.submit_edge(tight)
+    eng.run_until(200.0)
+    assert tight.completed_at < loose.completed_at
+
+
+def test_context_switch_cost_penalises_flow_changes():
+    eng = Engine()
+    sched = SharedWorkersScheduler(
+        make_cluster(eng, n_workers=1, cores=4), eng, context_switch_s=2.0
+    )
+    c = cloud(cycles=1 * GHZ)
+    sched.submit_cloud(c)   # first task: no switch (kind initialised)
+    e = edge(cycles=1 * GHZ, deadline=50.0)
+    sched.submit_edge(e)    # switch cloud→edge on same worker
+    assert sched.context_switches == 1
+    eng.run_until(100.0)
+    assert c.completed_at == pytest.approx(1.0)
+    assert e.completed_at == pytest.approx(3.0)  # 1 s work + 2 s reboot
+
+
+def test_invalid_context_switch():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        SharedWorkersScheduler(make_cluster(eng), eng, context_switch_s=-1.0)
+
+
+# --------------------------------------------------------------------------- #
+# dedicated architecture (class 2)
+# --------------------------------------------------------------------------- #
+def test_dedicated_requires_pool():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        DedicatedWorkersScheduler(make_cluster(eng, dedicated=0), eng)
+
+
+def test_dedicated_partitions_flows():
+    eng = Engine()
+    cluster = make_cluster(eng, n_workers=2, cores=2, dedicated=1)
+    sched = DedicatedWorkersScheduler(cluster, eng)
+    e, c = edge(), cloud()
+    sched.submit_edge(e)
+    sched.submit_cloud(c)
+    assert e.executed_on == "w0"  # the dedicated worker
+    assert c.executed_on == "w1"
+
+
+def test_dedicated_edge_isolated_from_cloud_saturation():
+    """DCC cannot fill the edge pool: edge QoS guaranteed at light load."""
+    eng = Engine()
+    cluster = make_cluster(eng, n_workers=2, cores=2, dedicated=1)
+    sched = DedicatedWorkersScheduler(cluster, eng)
+    for _ in range(5):
+        sched.submit_cloud(cloud(cycles=100 * GHZ, cores=2))
+    e = edge(deadline=5.0)
+    sched.submit_edge(e)
+    assert e.status is RequestStatus.RUNNING  # pool untouched by DCC flood
+    eng.run_until(2.0)
+    assert e.deadline_met()
+
+
+def test_dedicated_wastes_cloud_capacity():
+    """The flip side: queued DCC work cannot use an idle edge pool."""
+    eng = Engine()
+    cluster = make_cluster(eng, n_workers=2, cores=2, dedicated=1)
+    sched = DedicatedWorkersScheduler(cluster, eng)
+    a = cloud(cycles=10 * GHZ, cores=2)
+    b = cloud(cycles=10 * GHZ, cores=2)
+    sched.submit_cloud(a)
+    sched.submit_cloud(b)
+    assert b.status is RequestStatus.QUEUED  # w0 is idle but reserved
+    assert cluster.worker("w0").busy_cores == 0
+
+
+# --------------------------------------------------------------------------- #
+# filler eviction
+# --------------------------------------------------------------------------- #
+def test_real_work_evicts_filler():
+    eng = Engine()
+    cluster = make_cluster(eng, n_workers=1, cores=2)
+    sched = SharedWorkersScheduler(cluster, eng)
+    w = cluster.worker("w0")
+    for i in range(2):
+        w.submit(Task(f"filler-{i}", 1e15, cores=1, metadata={"kind": "filler"}))
+    assert w.free_cores == 0
+    e = edge(cycles=1 * GHZ, deadline=5.0)
+    sched.submit_edge(e)
+    assert e.status is RequestStatus.RUNNING
+    eng.run_until(10.0)
+    assert e.deadline_met()
+
+
+def test_policy_requires_offloader():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        SharedWorkersScheduler(make_cluster(eng), eng, policy=SaturationPolicy.VERTICAL)
+    with pytest.raises(ValueError):
+        SharedWorkersScheduler(make_cluster(eng), eng, policy=SaturationPolicy.DECISION)

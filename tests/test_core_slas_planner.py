@@ -1,0 +1,166 @@
+"""Tests for SLA auditing and the seasonal campaign planner (§IV)."""
+
+import pytest
+
+from repro.core.pricing import SeasonalPricing
+from repro.core.requests import EdgeRequest
+from repro.core.seasonal_planner import plan_campaign
+from repro.core.slas import SLAAuditor, SLAContract, SLATerm
+from repro.sim.calendar import DAY, SimCalendar
+
+CAL = SimCalendar()
+
+
+def completed(rt, month=1):
+    t = CAL.month_start(month) + 5 * DAY
+    r = EdgeRequest(cycles=1e9, time=t, deadline_s=10.0)
+    r.mark_completed(t + rt)
+    return r
+
+
+def failed(month=1):
+    t = CAL.month_start(month) + 5 * DAY
+    r = EdgeRequest(cycles=1e9, time=t, deadline_s=10.0)
+    r.mark_rejected()
+    return r
+
+
+# --------------------------------------------------------------------------- #
+# SLA terms / contracts
+# --------------------------------------------------------------------------- #
+def test_term_validation():
+    with pytest.raises(ValueError):
+        SLATerm("t", latency_s=0.0)
+    with pytest.raises(ValueError):
+        SLATerm("t", latency_s=1.0, percentile=0.0)
+    with pytest.raises(ValueError):
+        SLATerm("t", latency_s=1.0, months=(13,))
+    with pytest.raises(ValueError):
+        SLATerm("t", latency_s=1.0, penalty_eur_per_violation=-1.0)
+
+
+def test_contract_validation():
+    with pytest.raises(ValueError):
+        SLAContract("c", terms=())
+    with pytest.raises(ValueError):
+        SLAContract("c", terms=(SLATerm("t", 1.0),), min_completion_rate=0.0)
+
+
+def test_term_seasonal_applicability():
+    term = SLATerm("winter", latency_s=1.0, months=(12, 1, 2))
+    assert term.applies_at(CAL.month_start(1) + DAY, CAL)
+    assert not term.applies_at(CAL.month_start(7) + DAY, CAL)
+
+
+def test_compliant_audit():
+    contract = SLAContract("c", terms=(SLATerm("p95-1s", 1.0, 95.0),))
+    reqs = [completed(0.2) for _ in range(100)]
+    report = SLAAuditor(contract).audit(reqs)
+    assert report.compliant
+    assert report.total_penalty_eur == 0.0
+    assert "COMPLIANT" in str(report)
+
+
+def test_latency_breach_detected_and_priced():
+    contract = SLAContract(
+        "c", terms=(SLATerm("p95-1s", 1.0, 95.0, penalty_eur_per_violation=0.10),)
+    )
+    reqs = [completed(0.2) for _ in range(80)] + [completed(5.0) for _ in range(20)]
+    report = SLAAuditor(contract).audit(reqs)
+    assert not report.compliant
+    v = report.violations[0]
+    assert v.violating_requests == 20
+    # 5 of 100 were allowed at p95 → 15 billable
+    assert v.penalty_eur == pytest.approx(1.5)
+    assert "BREACHED" in str(report)
+
+
+def test_failed_requests_count_against_floor_and_terms():
+    contract = SLAContract("c", terms=(SLATerm("p95-1s", 1.0, 95.0),),
+                           min_completion_rate=0.99)
+    reqs = [completed(0.2) for _ in range(90)]
+    fails = [failed() for _ in range(10)]
+    report = SLAAuditor(contract).audit(reqs, failed=fails)
+    assert report.completion_rate == pytest.approx(0.9)
+    assert not report.completion_ok
+    assert not report.compliant
+
+
+def test_seasonal_term_ignores_out_of_scope_months():
+    contract = SLAContract(
+        "c", terms=(SLATerm("winter-only", 0.5, 95.0, months=(1,)),)
+    )
+    july_slow = [completed(5.0, month=7) for _ in range(50)]
+    report = SLAAuditor(contract).audit(july_slow)
+    assert report.compliant  # the hard term simply does not apply in July
+
+
+def test_winter_edge_canonical_contract():
+    c = SLAContract.winter_edge()
+    fast_january = [completed(0.3, month=1) for _ in range(100)]
+    assert SLAAuditor(c).audit(fast_january).compliant
+    slow_january = [completed(1.0, month=1) for _ in range(100)]
+    report = SLAAuditor(c).audit(slow_january)
+    assert any(v.term == "winter-hard" for v in report.violations)
+
+
+# --------------------------------------------------------------------------- #
+# seasonal planner
+# --------------------------------------------------------------------------- #
+def pricing():
+    caps = {1: 1000.0, 2: 900.0, 6: 100.0, 7: 50.0, 12: 1100.0}
+    return SeasonalPricing(caps)
+
+
+def test_planner_prefers_cheap_winter():
+    p = pricing()
+    plan = plan_campaign(500.0, months=(7, 12, 1), pricing=p)
+    assert plan.feasible
+    # December (cheapest, most capacity) absorbs everything
+    assert plan.allocation[12] == pytest.approx(500.0)
+    assert plan.allocation[7] == 0.0
+    assert plan.mean_price() == pytest.approx(p.spot_price(12))
+
+
+def test_planner_spills_to_next_cheapest():
+    p = pricing()
+    plan = plan_campaign(800.0, months=(12, 1), pricing=p, capacity_share=0.5)
+    assert plan.feasible
+    assert plan.allocation[12] == pytest.approx(550.0)  # half of 1100
+    assert plan.allocation[1] == pytest.approx(250.0)
+    assert plan.months_used == [1, 12]
+
+
+def test_planner_infeasible_reports_shortfall():
+    p = pricing()
+    plan = plan_campaign(10_000.0, months=(6, 7), pricing=p)
+    assert not plan.feasible
+    assert plan.unplaced_core_hours > 0
+    placed = sum(plan.allocation.values())
+    assert placed == pytest.approx((100.0 + 50.0) * 0.5)
+
+
+def test_planner_summer_costs_more_than_winter():
+    p = pricing()
+    winter = plan_campaign(100.0, months=(12,), pricing=p)
+    summer = plan_campaign(50.0, months=(6,), pricing=p)
+    assert summer.mean_price() > winter.mean_price()
+
+
+def test_planner_validation():
+    p = pricing()
+    with pytest.raises(ValueError):
+        plan_campaign(-1.0, months=(1,), pricing=p)
+    with pytest.raises(ValueError):
+        plan_campaign(1.0, months=(), pricing=p)
+    with pytest.raises(ValueError):
+        plan_campaign(1.0, months=(1, 1), pricing=p)
+    with pytest.raises(ValueError):
+        plan_campaign(1.0, months=(1,), pricing=p, capacity_share=0.0)
+
+
+def test_zero_demand_plan():
+    plan = plan_campaign(0.0, months=(1,), pricing=pricing())
+    assert plan.feasible
+    assert plan.total_cost_eur == 0.0
+    assert plan.months_used == []

@@ -1,0 +1,89 @@
+"""Fast smoke tests of the experiment layer (scaled-down parameters).
+
+The full experiments run under ``benchmarks/``; these verify the experiment
+modules produce well-formed results quickly enough for the unit suite.
+"""
+
+import pytest
+
+from repro.experiments.a1_cluster_formation import run as a1
+from repro.experiments.a3_crypto_heater import run as a3
+from repro.experiments.common import ExperimentResult, mid_month_start, small_city
+from repro.experiments.e1_pue import run as e1
+from repro.experiments.e6_heat_regulator import run as e6
+from repro.experiments.e8_thermosensitivity import run as e8
+from repro.experiments.e10_app_classes import run as e10
+from repro.experiments.e12_aging import run as e12
+from repro.experiments.fig4_temperature import run as f4
+from repro.sim.calendar import DAY, SimCalendar
+
+
+def check(result, eid):
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == eid
+    assert result.text
+    assert result.data
+    assert eid in str(result)
+
+
+def test_common_mid_month_start():
+    cal = SimCalendar()
+    t = mid_month_start(3)
+    assert cal.month(t) == 3
+    assert cal.day_of_month(t) == 10
+
+
+def test_common_small_city_overrides():
+    mw = small_city(n_districts=1, rooms_per_building=1)
+    assert len(mw.clusters) == 1
+    assert mw.config.rooms_per_building == 1
+
+
+def test_f4_smoke():
+    check(f4(days_per_month=0.25, seed=1, rooms_per_building=1), "F4")
+
+
+def test_e1_smoke():
+    r = e1(duration_days=0.1, seed=1)
+    check(r, "E1")
+    assert r.data["df_pue"] < r.data["dc_pue"]
+
+
+def test_e6_smoke():
+    r = e6()
+    check(r, "E6")
+    assert set(r.data["controllers"]) == {
+        "regulated (PI+DVFS)", "bang-bang (no DVFS)", "uncontrolled (load-driven)"
+    }
+
+
+def test_e8_smoke():
+    r = e8(seed=1, n_rooms=4)
+    check(r, "E8")
+    assert 0 < r.data["train_r2"] <= 1
+
+
+def test_e10_smoke():
+    r = e10(seed=1)
+    check(r, "E10")
+    assert r.data["neighbourhood"]["df"] < r.data["neighbourhood"]["dc"]
+
+
+def test_e12_smoke():
+    r = e12(seed=1)
+    check(r, "E12")
+
+
+def test_a1_smoke():
+    r = a1(seed=1)
+    check(r, "A1")
+
+
+def test_a3_smoke():
+    r = a3(days=0.5, seed=1)
+    check(r, "A3")
+
+
+def test_f4_validation():
+    with pytest.raises(ValueError):
+        f4(days_per_month=0.0)

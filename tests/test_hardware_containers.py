@@ -1,0 +1,104 @@
+"""Tests for the container deployment stack."""
+
+import pytest
+
+from repro.hardware.containers import ContainerImage, DeploymentStack, Registry
+from repro.network.link import Link
+
+
+def make_registry(bandwidth=1e9):
+    return Registry(Link("fiber", 0.004, bandwidth))
+
+
+def test_image_validation():
+    with pytest.raises(ValueError):
+        ContainerImage("x", size_bytes=0.0)
+    with pytest.raises(ValueError):
+        ContainerImage("x", size_bytes=1e9, cold_start_s=-1.0)
+
+
+def test_registry_publish_and_lookup():
+    reg = make_registry()
+    img = ContainerImage("render", 2e9)
+    reg.publish(img)
+    assert reg.image("render") is img
+    with pytest.raises(ValueError):
+        reg.publish(img)
+    with pytest.raises(KeyError):
+        reg.image("ghost")
+
+
+def test_pull_delay_scales_with_size():
+    reg = make_registry(bandwidth=1e9)
+    reg.publish(ContainerImage("small", 1e8))
+    reg.publish(ContainerImage("big", 4e9))
+    assert reg.pull_delay("big") > reg.pull_delay("small")
+    assert reg.pulls == 2
+    assert reg.bytes_served == pytest.approx(4.1e9)
+
+
+def test_cold_miss_pays_pull_plus_start():
+    reg = make_registry(bandwidth=1e9)
+    reg.publish(ContainerImage("edge-ml", 1e9, cold_start_s=2.0))
+    stack = DeploymentStack(reg)
+    delay = stack.ensure("edge-ml")
+    assert delay == pytest.approx(0.004 + 8.0 + 2.0)  # pull (8 s) + start
+    assert stack.misses == 1
+
+
+def test_hot_environment_restarts_free():
+    reg = make_registry()
+    reg.publish(ContainerImage("edge-ml", 1e9, cold_start_s=2.0))
+    stack = DeploymentStack(reg)
+    stack.ensure("edge-ml")
+    assert stack.ensure("edge-ml") == 0.0  # same environment again: free
+    assert stack.hits == 1
+
+
+def test_warm_but_not_hot_pays_cold_start_only():
+    reg = make_registry()
+    reg.publish(ContainerImage("a", 1e9, cold_start_s=2.0))
+    reg.publish(ContainerImage("b", 1e9, cold_start_s=3.0))
+    stack = DeploymentStack(reg)
+    stack.ensure("a")
+    stack.ensure("b")
+    # "a" is cached but "b" was the last environment: switching restarts "a"
+    assert stack.ensure("a") == pytest.approx(2.0)
+    assert stack.hit_rate() == pytest.approx(1 / 3)
+
+
+def test_lru_eviction_under_disk_budget():
+    reg = make_registry()
+    for name in ("a", "b", "c"):
+        reg.publish(ContainerImage(name, 4e9))
+    stack = DeploymentStack(reg, disk_bytes=10e9)
+    stack.ensure("a")
+    stack.ensure("b")
+    stack.ensure("c")  # evicts "a" (LRU)
+    assert stack.evictions == 1
+    assert not stack.is_warm("a")
+    assert stack.is_warm("b") and stack.is_warm("c")
+    assert stack.used_bytes <= 10e9
+
+
+def test_oversized_image_rejected():
+    reg = make_registry()
+    reg.publish(ContainerImage("huge", 100e9))
+    stack = DeploymentStack(reg, disk_bytes=50e9)
+    with pytest.raises(ValueError):
+        stack.ensure("huge")
+
+
+def test_prefetch_hides_cold_start():
+    reg = make_registry()
+    reg.publish(ContainerImage("a", 1e9, cold_start_s=2.0))
+    stack = DeploymentStack(reg)
+    pull = stack.prefetch("a")
+    assert pull > 0
+    assert stack.ensure("a") == 0.0  # hot after prefetch
+    assert stack.prefetch("a") == 0.0
+
+
+def test_stack_validation():
+    with pytest.raises(ValueError):
+        DeploymentStack(make_registry(), disk_bytes=0.0)

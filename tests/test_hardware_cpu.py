@@ -1,0 +1,81 @@
+"""Tests for DVFS ladders."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.cpu import DVFSLadder, PState
+
+
+def test_pstate_validation():
+    with pytest.raises(ValueError):
+        PState(0.0, 1.0)
+    with pytest.raises(ValueError):
+        PState(2.0, -1.0)
+
+
+def test_ladder_ordering_enforced():
+    with pytest.raises(ValueError):
+        DVFSLadder([PState(2.0, 1.0), PState(1.0, 0.9)])
+    with pytest.raises(ValueError):
+        DVFSLadder([PState(1.0, 1.0), PState(2.0, 0.9)])  # voltage decreasing
+    with pytest.raises(ValueError):
+        DVFSLadder([])
+
+
+def test_top_bottom_and_indexing():
+    lad = DVFSLadder.intel_like()
+    assert lad.bottom.freq_ghz < lad.top.freq_ghz
+    assert lad[0] == lad.bottom
+    assert lad[len(lad) - 1] == lad.top
+
+
+def test_power_scale_top_is_one_and_monotone():
+    lad = DVFSLadder.intel_like()
+    scales = [lad.power_scale(i) for i in range(len(lad))]
+    assert scales[-1] == pytest.approx(1.0)
+    assert all(a < b for a, b in zip(scales, scales[1:]))
+    assert all(0 < s <= 1 for s in scales)
+
+
+def test_speed_scale_monotone():
+    lad = DVFSLadder.intel_like()
+    speeds = [lad.speed_scale(i) for i in range(len(lad))]
+    assert speeds[-1] == pytest.approx(1.0)
+    assert all(a < b for a, b in zip(speeds, speeds[1:]))
+
+
+def test_dvfs_power_drops_faster_than_speed():
+    """The f·V² law: halving frequency saves more power than speed (ref [17])."""
+    lad = DVFSLadder.intel_like()
+    assert lad.power_scale(0) < lad.speed_scale(0)
+
+
+def test_index_for_power_budget():
+    lad = DVFSLadder.intel_like()
+    assert lad.index_for_power_budget(1.0) == len(lad) - 1
+    assert lad.index_for_power_budget(0.0) == 0  # floor state always allowed
+    mid = lad.index_for_power_budget(0.5)
+    assert lad.power_scale(mid) <= 0.5 + 1e-9
+    if mid + 1 < len(lad):
+        assert lad.power_scale(mid + 1) > 0.5
+
+
+def test_single_state_ladder():
+    lad = DVFSLadder.intel_like(n_states=1)
+    assert len(lad) == 1
+    assert lad.power_scale(0) == 1.0
+    with pytest.raises(ValueError):
+        DVFSLadder.intel_like(n_states=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(budget=st.floats(min_value=0.0, max_value=1.0))
+def test_property_budget_selection_is_maximal(budget):
+    lad = DVFSLadder.intel_like(n_states=8)
+    i = lad.index_for_power_budget(budget)
+    # the chosen state respects the budget (or is the floor)
+    assert i == 0 or lad.power_scale(i) <= budget + 1e-9
+    # and no faster state would also respect it
+    for j in range(i + 1, len(lad)):
+        assert lad.power_scale(j) > budget - 1e-9

@@ -1,0 +1,127 @@
+"""Tests for the sensor suite and the aging model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.aging import AgingModel, AgingTracker
+from repro.hardware.sensors import Sensor, SensorKind, SensorSuite
+from repro.sim.rng import RngRegistry
+
+
+def rng():
+    return RngRegistry(0).stream("sensors")
+
+
+# --------------------------------------------------------------------------- #
+# sensors
+# --------------------------------------------------------------------------- #
+def test_noiseless_sensor_returns_truth():
+    s = Sensor("t", SensorKind.TEMPERATURE, lambda t: 21.5, rng())
+    r = s.sample(10.0)
+    assert r.value == 21.5
+    assert r.time == 10.0
+    assert r.kind is SensorKind.TEMPERATURE
+    assert s.samples_taken == 1
+
+
+def test_noise_added():
+    s = Sensor("t", SensorKind.TEMPERATURE, lambda t: 20.0, rng(), noise_std=0.5)
+    vals = [s.sample(0.0).value for _ in range(200)]
+    assert np.std(vals) > 0.2
+    assert abs(np.mean(vals) - 20.0) < 0.2
+
+
+def test_quantisation():
+    s = Sensor("t", SensorKind.TEMPERATURE, lambda t: 20.37, rng(), resolution=0.5)
+    assert s.sample(0.0).value == pytest.approx(20.5)
+
+
+def test_invalid_sensor_params():
+    with pytest.raises(ValueError):
+        Sensor("t", SensorKind.TEMPERATURE, lambda t: 0.0, rng(), noise_std=-1.0)
+
+
+def test_suite_standard_panel():
+    suite = SensorSuite.standard(rng(), room_temperature=lambda t: 21.0)
+    assert len(suite) == 6
+    assert "temp" in suite
+    readings = suite.sample_all(12 * 3600.0)
+    assert len(readings) == 6
+    by_name = {r.sensor: r for r in readings}
+    assert abs(by_name["temp"].value - 21.0) < 1.5
+    assert by_name["presence"].value in (0.0, 1.0)
+
+
+def test_suite_duplicate_names_rejected():
+    s1 = Sensor("x", SensorKind.LIGHT, lambda t: 0.0, rng())
+    s2 = Sensor("x", SensorKind.NOISE, lambda t: 0.0, rng())
+    with pytest.raises(ValueError):
+        SensorSuite([s1, s2])
+
+
+def test_suite_lookup():
+    suite = SensorSuite.standard(rng(), room_temperature=lambda t: 20.0)
+    assert suite.sensor("hum").kind is SensorKind.HUMIDITY
+    with pytest.raises(KeyError):
+        suite.sensor("nope")
+
+
+# --------------------------------------------------------------------------- #
+# aging
+# --------------------------------------------------------------------------- #
+def test_af_is_one_at_reference():
+    m = AgingModel(t_ref_c=60.0)
+    assert m.acceleration_factor(60.0) == pytest.approx(1.0)
+
+
+def test_af_monotone_in_temperature():
+    m = AgingModel()
+    assert m.acceleration_factor(80.0) > m.acceleration_factor(60.0) > m.acceleration_factor(40.0)
+    assert m.acceleration_factor(40.0) < 1.0
+
+
+def test_af_vectorised():
+    m = AgingModel()
+    out = m.acceleration_factor(np.array([40.0, 60.0, 80.0]))
+    assert out.shape == (3,)
+    assert out[1] == pytest.approx(1.0)
+
+
+def test_junction_temperature_model():
+    m = AgingModel()
+    tj_idle = m.junction_temperature_c(20.0, 0.0)
+    tj_full = m.junction_temperature_c(20.0, 1.0, theta_ja_c=35.0)
+    assert tj_idle == pytest.approx(20.0)
+    assert tj_full == pytest.approx(55.0)
+
+
+def test_tracker_lifetime_projection():
+    m = AgingModel(t_ref_c=60.0, base_lifetime_hours=10 * 365 * 24)
+    tr = AgingTracker(m)
+    tr.add(3600.0, 60.0)
+    assert tr.mean_acceleration == pytest.approx(1.0)
+    assert tr.expected_lifetime_years() == pytest.approx(10.0)
+
+
+def test_hotter_duty_shortens_life():
+    hot, cool = AgingTracker(), AgingTracker()
+    for _ in range(100):
+        hot.add(3600.0, 85.0)
+        cool.add(3600.0, 50.0)
+    assert hot.expected_lifetime_years() < cool.expected_lifetime_years()
+    assert hot.consumed_life_fraction() > cool.consumed_life_fraction()
+
+
+def test_tracker_validation():
+    with pytest.raises(ValueError):
+        AgingTracker().add(0.0, 50.0)
+    with pytest.raises(ValueError):
+        AgingModel(activation_energy_ev=0.0)
+    with pytest.raises(ValueError):
+        AgingModel(base_lifetime_hours=0.0)
+
+
+def test_empty_tracker_degenerate():
+    tr = AgingTracker()
+    assert tr.mean_acceleration == 0.0
+    assert tr.expected_lifetime_years() == float("inf")

@@ -1,0 +1,226 @@
+"""Tests for the DVFS compute server: execution, energy, preemption."""
+
+import pytest
+
+from repro.hardware.cpu import DVFSLadder, PState
+from repro.hardware.server import ComputeServer, ServerSpec, Task, TaskState
+from repro.sim.engine import Engine
+
+GHZ = 1e9
+
+
+def simple_spec(n_cores=4, f=1.0):
+    """One P-state at f GHz so completion times are trivial to predict."""
+    return ServerSpec(
+        model="test",
+        n_cores=n_cores,
+        ladder=DVFSLadder([PState(f, 1.0)]),
+        p_idle_w=50.0,
+        p_max_w=250.0,
+    )
+
+
+def two_state_spec(n_cores=4):
+    return ServerSpec(
+        model="test2",
+        n_cores=n_cores,
+        ladder=DVFSLadder([PState(1.0, 0.8), PState(2.0, 1.0)]),
+        p_idle_w=50.0,
+        p_max_w=250.0,
+    )
+
+
+@pytest.fixture()
+def engine():
+    return Engine()
+
+
+def test_task_validation():
+    with pytest.raises(ValueError):
+        Task("t", work_cycles=0.0)
+    with pytest.raises(ValueError):
+        Task("t", work_cycles=10.0, cores=0)
+
+
+def test_spec_validation():
+    lad = DVFSLadder([PState(1.0, 1.0)])
+    with pytest.raises(ValueError):
+        ServerSpec("m", 0, lad, 10.0, 100.0)
+    with pytest.raises(ValueError):
+        ServerSpec("m", 1, lad, 200.0, 100.0)
+    with pytest.raises(ValueError):
+        ServerSpec("m", 1, lad, 10.0, 100.0, heat_fraction=2.0)
+
+
+def test_completion_at_exact_time(engine):
+    srv = ComputeServer("s", simple_spec(), engine)
+    done = []
+    t = Task("j1", work_cycles=10 * GHZ, cores=1, on_complete=lambda t, now: done.append(now))
+    assert srv.submit(t)
+    engine.run_until(100.0)
+    assert done == [10.0]  # 10 Gcycles at 1 GHz on 1 core
+    assert t.state is TaskState.COMPLETED
+    assert t.remaining_cycles == 0.0
+
+
+def test_multicore_task_speedup(engine):
+    srv = ComputeServer("s", simple_spec(), engine)
+    done = []
+    t = Task("j1", work_cycles=10 * GHZ, cores=2, on_complete=lambda t, now: done.append(now))
+    srv.submit(t)
+    engine.run_until(100.0)
+    assert done == [5.0]
+
+
+def test_rejects_when_full(engine):
+    srv = ComputeServer("s", simple_spec(n_cores=2), engine)
+    assert srv.submit(Task("a", GHZ, cores=2))
+    assert not srv.submit(Task("b", GHZ, cores=1))
+
+
+def test_oversized_task_raises(engine):
+    srv = ComputeServer("s", simple_spec(n_cores=2), engine)
+    with pytest.raises(ValueError):
+        srv.submit(Task("big", GHZ, cores=3))
+
+
+def test_duplicate_task_id_raises(engine):
+    srv = ComputeServer("s", simple_spec(), engine)
+    srv.submit(Task("a", 100 * GHZ))
+    with pytest.raises(ValueError):
+        srv.submit(Task("a", GHZ))
+
+
+def test_parallel_tasks_complete_independently(engine):
+    srv = ComputeServer("s", simple_spec(n_cores=4), engine)
+    done = {}
+    for i, cycles in enumerate([2 * GHZ, 6 * GHZ]):
+        srv.submit(Task(f"j{i}", cycles, on_complete=lambda t, now: done.setdefault(t.task_id, now)))
+    engine.run_until(100.0)
+    assert done == {"j0": 2.0, "j1": 6.0}
+
+
+def test_freq_cap_slows_execution(engine):
+    srv = ComputeServer("s", two_state_spec(), engine)
+    done = []
+    srv.set_freq_cap(0)  # 1 GHz instead of 2
+    srv.submit(Task("j", 10 * GHZ, on_complete=lambda t, now: done.append(now)))
+    engine.run_until(100.0)
+    assert done == [10.0]
+
+
+def test_freq_change_mid_flight_reschedules(engine):
+    srv = ComputeServer("s", two_state_spec(), engine)
+    done = []
+    srv.submit(Task("j", 10 * GHZ, on_complete=lambda t, now: done.append(now)))
+    # at 2 GHz it would finish at t=5; slow to 1 GHz at t=2.5 → 5 G left → +5 s
+    engine.run_until(2.5)
+    srv.set_freq_cap(0)
+    engine.run_until(100.0)
+    assert done == [pytest.approx(7.5)]
+
+
+def test_preempt_preserves_remaining_work(engine):
+    srv = ComputeServer("s", simple_spec(), engine)
+    srv.submit(Task("j", 10 * GHZ))
+    engine.run_until(4.0)
+    task = srv.preempt("j")
+    assert task.state is TaskState.PREEMPTED
+    assert task.remaining_cycles == pytest.approx(6 * GHZ)
+    assert srv.busy_cores == 0
+    # resubmit elsewhere
+    done = []
+    task.on_complete = lambda t, now: done.append(now)
+    srv2 = ComputeServer("s2", simple_spec(), engine)
+    srv2.submit(task)
+    engine.run_until(100.0)
+    assert done == [pytest.approx(10.0)]
+
+
+def test_preempt_unknown_raises(engine):
+    srv = ComputeServer("s", simple_spec(), engine)
+    with pytest.raises(KeyError):
+        srv.preempt("ghost")
+
+
+def test_kill_all(engine):
+    srv = ComputeServer("s", simple_spec(), engine)
+    srv.submit(Task("a", GHZ))
+    srv.submit(Task("b", GHZ))
+    killed = srv.kill_all()
+    assert {t.task_id for t in killed} == {"a", "b"}
+    assert all(t.state is TaskState.KILLED for t in killed)
+    assert srv.busy_cores == 0
+
+
+def test_power_model_idle_vs_busy(engine):
+    srv = ComputeServer("s", simple_spec(n_cores=4), engine)
+    assert srv.power_w() == 50.0
+    srv.submit(Task("a", 1000 * GHZ, cores=4))
+    assert srv.power_w() == pytest.approx(250.0)
+    assert srv.heat_output_w() == pytest.approx(250.0)
+
+
+def test_power_scales_with_utilization(engine):
+    srv = ComputeServer("s", simple_spec(n_cores=4), engine)
+    srv.submit(Task("a", 1000 * GHZ, cores=2))
+    assert srv.power_w() == pytest.approx(50.0 + 200.0 * 0.5)
+
+
+def test_dvfs_reduces_power(engine):
+    srv = ComputeServer("s", two_state_spec(), engine)
+    srv.submit(Task("a", 1000 * GHZ, cores=4))
+    p_full = srv.power_w()
+    srv.set_freq_cap(0)
+    assert srv.power_w() < p_full
+
+
+def test_energy_integration(engine):
+    srv = ComputeServer("s", simple_spec(n_cores=1), engine)
+    srv.submit(Task("a", 10 * GHZ, cores=1))  # busy for 10 s at 250 W
+    engine.run_until(20.0)
+    srv.sync()
+    expected = 250.0 * 10.0 + 50.0 * 10.0
+    assert srv.energy_j == pytest.approx(expected)
+    assert srv.busy_core_seconds == pytest.approx(10.0)
+    assert srv.cycles_executed == pytest.approx(10 * GHZ)
+
+
+def test_power_off_refuses_work_and_draws_nothing(engine):
+    srv = ComputeServer("s", simple_spec(), engine)
+    srv.power_off()
+    assert srv.power_w() == 0.0
+    assert not srv.submit(Task("a", GHZ))
+    srv.power_on()
+    assert srv.submit(Task("a", GHZ))
+
+
+def test_power_off_with_running_tasks_raises(engine):
+    srv = ComputeServer("s", simple_spec(), engine)
+    srv.submit(Task("a", 100 * GHZ))
+    with pytest.raises(RuntimeError):
+        srv.power_off()
+
+
+def test_off_server_accumulates_no_energy(engine):
+    srv = ComputeServer("s", simple_spec(), engine)
+    srv.power_off()
+    engine.run_until(100.0)
+    srv.sync()
+    assert srv.energy_j == 0.0
+
+
+def test_completion_callback_can_submit_next(engine):
+    """Chained submissions from callbacks must work (schedulers rely on it)."""
+    srv = ComputeServer("s", simple_spec(n_cores=1), engine)
+    finished = []
+
+    def chain(task, now):
+        finished.append((task.task_id, now))
+        if len(finished) < 3:
+            srv.submit(Task(f"j{len(finished)}", 2 * GHZ, on_complete=chain))
+
+    srv.submit(Task("j0", 2 * GHZ, on_complete=chain))
+    engine.run_until(100.0)
+    assert finished == [("j0", 2.0), ("j1", 4.0), ("j2", 6.0)]
+    assert srv.completed_count == 3

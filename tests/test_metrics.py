@@ -1,0 +1,164 @@
+"""Tests for metric collectors, latency/energy reports and tables."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.requests import CloudRequest, EdgeRequest
+from repro.hardware.datacenter import Datacenter
+from repro.hardware.qrad import QRad
+from repro.hardware.server import Task
+from repro.metrics.collectors import TimeSeries, percentile
+from repro.metrics.energy import EnergyReport, joules_to_kwh
+from repro.metrics.latency import LatencyStats
+from repro.metrics.report import Table, format_series
+from repro.sim.engine import Engine
+
+
+# --------------------------------------------------------------------------- #
+# collectors
+# --------------------------------------------------------------------------- #
+def test_percentile():
+    assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 150)
+
+
+def test_timeseries_basics():
+    ts = TimeSeries("x")
+    ts.add(0.0, 1.0)
+    ts.add(10.0, 3.0)
+    assert len(ts) == 2
+    assert ts.mean() == 2.0
+    with pytest.raises(ValueError):
+        ts.add(5.0, 0.0)  # time went backwards
+    with pytest.raises(ValueError):
+        TimeSeries("y").mean()
+
+
+def test_time_weighted_mean():
+    ts = TimeSeries("x")
+    ts.add(0.0, 0.0)   # holds 0 for 9 s
+    ts.add(9.0, 10.0)  # holds 10 for 1 s
+    ts.add(10.0, 10.0)
+    assert ts.time_weighted_mean() == pytest.approx(1.0)
+
+
+def test_window_and_buckets():
+    ts = TimeSeries("x")
+    for t in range(10):
+        ts.add(float(t), float(t))
+    w = ts.window(2.0, 5.0)
+    assert list(w.values) == [2.0, 3.0, 4.0]
+    buckets = ts.bucket_means([0.0, 5.0, 10.0])
+    assert buckets[(0.0, 5.0)] == 2.0
+    assert buckets[(5.0, 10.0)] == 7.0
+
+
+# --------------------------------------------------------------------------- #
+# latency
+# --------------------------------------------------------------------------- #
+def completed_edge(rt, deadline=1.0):
+    r = EdgeRequest(cycles=1e9, time=0.0, deadline_s=deadline)
+    r.mark_completed(rt)
+    return r
+
+
+def test_latency_stats():
+    reqs = [completed_edge(0.1), completed_edge(0.2), completed_edge(2.0)]
+    s = LatencyStats.from_requests(reqs)
+    assert s.count == 3
+    assert s.mean_s == pytest.approx((0.1 + 0.2 + 2.0) / 3)
+    assert s.deadline_miss_rate == pytest.approx(1 / 3)
+    assert "miss" in str(s)
+
+
+def test_latency_with_expired():
+    reqs = [completed_edge(0.1)]
+    expired = [EdgeRequest(cycles=1e9, time=0.0, deadline_s=1.0)]
+    s = LatencyStats.from_requests(reqs, expired=expired)
+    assert s.deadline_miss_rate == pytest.approx(0.5)
+
+
+def test_latency_cloud_no_deadline():
+    r = CloudRequest(cycles=1e9, time=0.0)
+    r.mark_completed(5.0)
+    s = LatencyStats.from_requests([r])
+    assert math.isnan(s.deadline_miss_rate)
+
+
+def test_latency_empty_raises():
+    with pytest.raises(ValueError):
+        LatencyStats.from_requests([])
+
+
+# --------------------------------------------------------------------------- #
+# energy
+# --------------------------------------------------------------------------- #
+def test_joules_to_kwh():
+    assert joules_to_kwh(3.6e6) == 1.0
+
+
+def test_energy_report_pue_and_fractions():
+    r = EnergyReport(it_energy_kwh=10.0, total_energy_kwh=13.5,
+                     useful_heat_kwh=9.0, cycles_executed=1e12)
+    assert r.pue == pytest.approx(1.35)
+    assert r.useful_heat_fraction == pytest.approx(9.0 / 13.5)
+    assert r.kwh_per_gigacycle() == pytest.approx(13.5 / 1000)
+
+
+def test_energy_report_validation():
+    with pytest.raises(ValueError):
+        EnergyReport(10.0, 5.0, 0.0, 0.0)
+    with pytest.raises(ValueError):
+        EnergyReport(1.0, 1.0, -1.0, 0.0)
+
+
+def test_energy_from_df_fleet_pue_is_one():
+    eng = Engine()
+    q = QRad("q", eng)
+    q.submit(Task("t", 1e12, cores=16))
+    eng.run_until(100.0)
+    q.sync()  # settle idle-period energy before reading it
+    rep = EnergyReport.from_df_fleet([q], useful_heat_j=q.energy_j)
+    assert rep.pue == pytest.approx(1.0)
+    assert rep.useful_heat_fraction == pytest.approx(1.0)
+
+
+def test_energy_from_datacenter_pue_above_one():
+    eng = Engine()
+    dc = Datacenter("dc", 1, eng, cooling_overhead=0.35, fixed_overhead_w=0.0)
+    dc.submit(Task("t", 1e12, cores=32))
+    eng.run_until(100.0)
+    rep = EnergyReport.from_datacenter(dc)
+    assert rep.pue == pytest.approx(1.35, abs=0.01)
+    assert rep.useful_heat_fraction == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# report
+# --------------------------------------------------------------------------- #
+def test_table_render():
+    t = Table(["name", "value"], title="demo")
+    t.add_row("alpha", 1.5)
+    t.add_row("beta", 0.001)
+    out = t.render()
+    assert "demo" in out
+    assert "alpha" in out
+    assert out.count("\n") == 4  # title + header + rule + 2 rows
+
+
+def test_table_validation():
+    with pytest.raises(ValueError):
+        Table([])
+    t = Table(["a"])
+    with pytest.raises(ValueError):
+        t.add_row(1, 2)
+
+
+def test_format_series():
+    out = format_series("fig", [1, 2], [10.0, 20.0], x_label="month", y_label="temp")
+    assert "fig" in out and "month" in out and "10" in out

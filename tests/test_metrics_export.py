@@ -1,0 +1,58 @@
+"""Tests for JSON/CSV export of experiment results."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.metrics.export import flatten, to_csv, to_json
+
+
+def result(eid="E1", **data):
+    return ExperimentResult(experiment_id=eid, title=f"t-{eid}",
+                            text="table", data=data or {"x": 1.0})
+
+
+def test_flatten_nested():
+    flat = flatten({"a": {"b": 1, "c": {"d": 2}}, "e": 3})
+    assert flat == {"a.b": 1, "a.c.d": 2, "e": 3}
+
+
+def test_flatten_handles_nan_inf():
+    flat = flatten({"x": float("nan"), "y": float("inf")})
+    assert flat["x"] == "nan"
+    assert flat["y"] == "inf"
+
+
+def test_to_json_roundtrip(tmp_path):
+    r = result(pue=1.35, nested={"a": 2})
+    p = to_json(r, tmp_path / "e1.json")
+    back = json.loads(p.read_text())
+    assert back["experiment_id"] == "E1"
+    assert back["data"]["pue"] == 1.35
+    assert back["data"]["nested"]["a"] == 2
+
+
+def test_to_json_stringifies_exotic_values(tmp_path):
+    r = result(weird=object(), bad=float("nan"))
+    p = to_json(r, tmp_path / "e.json")
+    back = json.loads(p.read_text())
+    assert isinstance(back["data"]["weird"], str)
+    assert back["data"]["bad"] == "nan"
+
+
+def test_to_csv_union_of_keys(tmp_path):
+    r1 = result("E1", pue=1.0)
+    r2 = result("E2", latency={"p50": 0.1, "p95": 0.3})
+    p = to_csv([r1, r2], tmp_path / "all.csv")
+    rows = list(csv.DictReader(p.open()))
+    assert len(rows) == 2
+    assert rows[0]["pue"] == "1.0"
+    assert rows[1]["latency.p50"] == "0.1"
+    assert rows[0]["latency.p50"] == ""  # missing key → empty cell
+
+
+def test_to_csv_empty_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        to_csv([], tmp_path / "x.csv")

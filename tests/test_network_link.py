@@ -1,0 +1,69 @@
+"""Tests for base links and WAN links."""
+
+import numpy as np
+import pytest
+
+from repro.network.internet import WANLink, WANProfile
+from repro.network.link import Link
+from repro.sim.rng import RngRegistry
+
+
+def test_delay_components():
+    link = Link("l", latency_s=0.01, bandwidth_bps=1e6)
+    r = link.transfer(1250)  # 10 kbit over 1 Mbps = 10 ms
+    assert r.latency_s == 0.01
+    assert r.serialisation_s == pytest.approx(0.01)
+    assert r.jitter_s == 0.0
+    assert r.delay_s == pytest.approx(0.02)
+
+
+def test_zero_size_pays_latency_only():
+    link = Link("l", latency_s=0.005, bandwidth_bps=1e6)
+    assert link.delay(0) == pytest.approx(0.005)
+
+
+def test_accounting():
+    link = Link("l", 0.001, 1e6)
+    link.transfer(100)
+    link.transfer(200)
+    assert link.bytes_carried == 300
+    assert link.transfers == 2
+
+
+def test_jitter_requires_rng_and_is_nonnegative():
+    with pytest.raises(ValueError):
+        Link("l", 0.001, 1e6, jitter_std_s=0.01)
+    rng = RngRegistry(0).stream("net")
+    link = Link("l", 0.001, 1e6, jitter_std_s=0.01, rng=rng)
+    delays = [link.transfer(0).jitter_s for _ in range(100)]
+    assert all(d >= 0 for d in delays)
+    assert max(delays) > 0
+
+
+def test_expected_delay_deterministic():
+    rng = RngRegistry(0).stream("net")
+    link = Link("l", 0.001, 1e6, jitter_std_s=0.05, rng=rng)
+    assert link.expected_delay(1250) == pytest.approx(0.001 + 0.01)
+    assert link.transfers == 0  # expected_delay does not count as a transfer
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        Link("l", -0.001, 1e6)
+    with pytest.raises(ValueError):
+        Link("l", 0.001, 0.0)
+    with pytest.raises(ValueError):
+        Link("l", 0.001, 1e6).transfer(-1)
+
+
+def test_wan_profiles_ordering():
+    metro = WANProfile.metro_fiber()
+    national = WANProfile.national_internet()
+    continental = WANProfile.continental_internet()
+    assert metro.latency_s < national.latency_s < continental.latency_s
+
+
+def test_wan_round_trip():
+    wan = WANLink(WANProfile.metro_fiber())
+    rt = wan.round_trip(1000, 1000)
+    assert rt == pytest.approx(2 * wan.expected_delay(1000))

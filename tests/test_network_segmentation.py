@@ -1,0 +1,133 @@
+"""Tests for segmentation policies and isolation auditing."""
+
+import pytest
+
+from repro.core.cluster import Cluster, ClusterConfig
+from repro.core.requests import CloudRequest, EdgeRequest, Flow
+from repro.hardware.qrad import QRad
+from repro.network.segmentation import (
+    IsolationAuditor,
+    Segment,
+    SegmentationPolicy,
+    Violation,
+)
+from repro.sim.engine import Engine
+
+
+def edge(privacy=True, server=""):
+    r = EdgeRequest(cycles=1e8, time=0.0, deadline_s=1.0, privacy_sensitive=privacy)
+    r.executed_on = server
+    return r
+
+
+def cloud(server=""):
+    r = CloudRequest(cycles=1e9, time=0.0)
+    r.executed_on = server
+    return r
+
+
+def test_flat_policy_allows_everything_on_shared():
+    p = SegmentationPolicy.flat()
+    assert p.check(edge(), Segment.SHARED)
+    assert p.check(cloud(), Segment.SHARED)
+    assert not p.check(edge(), Segment.EDGE_VPN)  # flat has no VPN segment
+
+
+def test_isolated_policy_partitions_flows():
+    p = SegmentationPolicy.isolated()
+    assert p.check(edge(), Segment.EDGE_VPN)
+    assert not p.check(edge(), Segment.DCC_NET)
+    assert p.check(cloud(), Segment.DCC_NET)
+    assert not p.check(cloud(), Segment.EDGE_VPN)
+
+
+def test_privacy_requires_vpn():
+    p = SegmentationPolicy(
+        allowed=((Flow.EDGE, Segment.DCC_NET), (Flow.EDGE, Segment.EDGE_VPN)),
+        privacy_requires_vpn=True,
+    )
+    assert p.check(edge(privacy=False), Segment.DCC_NET)
+    assert not p.check(edge(privacy=True), Segment.DCC_NET)
+    assert p.check(edge(privacy=True), Segment.EDGE_VPN)
+
+
+def make_cluster():
+    eng = Engine()
+    c = Cluster(ClusterConfig(name="c0"))
+    c.add_worker(QRad("edge-srv", eng), dedicated_edge=True)
+    c.add_worker(QRad("dcc-srv", eng))
+    return c
+
+
+def test_segments_from_cluster_dedication():
+    c = make_cluster()
+    seg = IsolationAuditor.segments_for_cluster(c)
+    assert seg == {"edge-srv": Segment.EDGE_VPN, "dcc-srv": Segment.DCC_NET}
+    flat = IsolationAuditor.segments_for_cluster(c, shared=True)
+    assert set(flat.values()) == {Segment.SHARED}
+
+
+def test_audit_clean_class2_placement():
+    c = make_cluster()
+    auditor = IsolationAuditor(
+        SegmentationPolicy.isolated(), IsolationAuditor.segments_for_cluster(c)
+    )
+    reqs = [edge(server="edge-srv"), cloud(server="dcc-srv")]
+    assert auditor.audit(reqs) == []
+
+
+def test_audit_detects_edge_on_dcc_segment():
+    c = make_cluster()
+    auditor = IsolationAuditor(
+        SegmentationPolicy.isolated(), IsolationAuditor.segments_for_cluster(c)
+    )
+    bad = edge(server="dcc-srv")
+    violations = auditor.audit([bad])
+    assert len(violations) == 1
+    v = violations[0]
+    assert isinstance(v, Violation)
+    assert v.server == "dcc-srv"
+    assert v.flow == "edge"
+    assert v.privacy_sensitive
+
+
+def test_audit_detects_cloud_on_edge_vpn():
+    c = make_cluster()
+    auditor = IsolationAuditor(
+        SegmentationPolicy.isolated(), IsolationAuditor.segments_for_cluster(c)
+    )
+    assert len(auditor.audit([cloud(server="edge-srv")])) == 1
+
+
+def test_audit_ignores_datacenter_and_unplaced():
+    auditor = IsolationAuditor(SegmentationPolicy.isolated(), {})
+    assert auditor.audit([edge(server="dc"), edge(server="")]) == []
+
+
+def test_audit_unknown_server_is_violation():
+    auditor = IsolationAuditor(SegmentationPolicy.isolated(), {})
+    assert len(auditor.audit([edge(server="rogue-box")])) == 1
+
+
+def test_dedicated_scheduler_never_violates_isolation():
+    """End-to-end: class-2 scheduling satisfies the isolated policy."""
+    from repro.core.scheduling.dedicated import DedicatedWorkersScheduler
+
+    eng = Engine()
+    c = Cluster(ClusterConfig(name="c0"))
+    c.add_worker(QRad("edge-srv", eng), dedicated_edge=True)
+    c.add_worker(QRad("dcc-srv", eng))
+    sched = DedicatedWorkersScheduler(c, eng)
+    reqs = []
+    for i in range(6):
+        e = EdgeRequest(cycles=1e8, time=0.0, deadline_s=60.0, source="d")
+        sched.submit_edge(e)
+        reqs.append(e)
+        cl = CloudRequest(cycles=1e9, time=0.0)
+        sched.submit_cloud(cl)
+        reqs.append(cl)
+    eng.run_until(600.0)
+    auditor = IsolationAuditor(
+        SegmentationPolicy.isolated(), IsolationAuditor.segments_for_cluster(c)
+    )
+    assert auditor.audit(reqs) == []

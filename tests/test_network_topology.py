@@ -1,0 +1,95 @@
+"""Tests for the city topology."""
+
+import pytest
+
+from repro.network.link import Link
+from repro.network.topology import CityTopology, NodeKind
+
+
+@pytest.fixture()
+def city():
+    return CityTopology.build(n_districts=3, buildings_per_district=4)
+
+
+def test_build_counts(city):
+    assert len(city.nodes_of_kind(NodeKind.DATACENTER)) == 1
+    assert len(city.nodes_of_kind(NodeKind.MASTER)) == 3
+    assert len(city.nodes_of_kind(NodeKind.BUILDING)) == 12
+
+
+def test_buildings_of_district(city):
+    bs = city.buildings_of_district(1)
+    assert len(bs) == 4
+    assert all(b.startswith("district-1/") for b in bs)
+
+
+def test_kind_lookup(city):
+    assert city.kind("dc") is NodeKind.DATACENTER
+    with pytest.raises(KeyError):
+        city.kind("ghost")
+
+
+def test_duplicate_node_rejected():
+    topo = CityTopology()
+    topo.add_node("a", NodeKind.BUILDING)
+    with pytest.raises(ValueError):
+        topo.add_node("a", NodeKind.BUILDING)
+
+
+def test_connect_unknown_node_rejected():
+    topo = CityTopology()
+    topo.add_node("a", NodeKind.BUILDING)
+    with pytest.raises(KeyError):
+        topo.connect("a", "b", Link("l", 0.001, 1e9))
+
+
+def test_building_to_own_master_is_one_hop(city):
+    assert city.hops("district-0/building-0", "district-0/master") == 1
+
+
+def test_building_to_dc_goes_through_master(city):
+    p = city.path("district-0/building-0", "dc")
+    assert p == ["district-0/building-0", "district-0/master", "dc"]
+
+
+def test_latency_ordering_local_metro_wan(city):
+    """Intra-building < intra-district < inter-district < to-datacenter."""
+    b0, b1 = "district-0/building-0", "district-0/building-1"
+    size = 1000.0
+    intra_district = city.expected_path_delay(b0, b1, size)
+    inter_district = city.expected_path_delay(b0, "district-1/building-0", size)
+    to_dc = city.expected_path_delay(b0, "dc", size)
+    assert intra_district < inter_district
+    assert intra_district < to_dc
+
+
+def test_ring_connects_districts(city):
+    # horizontal offload path never needs the datacenter
+    p = city.path("district-0/master", "district-1/master")
+    assert "dc" not in p
+
+
+def test_path_delay_positive_and_additive(city):
+    d1 = city.expected_path_delay("district-0/building-0", "district-0/master", 100.0)
+    d2 = city.expected_path_delay("district-0/master", "dc", 100.0)
+    d12 = city.expected_path_delay("district-0/building-0", "dc", 100.0)
+    assert d12 == pytest.approx(d1 + d2)
+
+
+def test_single_district_city():
+    c = CityTopology.build(n_districts=1, buildings_per_district=2)
+    assert len(c.nodes_of_kind(NodeKind.MASTER)) == 1
+    assert c.hops("district-0/building-0", "dc") == 2
+
+
+def test_invalid_build_params():
+    with pytest.raises(ValueError):
+        CityTopology.build(n_districts=0)
+    with pytest.raises(ValueError):
+        CityTopology.build(buildings_per_district=0)
+
+
+def test_iter_links(city):
+    links = list(city.iter_links())
+    # 12 street links + 3 wan + 3 ring metro links
+    assert len(links) == 18

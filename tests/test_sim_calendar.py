@@ -1,0 +1,115 @@
+"""Unit and property tests for the simulation calendar."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.calendar import (
+    DAY,
+    HEATING_SEASON_MONTHS,
+    HOUR,
+    MONTH_LENGTHS,
+    YEAR,
+    SimCalendar,
+    month_name,
+)
+
+CAL = SimCalendar()
+
+
+def test_year_is_365_days():
+    assert YEAR == 365 * DAY
+    assert sum(MONTH_LENGTHS) == 365
+
+
+def test_epoch_is_january_first():
+    assert CAL.month(0.0) == 1
+    assert CAL.day_of_month(0.0) == 1
+    assert CAL.hour_of_day(0.0) == 0.0
+
+
+def test_month_boundaries():
+    assert CAL.month(CAL.month_start(2)) == 2
+    assert CAL.month(CAL.month_start(2) - 1.0) == 1
+    assert CAL.month(CAL.month_start(12)) == 12
+
+
+def test_wraps_across_year():
+    t = YEAR + 10 * DAY
+    assert CAL.month(t) == 1
+    assert CAL.day_of_month(t) == 11
+
+
+def test_hour_of_day():
+    t = 5 * DAY + 13.5 * HOUR
+    assert CAL.hour_of_day(t) == pytest.approx(13.5)
+
+
+def test_day_of_week_and_weekend():
+    # Epoch day is a Monday.
+    assert CAL.day_of_week(0.0) == 0
+    assert not CAL.is_weekend(0.0)
+    assert CAL.is_weekend(5 * DAY)
+    assert CAL.is_weekend(6 * DAY)
+    assert not CAL.is_weekend(7 * DAY)
+
+
+def test_business_hours():
+    monday_10am = 10 * HOUR
+    monday_8am = 8 * HOUR
+    saturday_10am = 5 * DAY + 10 * HOUR
+    assert CAL.is_business_hours(monday_10am)
+    assert not CAL.is_business_hours(monday_8am)
+    assert not CAL.is_business_hours(saturday_10am)
+
+
+def test_month_name():
+    assert month_name(1) == "Jan"
+    assert month_name(11) == "Nov"
+    with pytest.raises(ValueError):
+        month_name(0)
+    with pytest.raises(ValueError):
+        month_name(13)
+
+
+def test_invalid_month_args():
+    with pytest.raises(ValueError):
+        CAL.month_start(0)
+    with pytest.raises(ValueError):
+        CAL.month_length(13)
+
+
+def test_heating_season_iteration_is_monotone_and_ordered():
+    intervals = list(CAL.iter_heating_season())
+    months = [m for m, _, _ in intervals]
+    assert months == list(HEATING_SEASON_MONTHS)
+    for (_, s0, e0), (_, s1, _) in zip(intervals, intervals[1:]):
+        assert e0 == pytest.approx(s1)
+        assert s0 < e0
+
+
+def test_heating_season_membership():
+    assert CAL.in_heating_season(CAL.month_start(12) + DAY)
+    assert CAL.in_heating_season(CAL.month_start(3) + DAY)
+    assert not CAL.in_heating_season(CAL.month_start(7) + DAY)
+
+
+@given(st.floats(min_value=0.0, max_value=10 * YEAR, allow_nan=False))
+def test_property_month_consistent_with_day(t):
+    m = CAL.month(t)
+    assert 1 <= m <= 12
+    dom = CAL.day_of_month(t)
+    assert 1 <= dom <= MONTH_LENGTHS[m - 1]
+
+
+@given(st.floats(min_value=0.0, max_value=10 * YEAR, allow_nan=False))
+def test_property_season_fraction_in_unit_interval(t):
+    f = CAL.season_fraction(t)
+    assert 0.0 <= f < 1.0
+
+
+@given(st.integers(min_value=1, max_value=12))
+def test_property_month_start_roundtrip(m):
+    t = CAL.month_start(m)
+    assert CAL.month(t) == m
+    assert CAL.day_of_month(t) == 1

@@ -1,0 +1,139 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+def test_events_run_in_time_order():
+    eng = Engine()
+    order = []
+    eng.schedule(5.0, lambda: order.append("b"))
+    eng.schedule(1.0, lambda: order.append("a"))
+    eng.schedule(9.0, lambda: order.append("c"))
+    eng.run_until(10.0)
+    assert order == ["a", "b", "c"]
+    assert eng.now == 10.0
+
+
+def test_simultaneous_events_stable_insertion_order():
+    eng = Engine()
+    order = []
+    for i in range(20):
+        eng.schedule(3.0, lambda i=i: order.append(i))
+    eng.run_until(3.0)
+    assert order == list(range(20))
+
+
+def test_priority_breaks_ties_before_insertion_order():
+    eng = Engine()
+    order = []
+    eng.schedule(1.0, lambda: order.append("low"), priority=5)
+    eng.schedule(1.0, lambda: order.append("high"), priority=0)
+    eng.run_until(2.0)
+    assert order == ["high", "low"]
+
+
+def test_schedule_in_past_raises():
+    eng = Engine(start=100.0)
+    with pytest.raises(SimulationError):
+        eng.schedule_at(50.0, lambda: None)
+
+
+def test_schedule_nan_raises():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.schedule(float("nan"), lambda: None)
+
+
+def test_horizon_before_now_raises():
+    eng = Engine(start=10.0)
+    with pytest.raises(SimulationError):
+        eng.run_until(5.0)
+
+
+def test_cancelled_event_does_not_run():
+    eng = Engine()
+    fired = []
+    ev = eng.schedule(1.0, lambda: fired.append(1))
+    ev.cancel()
+    eng.run_until(2.0)
+    assert fired == []
+    assert eng.events_executed == 0
+
+
+def test_events_beyond_horizon_survive_and_run_later():
+    eng = Engine()
+    fired = []
+    eng.schedule(10.0, lambda: fired.append(1))
+    eng.run_until(5.0)
+    assert fired == []
+    eng.run_until(15.0)
+    assert fired == [1]
+
+
+def test_event_can_schedule_followups():
+    eng = Engine()
+    times = []
+
+    def chain():
+        times.append(eng.now)
+        if len(times) < 4:
+            eng.schedule(2.0, chain)
+
+    eng.schedule(1.0, chain)
+    eng.run_until(100.0)
+    assert times == [1.0, 3.0, 5.0, 7.0]
+
+
+def test_periodic_process_receives_dt():
+    eng = Engine()
+    ticks = []
+    eng.add_process("p", period=10.0, fn=lambda now, dt: ticks.append((now, dt)))
+    eng.run_until(35.0)
+    assert ticks == [(10.0, 10.0), (20.0, 10.0), (30.0, 10.0)]
+
+
+def test_process_stop_halts_rescheduling():
+    eng = Engine()
+    ticks = []
+    proc = eng.add_process("p", period=1.0, fn=lambda now, dt: ticks.append(now))
+    eng.run_until(3.0)
+    proc.stop()
+    eng.run_until(10.0)
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_process_invalid_period_raises():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.add_process("bad", period=0.0, fn=lambda now, dt: None)
+
+
+def test_step_executes_single_event():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, lambda: fired.append("a"))
+    eng.schedule(2.0, lambda: fired.append("b"))
+    assert eng.step() is True
+    assert fired == ["a"]
+    assert eng.now == 1.0
+    assert eng.step() is True
+    assert eng.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    eng = Engine()
+    ev = eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    ev.cancel()
+    assert eng.peek_time() == 2.0
+
+
+def test_pending_counts_queue():
+    eng = Engine()
+    eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    assert eng.pending == 2
+    eng.run_until(1.5)
+    assert eng.pending == 1

@@ -1,0 +1,79 @@
+"""Statistical validation of the stochastic generators (scipy-based).
+
+Goodness-of-fit checks that the generators produce the distributions they
+claim — the calibration layer of the reproduction.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.sim.calendar import DAY, HOUR, YEAR
+from repro.sim.rng import RngRegistry
+from repro.thermal.weather import Weather
+from repro.workloads.arrivals import sample_nhpp
+from repro.workloads.cloud import CloudJobConfig, CloudJobGenerator
+
+
+def rng(name="stat", seed=0):
+    return RngRegistry(seed).stream(name)
+
+
+def test_homogeneous_poisson_interarrivals_are_exponential():
+    lam = 0.02
+    arr = sample_nhpp(rng(), lambda t: lam, lam, 0.0, 2e6)
+    gaps = np.diff(arr)
+    # KS test against Exp(lam); large sample → tight check
+    d, p = stats.kstest(gaps, "expon", args=(0.0, 1.0 / lam))
+    assert p > 0.01, f"interarrival KS p={p}"
+
+
+def test_poisson_counts_match_poisson_distribution():
+    lam = 0.01
+    counts = []
+    for i in range(200):
+        arr = sample_nhpp(rng(seed=i), lambda t: lam, lam, 0.0, 10_000.0)
+        counts.append(len(arr))
+    mean, var = np.mean(counts), np.var(counts)
+    # Poisson: variance ≈ mean (Fano factor ≈ 1)
+    assert mean == pytest.approx(100.0, rel=0.1)
+    assert var / mean == pytest.approx(1.0, abs=0.35)
+
+
+def test_cloud_job_sizes_are_lognormal():
+    cfg = CloudJobConfig(rate_per_hour=500.0, mean_core_seconds=300.0, sigma_log=0.8)
+    gen = CloudJobGenerator(rng("cloud"), cfg)
+    reqs = gen.generate(0.0, 5 * DAY)
+    assert len(reqs) > 1000
+    core_s = np.array([r.cycles / (cfg.ref_freq_ghz * 1e9) for r in reqs])
+    logs = np.log(core_s)
+    mu = np.log(cfg.mean_core_seconds) - 0.5 * cfg.sigma_log**2
+    d, p = stats.kstest(logs, "norm", args=(mu, cfg.sigma_log))
+    assert p > 0.01, f"lognormal KS p={p}"
+    # normality of logs (shapiro on a subsample)
+    _, p_sw = stats.shapiro(logs[:500])
+    assert p_sw > 0.001
+
+
+def test_weather_noise_is_stationary_gaussianish():
+    w = Weather(rng("weather", seed=4), horizon=4 * YEAR)
+    ts = np.arange(0, 4 * YEAR, 3 * HOUR)
+    resid = w.outdoor_temperature(ts) - w.seasonal_component(ts)
+    # split-half stationarity: means and stds agree
+    a, b = resid[: resid.size // 2], resid[resid.size // 2:]
+    assert abs(np.mean(a) - np.mean(b)) < 0.5
+    assert np.std(a) == pytest.approx(np.std(b), rel=0.2)
+    # AR(1) residual normality after whitening
+    phi = np.corrcoef(resid[:-1], resid[1:])[0, 1]
+    innov = resid[1:] - phi * resid[:-1]
+    _, p = stats.shapiro(innov[:500])
+    assert p > 0.001
+
+
+def test_weather_autocorrelation_time_matches_config():
+    w = Weather(rng("weather", seed=5), horizon=4 * YEAR)
+    ts = np.arange(0, 4 * YEAR, HOUR)
+    resid = w.outdoor_temperature(ts) - w.seasonal_component(ts)
+    r1 = np.corrcoef(resid[:-1], resid[1:])[0, 1]
+    tau_hours = -1.0 / np.log(r1)
+    assert tau_hours == pytest.approx(w.config.noise_corr_hours, rel=0.35)

@@ -1,0 +1,122 @@
+"""Tests for rooms, thermostats and buildings."""
+
+import numpy as np
+import pytest
+
+from repro.sim.calendar import DAY, HOUR
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.thermal.building import Building, RoomConfig, ThermostatSchedule
+from repro.thermal.weather import Weather
+
+
+class ConstantHeater:
+    def __init__(self, watts):
+        self.watts = watts
+
+    def heat_output_w(self):
+        return self.watts
+
+
+@pytest.fixture()
+def weather():
+    return Weather(RngRegistry(1).stream("weather"))
+
+
+def make_building(weather, n=2, **room_kw):
+    cfgs = [RoomConfig(name=f"room-{i}", **room_kw) for i in range(n)]
+    return Building(cfgs, weather)
+
+
+def test_thermostat_schedule_day_night():
+    s = ThermostatSchedule(day_setpoint_c=21.0, night_setpoint_c=17.0)
+    assert s.setpoint(12.0) == 21.0
+    assert s.setpoint(3.0) == 17.0
+    assert s.setpoint(23.0) == 17.0
+
+
+def test_duplicate_room_names_rejected(weather):
+    with pytest.raises(ValueError):
+        Building([RoomConfig(name="a"), RoomConfig(name="a")], weather)
+
+
+def test_empty_building_rejected(weather):
+    with pytest.raises(ValueError):
+        Building([], weather)
+
+
+def test_room_lookup(weather):
+    b = make_building(weather)
+    assert b.room("room-1").index == 1
+    with pytest.raises(KeyError):
+        b.room("nope")
+
+
+def test_heated_room_warmer_than_unheated(weather):
+    b = make_building(weather)
+    b.room("room-1").attach(ConstantHeater(700.0))
+    t = 10 * DAY  # mid-January
+    for i in range(200):
+        b.step(t + i * 300.0, 300.0)
+    assert b.temperature_of("room-1") > b.temperature_of("room-0") + 2.0
+
+
+def test_setpoints_follow_schedule(weather):
+    b = make_building(weather)
+    noon = 12 * HOUR
+    night = 3 * HOUR
+    assert np.all(b.setpoints(noon) == 20.0)
+    assert np.all(b.setpoints(night) == 17.0)
+
+
+def test_heat_demand_positive_in_winter_zero_in_summer(weather):
+    b = make_building(weather)
+    winter_demand = b.heat_demand_w(15 * DAY + 12 * HOUR)
+    summer_noon = 200 * DAY + 14 * HOUR
+    summer_demand = b.heat_demand_w(summer_noon)
+    assert np.all(winter_demand > 100.0)
+    assert np.all(summer_demand < winter_demand)
+
+
+def test_heat_demand_higher_when_colder(weather):
+    b = make_building(weather)
+    ts = np.arange(0, 300 * DAY, 7 * DAY)
+    temps = weather.outdoor_temperature(ts)
+    cold_t = float(ts[np.argmin(temps)])
+    warm_t = float(ts[np.argmax(temps)])
+    # compare at same hour of day to isolate weather effect
+    cold_noon = cold_t - cold_t % DAY + 12 * HOUR
+    warm_noon = warm_t - warm_t % DAY + 12 * HOUR
+    assert b.heat_demand_w(cold_noon)[0] > b.heat_demand_w(warm_noon)[0]
+
+
+def test_engine_driven_building_reaches_sane_band(weather):
+    """A winter week with a thermostatically sized heater holds a sane band."""
+    b = make_building(weather, n=1)
+    heater = ConstantHeater(0.0)
+    b.rooms[0].attach(heater)
+    eng = Engine(start=5 * DAY)
+
+    def control(now, dt):
+        # crude bang-bang thermostat at 20 °C
+        heater.watts = 1000.0 if b.temperatures[0] < 20.0 else 0.0
+        b.step(now, dt)
+
+    eng.add_process("building", 300.0, control)
+    eng.run_until(12 * DAY)
+    assert 15.0 < b.temperatures[0] < 24.0
+
+
+def test_occupancy_gain_window():
+    cfg = RoomConfig(name="r", occupant_gain_w=100.0, occupied_hours=(8.0, 18.0))
+    from repro.thermal.building import Room
+
+    r = Room(0, cfg)
+    assert r.occupancy_gain_w(12.0) == 100.0
+    assert r.occupancy_gain_w(3.0) == 0.0
+
+
+def test_aux_heat_counts(weather):
+    b = make_building(weather, n=1)
+    b.rooms[0].aux_heat_w = 250.0
+    assert b.rooms[0].heater_power_w() == 250.0

@@ -1,0 +1,82 @@
+"""Tests for comfort metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.thermal.comfort import ComfortTracker
+
+
+def test_perfect_tracking():
+    tr = ComfortTracker(band_c=1.0)
+    for _ in range(10):
+        tr.add(3600.0, temps=20.0, setpoints=20.0)
+    s = tr.result()
+    assert s.time_in_band == 1.0
+    assert s.rmse_c == 0.0
+    assert s.cold_degree_hours == 0.0
+    assert s.overheat_degree_hours == 0.0
+    assert s.hours_tracked == pytest.approx(10.0)
+
+
+def test_constant_cold_error():
+    tr = ComfortTracker(band_c=1.0)
+    tr.add(3600.0, temps=18.0, setpoints=20.0)  # 2 °C cold for one hour
+    s = tr.result()
+    assert s.time_in_band == 0.0
+    assert s.rmse_c == pytest.approx(2.0)
+    assert s.cold_degree_hours == pytest.approx(2.0)
+    assert s.overheat_degree_hours == 0.0
+
+
+def test_overheat_counts_above_band_only():
+    tr = ComfortTracker(band_c=1.0)
+    tr.add(3600.0, temps=23.0, setpoints=20.0)  # 3 above, 2 above band
+    s = tr.result()
+    assert s.overheat_degree_hours == pytest.approx(2.0)
+    assert s.cold_degree_hours == 0.0
+
+
+def test_vector_rooms_pooled():
+    tr = ComfortTracker(band_c=1.0)
+    tr.add(3600.0, temps=np.array([20.0, 18.0]), setpoints=20.0)
+    s = tr.result()
+    assert s.time_in_band == pytest.approx(0.5)
+    assert s.mean_temp_c == pytest.approx(19.0)
+
+
+def test_monthly_means():
+    tr = ComfortTracker()
+    tr.add(60.0, temps=20.0, setpoints=20.0, month=11)
+    tr.add(60.0, temps=22.0, setpoints=20.0, month=11)
+    tr.add(60.0, temps=19.0, setpoints=20.0, month=12)
+    assert tr.monthly_mean_temps() == {11: pytest.approx(21.0), 12: pytest.approx(19.0)}
+
+
+def test_empty_tracker_raises():
+    with pytest.raises(ValueError):
+        ComfortTracker().result()
+
+
+def test_invalid_args():
+    with pytest.raises(ValueError):
+        ComfortTracker(band_c=0.0)
+    with pytest.raises(ValueError):
+        ComfortTracker().add(0.0, temps=20.0, setpoints=20.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    temps=st.lists(st.floats(min_value=0.0, max_value=40.0), min_size=1, max_size=20),
+    setpoint=st.floats(min_value=15.0, max_value=25.0),
+)
+def test_property_bounds(temps, setpoint):
+    tr = ComfortTracker(band_c=1.0)
+    tr.add(600.0, temps=np.array(temps), setpoints=setpoint)
+    s = tr.result()
+    assert 0.0 <= s.time_in_band <= 1.0
+    assert s.rmse_c >= 0.0
+    assert s.cold_degree_hours >= 0.0
+    assert s.overheat_degree_hours >= 0.0
+    assert min(temps) - 1e-9 <= s.mean_temp_c <= max(temps) + 1e-9

@@ -1,0 +1,93 @@
+"""Tests for inter-room (party-wall) thermal coupling."""
+
+import numpy as np
+import pytest
+
+from repro.sim.calendar import HOUR
+from repro.sim.rng import RngRegistry
+from repro.thermal.building import Building, RoomConfig
+from repro.thermal.rc_model import RCNetwork, RoomThermalParams
+from repro.thermal.weather import Weather
+
+
+def two_rooms(g=None):
+    net = RCNetwork([RoomThermalParams(), RoomThermalParams()], t_init_c=18.0)
+    if g is not None:
+        net.couple(0, 1, g)
+    return net
+
+
+def test_couple_validation():
+    net = two_rooms()
+    with pytest.raises(ValueError):
+        net.couple(0, 0, 10.0)
+    with pytest.raises(ValueError):
+        net.couple(0, 5, 10.0)
+    with pytest.raises(ValueError):
+        net.couple(0, 1, 0.0)
+    assert not net.coupled
+
+
+def test_heat_flows_to_unheated_neighbour():
+    coupled = two_rooms(g=25.0)
+    isolated = two_rooms()
+    for _ in range(48):
+        coupled.step(HOUR, t_out=5.0, p_heat=np.array([600.0, 0.0]))
+        isolated.step(HOUR, t_out=5.0, p_heat=np.array([600.0, 0.0]))
+    # the coupled neighbour is warmer than the isolated one...
+    assert coupled.t_air[1] > isolated.t_air[1] + 0.5
+    # ...at the heated room's expense
+    assert coupled.t_air[0] < isolated.t_air[0]
+
+
+def test_coupling_conserves_energy_pairwise():
+    """Party-wall exchange is internal: total enthalpy matches uncoupled sum
+
+    when both rooms are identical and symmetric inputs are applied."""
+    net = two_rooms(g=25.0)
+    p = np.array([400.0, 400.0])
+    for _ in range(24):
+        net.step(HOUR, t_out=5.0, p_heat=p)
+    # symmetric case: coupling must not change anything at all
+    ref = two_rooms()
+    for _ in range(24):
+        ref.step(HOUR, t_out=5.0, p_heat=p)
+    np.testing.assert_allclose(net.t_air, ref.t_air, rtol=1e-10)
+
+
+def test_coupled_rooms_converge_to_each_other():
+    net = two_rooms(g=50.0)
+    net.t_air = np.array([25.0, 15.0])
+    for _ in range(200):
+        net.step(HOUR, t_out=20.0)
+    assert abs(net.t_air[0] - net.t_air[1]) < 0.2
+
+
+def test_steady_state_raises_when_coupled():
+    net = two_rooms(g=10.0)
+    with pytest.raises(NotImplementedError):
+        net.steady_state(5.0, p_heat=500.0)
+
+
+def test_substepping_remains_stable_with_strong_coupling():
+    net = two_rooms(g=500.0)  # strong coupling shrinks dt_max
+    net.step(24 * HOUR, t_out=0.0, p_heat=np.array([1000.0, 0.0]))
+    assert np.all(np.isfinite(net.t_air))
+    assert np.all(net.t_air > -5.0) and np.all(net.t_air < 60.0)
+
+
+def test_building_party_wall_option():
+    weather = Weather(RngRegistry(0).stream("weather"))
+    cfgs = [RoomConfig(name=f"r{i}") for i in range(3)]
+    b = Building(cfgs, weather, party_wall_g_w_per_k=20.0)
+    assert b.network.coupled
+    b.rooms[0].aux_heat_w = 800.0
+    t = 10 * 86400.0
+    for i in range(100):
+        b.step(t + i * 300.0, 300.0)
+    # the middle room benefits from its heated neighbour
+    b_iso = Building([RoomConfig(name=f"r{i}") for i in range(3)], weather)
+    b_iso.rooms[0].aux_heat_w = 800.0
+    for i in range(100):
+        b_iso.step(t + i * 300.0, 300.0)
+    assert b.temperatures[1] > b_iso.temperatures[1]

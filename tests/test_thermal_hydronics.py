@@ -1,0 +1,94 @@
+"""Tests for the boiler water loop."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.hydronics import WATER_CP, DrawProfile, WaterLoop, WaterLoopConfig
+
+
+def test_draw_profile_integrates_to_daily_volume():
+    p = DrawProfile(daily_litres=600.0)
+    hours = np.linspace(0, 24, 24 * 60, endpoint=False)
+    total = sum(p.draw_rate_lps(h) * 60.0 for h in hours)
+    assert total == pytest.approx(600.0, rel=0.1)
+
+
+def test_draw_profile_peaks_morning_evening():
+    p = DrawProfile()
+    assert p.draw_rate_lps(7.5) > p.draw_rate_lps(3.0)
+    assert p.draw_rate_lps(19.5) > p.draw_rate_lps(14.0)
+
+
+def test_heat_input_raises_tank_temperature():
+    loop = WaterLoop(WaterLoopConfig(), t_init_c=40.0)
+    quiet = DrawProfile(daily_litres=0.0)
+    t0 = loop.t_tank
+    useful, dumped = loop.step(3600.0, p_in_w=5000.0, hour_of_day=3.0, profile=quiet)
+    assert loop.t_tank > t0
+    assert useful == pytest.approx(5000.0)
+    assert dumped == 0.0
+
+
+def test_energy_conservation_of_heat_input():
+    cfg = WaterLoopConfig(loss_coeff_w_per_k=0.0)
+    loop = WaterLoop(cfg, t_init_c=40.0)
+    quiet = DrawProfile(daily_litres=0.0)
+    loop.step(3600.0, p_in_w=2000.0, hour_of_day=3.0, profile=quiet)
+    # dT = E / (m cp)
+    expected_dt = 2000.0 * 3600.0 / (cfg.tank_litres * WATER_CP)
+    assert loop.t_tank == pytest.approx(40.0 + expected_dt, rel=1e-6)
+
+
+def test_overflow_dumps_heat_at_ceiling():
+    cfg = WaterLoopConfig(t_max_c=75.0)
+    loop = WaterLoop(cfg, t_init_c=74.9)
+    quiet = DrawProfile(daily_litres=0.0)
+    useful, dumped = loop.step(3600.0, p_in_w=20000.0, hour_of_day=3.0, profile=quiet)
+    assert loop.t_tank == pytest.approx(75.0)
+    assert dumped > 0.0
+    assert useful + dumped == pytest.approx(20000.0)
+    assert loop.waste_fraction > 0.0
+
+
+def test_draw_cools_tank():
+    loop = WaterLoop(WaterLoopConfig(), t_init_c=60.0)
+    busy = DrawProfile(daily_litres=5000.0)
+    loop.step(3600.0, p_in_w=0.0, hour_of_day=7.5, profile=busy)
+    assert loop.t_tank < 60.0
+    assert loop.drawn_litres > 0.0
+
+
+def test_unmet_draw_recorded_when_tank_cold():
+    cfg = WaterLoopConfig(t_target_c=55.0)
+    loop = WaterLoop(cfg, t_init_c=30.0)
+    busy = DrawProfile(daily_litres=5000.0)
+    loop.step(3600.0, p_in_w=0.0, hour_of_day=7.5, profile=busy)
+    assert loop.unmet_draw_degree_litres > 0.0
+
+
+def test_standing_losses_cool_idle_tank():
+    loop = WaterLoop(WaterLoopConfig(loss_coeff_w_per_k=10.0), t_init_c=60.0)
+    quiet = DrawProfile(daily_litres=0.0)
+    for _ in range(48):
+        loop.step(3600.0, p_in_w=0.0, hour_of_day=3.0, profile=quiet)
+    assert loop.t_tank < 60.0
+
+
+def test_headroom_shrinks_as_tank_heats():
+    loop = WaterLoop(WaterLoopConfig(), t_init_c=40.0)
+    h0 = loop.headroom_w
+    quiet = DrawProfile(daily_litres=0.0)
+    loop.step(3600.0, p_in_w=10000.0, hour_of_day=3.0, profile=quiet)
+    assert loop.headroom_w < h0
+
+
+def test_invalid_configs():
+    with pytest.raises(ValueError):
+        WaterLoop(WaterLoopConfig(tank_litres=0.0))
+    with pytest.raises(ValueError):
+        WaterLoop(WaterLoopConfig(t_cold_c=60.0, t_target_c=55.0))
+    loop = WaterLoop(WaterLoopConfig())
+    with pytest.raises(ValueError):
+        loop.step(0.0, 100.0, 3.0, DrawProfile())
+    with pytest.raises(ValueError):
+        loop.step(60.0, -5.0, 3.0, DrawProfile())

@@ -1,0 +1,168 @@
+"""Tests for the 2R2C room model, including physics invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.calendar import HOUR
+from repro.thermal.rc_model import RCNetwork, RoomThermalParams
+
+
+def single_room(**kw):
+    return RCNetwork([RoomThermalParams()], **kw)
+
+
+def test_equilibrium_without_heat_matches_outdoor():
+    net = single_room(t_init_c=20.0)
+    for _ in range(600):
+        net.step(HOUR, t_out=5.0)
+    assert net.t_air[0] == pytest.approx(5.0, abs=0.1)
+
+
+def test_steady_state_closed_form_matches_integration():
+    net = single_room(t_init_c=10.0)
+    target = net.steady_state(t_out=0.0, p_heat=500.0)[0]
+    for _ in range(1000):
+        net.step(HOUR, t_out=0.0, p_heat=500.0)
+    assert net.t_air[0] == pytest.approx(target, abs=0.05)
+
+
+def test_500w_qrad_heats_default_room_in_winter():
+    """The paper's sizing: one 500 W Q.rad should hold ~20 °C at ~5 °C outside."""
+    net = single_room()
+    t_eq = net.steady_state(t_out=5.0, p_heat=500.0)[0]
+    assert 19.0 <= t_eq <= 28.0  # enough headroom; the regulator caps power
+
+
+def test_required_power_achieves_target():
+    net = single_room(t_init_c=20.0)
+    p = net.required_power(t_out=0.0, t_target=20.0)[0]
+    t_eq = net.steady_state(t_out=0.0, p_heat=p)[0]
+    assert t_eq == pytest.approx(20.0, abs=0.2)
+
+
+def test_required_power_clipped_at_zero_when_warm_outside():
+    net = single_room()
+    assert net.required_power(t_out=30.0, t_target=20.0)[0] == 0.0
+
+
+def test_heating_is_monotone_in_power():
+    a, b = single_room(t_init_c=15.0), single_room(t_init_c=15.0)
+    for _ in range(50):
+        a.step(600.0, t_out=5.0, p_heat=200.0)
+        b.step(600.0, t_out=5.0, p_heat=800.0)
+    assert b.t_air[0] > a.t_air[0]
+
+
+def test_thermal_inertia_no_instant_jump():
+    """Paper §III-A: heater inertia matters. One hour of 500 W must not
+
+    equilibrate the room instantly."""
+    net = single_room(t_init_c=10.0)
+    t_eq = net.steady_state(t_out=10.0, p_heat=500.0)[0]
+    net.step(HOUR, t_out=10.0, p_heat=500.0)
+    assert net.t_air[0] < 0.8 * t_eq + 0.2 * 10.0
+
+
+def test_vectorised_rooms_independent():
+    params = [RoomThermalParams(), RoomThermalParams()]
+    net = RCNetwork(params, t_init_c=15.0)
+    net.step(HOUR, t_out=0.0, p_heat=np.array([0.0, 600.0]))
+    assert net.t_air[1] > net.t_air[0]
+
+
+def test_scalar_inputs_broadcast():
+    net = RCNetwork([RoomThermalParams()] * 3, t_init_c=18.0)
+    out = net.step(600.0, t_out=5.0, p_heat=100.0)
+    assert out.shape == (3,)
+    assert np.allclose(out, out[0])
+
+
+def test_substepping_large_dt_stable():
+    net = single_room(t_init_c=20.0)
+    net.step(24 * HOUR, t_out=-5.0)  # way beyond dt_max
+    assert -5.0 <= net.t_air[0] <= 20.0
+    assert np.isfinite(net.t_air[0])
+
+
+def test_zero_dt_is_noop():
+    net = single_room(t_init_c=17.0)
+    before = net.t_air.copy()
+    net.step(0.0, t_out=0.0)
+    np.testing.assert_array_equal(net.t_air, before)
+
+
+def test_negative_dt_rejected():
+    with pytest.raises(ValueError):
+        single_room().step(-1.0, t_out=0.0)
+
+
+def test_empty_network_rejected():
+    with pytest.raises(ValueError):
+        RCNetwork([])
+
+
+def test_from_geometry_reasonable():
+    p = RoomThermalParams.from_geometry(floor_area_m2=20.0, u_value=0.9)
+    assert p.c_air > 0 and p.c_env > 0
+    assert p.r_ie < p.r_ea  # air couples to envelope more tightly than env to out
+    net = RCNetwork([p])
+    t_eq = net.steady_state(t_out=5.0, p_heat=500.0)[0]
+    assert 15.0 < t_eq < 40.0
+
+
+def test_from_geometry_invalid():
+    with pytest.raises(ValueError):
+        RoomThermalParams.from_geometry(floor_area_m2=0.0)
+    with pytest.raises(ValueError):
+        RoomThermalParams.from_geometry(floor_area_m2=10.0, ach=0.0)
+
+
+def test_better_insulation_needs_less_power():
+    good = RCNetwork([RoomThermalParams.from_geometry(20.0, u_value=0.4)])
+    bad = RCNetwork([RoomThermalParams.from_geometry(20.0, u_value=1.5)])
+    assert good.required_power(0.0, 20.0)[0] < bad.required_power(0.0, 20.0)[0]
+
+
+# --------------------------------------------------------------------------- #
+# property-based physics invariants
+# --------------------------------------------------------------------------- #
+temps = st.floats(min_value=-20.0, max_value=40.0)
+powers = st.floats(min_value=0.0, max_value=3000.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(t_out=temps, t_init=temps, p=powers)
+def test_property_temperature_bounded_by_envelope(t_out, t_init, p):
+    """Air temp stays within the physical bounds of the 2R2C system.
+
+    The air node can transiently exceed the final equilibrium while the
+    envelope is still at its initial temperature: the worst-case quasi-steady
+    excursion is ``p / (g_ie + g_inf)`` above the hottest boundary node.
+    """
+    net = single_room(t_init_c=t_init)
+    t_eq = net.steady_state(t_out=t_out, p_heat=p)[0]
+    slack = p / float(net.g_ie[0] + net.g_inf[0])
+    lo = min(t_init, t_out, t_eq) - 1e-6
+    hi = max(t_init, t_out, t_eq) + slack + 1e-6
+    for _ in range(30):
+        net.step(HOUR, t_out=t_out, p_heat=p)
+        assert lo <= net.t_air[0] <= hi
+
+
+@settings(max_examples=50, deadline=None)
+@given(t_out=temps, p=powers)
+def test_property_convergence_to_steady_state(t_out, p):
+    net = single_room(t_init_c=15.0)
+    t_eq = net.steady_state(t_out=t_out, p_heat=p)[0]
+    for _ in range(2000):
+        net.step(HOUR, t_out=t_out, p_heat=p)
+    assert net.t_air[0] == pytest.approx(t_eq, abs=0.1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(p=powers)
+def test_property_steady_state_monotone_in_power(p):
+    net = single_room()
+    assert net.steady_state(0.0, p_heat=p + 100.0)[0] > net.steady_state(0.0, p_heat=p)[0]

@@ -1,0 +1,73 @@
+"""Tests for the crypto-mining heating workload."""
+
+import pytest
+
+from repro.hardware.qrad import CryptoHeater
+from repro.sim.engine import Engine
+from repro.workloads.mining import MiningController, MiningEconomics
+
+
+@pytest.fixture()
+def heater():
+    return CryptoHeater("qc1", Engine())
+
+
+def test_economics_validation():
+    with pytest.raises(ValueError):
+        MiningEconomics(hashes_per_cycle=0.0)
+    with pytest.raises(ValueError):
+        MiningEconomics(coin_price_eur=-1.0)
+
+
+def test_controller_validation(heater):
+    with pytest.raises(ValueError):
+        MiningController(heater, chunk_s=0.0)
+
+
+def test_tick_saturates_when_heat_wanted(heater):
+    m = MiningController(heater)
+    m.tick(heat_wanted=True)
+    assert heater.free_cores == 0
+    assert all(t.metadata.get("mining") for t in heater.running_tasks)
+
+
+def test_chunks_complete_and_book_cycles(heater):
+    eng = heater.engine
+    m = MiningController(heater, chunk_s=10.0)
+    m.tick(True)
+    eng.run_until(100.0)
+    assert m.chunks_completed >= heater.n_cores
+    assert m.cycles_mined > 0
+    assert m.hashes == pytest.approx(m.cycles_mined * m.economics.hashes_per_cycle)
+
+
+def test_drain_preempts_and_powers_off(heater):
+    eng = heater.engine
+    m = MiningController(heater, chunk_s=1000.0)
+    m.tick(True)
+    eng.run_until(50.0)  # partway through chunks
+    m.tick(False)
+    assert heater.busy_cores == 0
+    assert not heater.enabled
+    assert m.cycles_mined > 0  # partial chunks still counted
+
+
+def test_revenue_and_cost_positive_after_mining(heater):
+    eng = heater.engine
+    m = MiningController(heater, chunk_s=10.0)
+    m.tick(True)
+    eng.run_until(200.0)
+    assert m.revenue_eur() > 0
+    assert m.electricity_cost_eur() > 0
+
+
+def test_heat_cycle_resumes_after_power_off(heater):
+    eng = heater.engine
+    m = MiningController(heater, chunk_s=10.0)
+    m.tick(True)
+    eng.run_until(30.0)
+    m.tick(False)
+    eng.run_until(60.0)
+    m.tick(True)  # winter night: heat wanted again
+    assert heater.enabled
+    assert heater.free_cores == 0

@@ -1,0 +1,56 @@
+"""Tests for trace record/replay."""
+
+import pytest
+
+from repro.workloads.traces import Trace, TraceEvent
+
+
+def test_append_and_iterate_sorted():
+    tr = Trace()
+    tr.append(5.0, "b")
+    tr.append(1.0, "a", x=1)
+    events = list(tr)
+    assert [e.time for e in events] == [1.0, 5.0]
+    assert events[0].payload == {"x": 1}
+    assert len(tr) == 2
+
+
+def test_kind_filter_and_window():
+    tr = Trace()
+    tr.append(1.0, "edge")
+    tr.append(2.0, "cloud")
+    tr.append(3.0, "edge")
+    assert len(tr.events_of_kind("edge")) == 2
+    w = tr.window(1.5, 3.0)
+    assert [e.kind for e in w] == ["cloud"]
+
+
+def test_empty_kind_rejected():
+    with pytest.raises(ValueError):
+        Trace().append(0.0, "")
+
+
+def test_save_load_roundtrip(tmp_path):
+    tr = Trace()
+    tr.append(2.5, "edge", cycles=1e8, deadline=0.5)
+    tr.append(1.0, "heat", target=21.0)
+    p = tmp_path / "trace.jsonl"
+    tr.save(p)
+    back = Trace.load(p)
+    assert len(back) == 2
+    events = list(back)
+    assert events[0].kind == "heat"
+    assert events[1].payload["deadline"] == 0.5
+
+
+def test_load_malformed_raises(tmp_path):
+    p = tmp_path / "bad.jsonl"
+    p.write_text('{"time": 1.0, "kind": "x"}\nnot json\n')
+    with pytest.raises(ValueError, match="malformed"):
+        Trace.load(p)
+
+
+def test_load_skips_blank_lines(tmp_path):
+    p = tmp_path / "t.jsonl"
+    p.write_text('{"time": 1.0, "kind": "x", "payload": {}}\n\n')
+    assert len(Trace.load(p)) == 1
