@@ -7,8 +7,20 @@ Usage::
     python -m repro run all              # run every experiment
     python -m repro run E5 --seed 123    # override the seed
 
+Observability (see DESIGN.md, "Observability") — any combination of::
+
+    python -m repro run F3 --trace t.jsonl         # structured JSONL trace
+    python -m repro run F3 --chrome-trace t.json   # chrome://tracing format
+    python -m repro run F3 --profile               # hottest-subsystem table
+    python -m repro run F3 --metrics-out m.json    # metrics registry snapshot
+    python -m repro run F3 --json result.json      # ExperimentResult as JSON
+
+With several experiments (``run all``), per-experiment output files get the
+experiment id injected before the suffix (``t-F3.jsonl``).
+
 Every experiment is a pure function of its seed; the printed tables are the
 same artefacts the benchmark harness records in ``benchmarks/results/``.
+Instrumentation never changes them: tracing and metrics only *observe*.
 """
 
 from __future__ import annotations
@@ -16,7 +28,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, Tuple
+from contextlib import nullcontext
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+from repro import obs as obs_mod
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -75,6 +91,50 @@ def _registry() -> Dict[str, Tuple[str, Callable]]:
 EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {}
 
 
+def _out_path(base: str, eid: str, multi: bool) -> Path:
+    """Output path for one experiment: inject the id when running several."""
+    p = Path(base)
+    if multi:
+        p = p.with_name(f"{p.stem}-{eid}{p.suffix}")
+    p.parent.mkdir(parents=True, exist_ok=True)
+    return p
+
+
+def _build_obs(args) -> Optional[obs_mod.Observability]:
+    """Observability bundle for one experiment run, or None when all flags off."""
+    want_trace = args.trace or args.chrome_trace
+    if not (want_trace or args.profile or args.metrics_out):
+        return None
+    return obs_mod.Observability(
+        tracer=obs_mod.Tracer() if want_trace else None,
+        registry=obs_mod.MetricsRegistry() if args.metrics_out else None,
+        profiler=obs_mod.Profiler() if args.profile else None,
+    )
+
+
+def _write_artefacts(args, obs: Optional[obs_mod.Observability],
+                     result, eid: str, multi: bool) -> None:
+    """Export the per-experiment artefacts requested on the command line."""
+    from repro.metrics.export import metrics_to_json, to_json
+
+    if args.json is not None and hasattr(result, "experiment_id"):
+        p = to_json(result, _out_path(args.json, eid, multi))
+        print(f"  result json → {p}")
+    if obs is None:
+        return
+    if args.trace is not None:
+        p = obs.tracer.write_jsonl(_out_path(args.trace, eid, multi))
+        print(f"  trace → {p} ({len(obs.tracer)} records)")
+    if args.chrome_trace is not None:
+        p = obs.tracer.write_chrome_trace(_out_path(args.chrome_trace, eid, multi))
+        print(f"  chrome trace → {p}")
+    if args.metrics_out is not None:
+        p = metrics_to_json(obs.registry, _out_path(args.metrics_out, eid, multi))
+        print(f"  metrics → {p} ({len(obs.registry)} series)")
+    if args.profile and obs.profiler is not None:
+        print(obs.profiler.report())
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     EXPERIMENTS.update(_registry())
@@ -86,6 +146,16 @@ def main(argv=None) -> int:
     runp = sub.add_parser("run", help="run one experiment (or 'all')")
     runp.add_argument("experiment", help="experiment id (e.g. F4, E5, A2) or 'all'")
     runp.add_argument("--seed", type=int, default=None, help="override the seed")
+    runp.add_argument("--json", metavar="PATH", default=None,
+                      help="write the ExperimentResult as JSON")
+    runp.add_argument("--trace", metavar="PATH", default=None,
+                      help="capture a structured trace as JSONL")
+    runp.add_argument("--chrome-trace", metavar="PATH", default=None,
+                      help="capture a trace in Chrome trace-event format")
+    runp.add_argument("--profile", action="store_true",
+                      help="print per-subsystem wall-clock profile")
+    runp.add_argument("--metrics-out", metavar="PATH", default=None,
+                      help="write the metrics registry snapshot as JSON")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -100,18 +170,23 @@ def main(argv=None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}; try 'repro list'",
               file=sys.stderr)
         return 2
+    multi = len(ids) > 1
     for eid in ids:
         _, fn = EXPERIMENTS[eid]
         kwargs = {}
         if args.seed is not None:
             kwargs["seed"] = args.seed
+        obs = _build_obs(args)  # fresh bundle per experiment
         t0 = time.time()
-        try:
-            result = fn(**kwargs)
-        except TypeError:
-            result = fn()  # experiment without a seed parameter
+        with obs_mod.obs_session(obs) if obs is not None else nullcontext():
+            try:
+                result = fn(**kwargs)
+            except TypeError:
+                result = fn()  # experiment without a seed parameter
         print(result)
-        print(f"({eid} completed in {time.time() - t0:.1f}s)\n")
+        print(f"({eid} completed in {time.time() - t0:.1f}s)")
+        _write_artefacts(args, obs, result, eid, multi)
+        print()
     return 0
 
 

@@ -64,6 +64,13 @@ class FaultInjector:
         self._saved_dc = None
         self._gateway_patched: Dict[int, object] = {}
 
+    def _note(self, name: str, **args) -> None:
+        """Emit a ``fault`` trace record + counter through the middleware."""
+        obs = getattr(self.mw, "obs", None)
+        if obs is not None and obs.active:
+            obs.emit("fault", name, self.mw.engine.now, **args)
+            obs.counter("fault_events", type=name.split(".", 1)[-1]).inc()
+
     # ------------------------------------------------------------------ #
     # server crashes
     # ------------------------------------------------------------------ #
@@ -81,6 +88,8 @@ class FaultInjector:
         self.log.server_crashes += 1
         self.log.tasks_killed += len(killed)
         self.log.note(self.mw.engine.now, f"crash {server_name} ({len(killed)} tasks)")
+        self._note("fault.server_crash", server=server_name, district=district,
+                   tasks_killed=len(killed), salvage=salvage)
         if salvage:
             sched = self.mw.schedulers[district]
             for task in killed:
@@ -107,6 +116,7 @@ class FaultInjector:
         self._down_servers.discard(server_name)
         self.log.server_recoveries += 1
         self.log.note(self.mw.engine.now, f"recover {server_name}")
+        self._note("fault.server_recover", server=server_name, district=district)
         self.mw.schedulers[district].drain()
 
     def _find(self, server_name: str):
@@ -147,6 +157,7 @@ class FaultInjector:
         self._masters_down.add(district)
         self.log.master_outages += 1
         self.log.note(self.mw.engine.now, f"master outage district {district}")
+        self._note("fault.master_outage", district=district)
 
     def restore_master(self, district: int) -> None:
         """Bring a district's master back."""
@@ -155,6 +166,7 @@ class FaultInjector:
         self.mw.edge_gateways[district].submit = self._gateway_patched.pop(district)
         self._masters_down.discard(district)
         self.log.note(self.mw.engine.now, f"master restored district {district}")
+        self._note("fault.master_restore", district=district)
 
     def master_is_down(self, district: int) -> bool:
         """Whether a district's master is currently out."""
@@ -172,6 +184,7 @@ class FaultInjector:
         self._wan_partitioned = True
         self.log.wan_partitions += 1
         self.log.note(self.mw.engine.now, "WAN partitioned")
+        self._note("fault.wan_partition")
 
     def heal_wan(self) -> None:
         """Restore datacenter connectivity."""
@@ -180,6 +193,7 @@ class FaultInjector:
         self.mw.offloader.datacenter = self._saved_dc
         self._wan_partitioned = False
         self.log.note(self.mw.engine.now, "WAN healed")
+        self._note("fault.wan_heal")
 
     @property
     def wan_partitioned(self) -> bool:

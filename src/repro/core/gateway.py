@@ -22,6 +22,7 @@ from repro.core.requests import CloudRequest, EdgeMode, EdgeRequest, RequestStat
 from repro.hardware.server import ComputeServer, Task
 from repro.network.link import Link
 from repro.network.lowpower import LowPowerLink, LowPowerProtocol, ZIGBEE
+from repro.obs import get_obs
 
 __all__ = ["EdgeGateway", "DCCGateway"]
 
@@ -40,11 +41,13 @@ class EdgeGateway:
     rng: optional jitter stream for the radio links.
     """
 
-    def __init__(self, scheduler, engine, protocol: LowPowerProtocol = ZIGBEE, rng=None):
+    def __init__(self, scheduler, engine, protocol: LowPowerProtocol = ZIGBEE,
+                 rng=None, obs=None):
         self.scheduler = scheduler
         self.engine = engine
         self.protocol = protocol
         self.rng = rng
+        self.obs = obs if obs is not None else get_obs()
         self._links: Dict[str, LowPowerLink] = {}
         self.received = 0
         self.direct_requests = 0
@@ -68,6 +71,12 @@ class EdgeGateway:
         request is rejected (no master to queue it — the §II-C trade-off).
         """
         self.received += 1
+        if self.obs.active:
+            self.obs.emit("request", "edge.received", self.engine.now,
+                          id=req.request_id, mode=req.mode.value,
+                          cluster=self.scheduler.cluster.name)
+            self.obs.counter("gateway_received", flow="edge",
+                             cluster=self.scheduler.cluster.name).inc()
         link = self._link_for(req.source or "unknown")
         delivered = link.send(self.engine.now, int(req.input_bytes))
         radio_delay = delivered - self.engine.now
@@ -112,15 +121,22 @@ class EdgeGateway:
 class DCCGateway:
     """Internet front door of one cluster."""
 
-    def __init__(self, scheduler, engine, wan: Link):
+    def __init__(self, scheduler, engine, wan: Link, obs=None):
         self.scheduler = scheduler
         self.engine = engine
         self.wan = wan
+        self.obs = obs if obs is not None else get_obs()
         self.received = 0
 
     def submit(self, req: CloudRequest) -> None:
         """Accept a cloud request from the Internet (uplink delay applies)."""
         self.received += 1
+        if self.obs.active:
+            self.obs.emit("request", "cloud.received", self.engine.now,
+                          id=req.request_id,
+                          cluster=self.scheduler.cluster.name)
+            self.obs.counter("gateway_received", flow="cloud",
+                             cluster=self.scheduler.cluster.name).inc()
         delay = self.wan.delay(req.input_bytes)
         req.network_delay_s += delay
         req.__dict__["_return_delay_s"] = (

@@ -47,6 +47,7 @@ from repro.network.internet import WANLink, WANProfile
 from repro.network.link import Link
 from repro.network.lowpower import ZIGBEE, LowPowerProtocol
 from repro.network.topology import CityTopology
+from repro.obs import get_obs
 from repro.sim.calendar import SimCalendar
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
@@ -109,12 +110,23 @@ class MiddlewareConfig:
 
 
 class DF3Middleware:
-    """The single middleware for the three flows.  See module docstring."""
+    """The single middleware for the three flows.  See module docstring.
 
-    def __init__(self, config: MiddlewareConfig = MiddlewareConfig()):
+    ``obs`` is the :class:`repro.obs.Observability` bundle instrumenting this
+    city; it defaults to the process-wide current one (inactive unless the
+    CLI or a test installed an active bundle), so uninstrumented construction
+    and runs are byte-identical to pre-observability behaviour.
+    """
+
+    def __init__(self, config: MiddlewareConfig = MiddlewareConfig(), obs=None):
         self.config = config
         cfg = config
-        self.engine = Engine(start=cfg.start_time)
+        self.obs = obs if obs is not None else get_obs()
+        self.engine = Engine(
+            start=cfg.start_time,
+            tracer=self.obs.tracer if self.obs.tracer.enabled else None,
+            profiler=self.obs.profiler,
+        )
         self.rngs = RngRegistry(cfg.seed)
         self.cal = SimCalendar()
         self.weather = Weather(
@@ -137,6 +149,7 @@ class DF3Middleware:
             datacenter=self.datacenter,
             wan=wan_link if self.datacenter else None,
             allow_privacy_vertical=cfg.allow_privacy_vertical,
+            obs=self.obs,
         )
 
         # --- districts: buildings, rooms, Q.rads, regulators, clusters ----
@@ -177,6 +190,8 @@ class DF3Middleware:
                     room.attach(qrad)
                     reg = HeatRegulator(cfg.regulator)
                     reg.set_target(cfg.initial_setpoint_c)
+                    if self.obs.active:
+                        reg.observer = self._regulator_observer(room.name, d)
                     self.regulators[room.name] = reg
                     building_regs.append(reg)
                     self._server_room[qrad.name] = room.name
@@ -208,6 +223,7 @@ class DF3Middleware:
                 offloader=self.offloader,
                 decision_system=decision,
                 worker_priority=self._worker_priority,
+                obs=self.obs,
             )
             if cfg.architecture == "shared":
                 sched = SharedWorkersScheduler(
@@ -218,9 +234,10 @@ class DF3Middleware:
             self.schedulers[d] = sched
             self.edge_gateways[d] = EdgeGateway(
                 sched, self.engine, protocol=cfg.edge_protocol,
-                rng=self.rngs.stream(f"edge-net-{d}"),
+                rng=self.rngs.stream(f"edge-net-{d}"), obs=self.obs,
             )
-            self.dcc_gateways[d] = DCCGateway(sched, self.engine, wan_link)
+            self.dcc_gateways[d] = DCCGateway(sched, self.engine, wan_link,
+                                              obs=self.obs)
 
         for d, sched in self.schedulers.items():
             self.offloader.register_peer(
@@ -228,6 +245,48 @@ class DF3Middleware:
             )
 
         self.engine.add_process("df3-tick", cfg.thermal_tick_s, self._tick)
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def _regulator_observer(self, room: str, district: int):
+        """Per-room hook emitting ``regulator`` records + power gauges.
+
+        Heat-wanted transitions are the regulator's *actions* (they flip the
+        filler/power-off admission flag), so only those become trace records;
+        the continuous power fraction lands in a gauge.
+        """
+        state = {"wanted": None}
+
+        def observe(reg) -> None:
+            obs = self.obs
+            if not obs.active:
+                return
+            wanted = reg.heat_wanted
+            if wanted is not state["wanted"]:
+                state["wanted"] = wanted
+                obs.emit(
+                    "regulator",
+                    "regulator.heat_on" if wanted else "regulator.heat_off",
+                    self.engine.now, room=room,
+                    power_fraction=round(reg.power_fraction, 6),
+                    setpoint_c=reg.setpoint_c,
+                )
+                obs.counter("regulator_transitions", district=district).inc()
+            obs.gauge("regulator_power_fraction", room=room).set(reg.power_fraction)
+
+        return observe
+
+    def _tick_metrics(self) -> None:
+        """Fleet-level gauges sampled once per thermal tick."""
+        obs = self.obs
+        for d, cluster in self.clusters.items():
+            obs.gauge("cluster_free_cores", district=d).set(cluster.free_cores())
+        for bname, building in self.buildings.items():
+            temps = building.temperatures
+            obs.gauge("building_mean_temp_c", building=bname).set(
+                float(sum(temps)) / len(temps))
+        obs.gauge("filler_completed").set(self.filler_completed)
 
     # ------------------------------------------------------------------ #
     # placement priority: servers whose room wants heat go first
@@ -278,6 +337,8 @@ class DF3Middleware:
             boiler.thermal_step(now, dt, hod)
         if self.datacenter is not None:
             self.datacenter.account_heat(dt)
+        if self.obs.active:
+            self._tick_metrics()
 
     def _migrate_cold_servers(self) -> None:
         """Move preemptible cloud work off servers whose room rejects heat.
@@ -320,6 +381,8 @@ class DF3Middleware:
                 )
                 if not server.submit(chunk):
                     break
+                if self.obs.active:
+                    self.obs.counter("filler_injected").inc()
 
     def _filler_done(self) -> None:
         self.filler_completed += 1
@@ -343,6 +406,11 @@ class DF3Middleware:
         for room in req.rooms:
             if room not in self.regulators:
                 raise KeyError(f"unknown room {room!r}")
+        if self.obs.active:
+            self.obs.emit("regulator", "regulator.set_target", self.engine.now,
+                          id=req.request_id, rooms=list(req.rooms),
+                          target_c=req.target_temp_c, collective=req.collective)
+            self.obs.counter("requests_admitted", flow="heating").inc()
         if req.collective:
             building = req.rooms[0].rsplit("/", 1)[0]
             ctrl = self.collectives.get(building)
@@ -399,14 +467,17 @@ class DF3Middleware:
         """Schedule a batch of requests at their arrival times."""
         for req in requests:
             if isinstance(req, HeatingRequest):
-                self.engine.schedule_at(req.time, lambda r=req: self.submit_heating(r))
+                self.engine.schedule_at(req.time, lambda r=req: self.submit_heating(r),
+                                        label="inject:heating")
             elif isinstance(req, EdgeRequest):
                 tgt = (direct_targets or {}).get(req.request_id)
                 self.engine.schedule_at(
-                    req.time, lambda r=req, t=tgt: self.submit_edge(r, direct_target=t)
+                    req.time, lambda r=req, t=tgt: self.submit_edge(r, direct_target=t),
+                    label="inject:edge",
                 )
             elif isinstance(req, CloudRequest):
-                self.engine.schedule_at(req.time, lambda r=req: self.submit_cloud(r))
+                self.engine.schedule_at(req.time, lambda r=req: self.submit_cloud(r),
+                                        label="inject:cloud")
             else:
                 raise TypeError(f"cannot inject {type(req).__name__}")
 

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.requests import CloudRequest, EdgeRequest, RequestStatus
 from repro.hardware.server import Task
 from repro.network.link import Link
+from repro.obs import get_obs
 
 __all__ = ["OffloadDirection", "CooperationLedger", "Offloader"]
 
@@ -95,13 +96,14 @@ class Offloader:
     """
 
     def __init__(self, engine, datacenter=None, wan: Optional[Link] = None,
-                 allow_privacy_vertical: bool = False):
+                 allow_privacy_vertical: bool = False, obs=None):
         if datacenter is not None and wan is None:
             raise ValueError("vertical offloading needs a WAN link")
         self.engine = engine
         self.datacenter = datacenter
         self.wan = wan
         self.allow_privacy_vertical = allow_privacy_vertical
+        self.obs = obs if obs is not None else get_obs()
         self.ledger = CooperationLedger()
         self._peers: Dict[str, Tuple[object, Link]] = {}
         self.vertical_count = 0
@@ -136,6 +138,12 @@ class Offloader:
         uplink_delay = self.wan.delay(req.input_bytes)
         req.network_delay_s += uplink_delay
         is_edge = isinstance(req, EdgeRequest)
+        if self.obs.active:
+            flow = "edge" if is_edge else "cloud"
+            self.obs.emit("request", f"{flow}.offloaded", self.engine.now,
+                          id=req.request_id, direction=OffloadDirection.VERTICAL.value,
+                          src=from_scheduler.cluster.name, dst=self.datacenter.name)
+            self.obs.counter("offloads", direction="vertical", flow=flow).inc()
 
         def arrive() -> None:
             def done(task: Task, now: float) -> None:
@@ -187,6 +195,11 @@ class Offloader:
         self.horizontal_count += 1
         req.__dict__["_offloaded_once"] = True
         req.status = RequestStatus.OFFLOADED
+        if self.obs.active:
+            self.obs.emit("request", "edge.offloaded", self.engine.now,
+                          id=req.request_id, direction=OffloadDirection.HORIZONTAL.value,
+                          src=me, dst=peer_name)
+            self.obs.counter("offloads", direction="horizontal", flow="edge").inc()
         hop = link.delay(req.input_bytes)
         req.network_delay_s += hop
         req.__dict__["_return_delay_s"] = (

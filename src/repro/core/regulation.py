@@ -17,11 +17,18 @@ The regulator is a PI controller on room-temperature error:
 
 Anti-windup: the integral term is clamped so a long cold spell cannot latch
 the controller at saturation for hours after the error clears.
+
+Observability: the regulator itself knows neither time nor room name, so it
+exposes an :attr:`HeatRegulator.observer` hook — a callable invoked with the
+regulator after every :meth:`HeatRegulator.update`.  The middleware binds one
+per room to emit ``regulator.*`` trace records and power-fraction gauges; the
+default (``None``) costs a single attribute check per tick.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 __all__ = ["RegulatorConfig", "HeatRegulator"]
 
@@ -65,6 +72,8 @@ class HeatRegulator:
         self._integral = 0.0
         self.power_fraction = 0.0
         self.last_error_c = 0.0
+        #: observability hook, called as ``observer(self)`` after each update
+        self.observer: Optional[Callable[["HeatRegulator"], None]] = None
 
     def set_target(self, setpoint_c: float) -> None:
         """Update the comfort target (a heating request landing)."""
@@ -83,6 +92,8 @@ class HeatRegulator:
         self._integral = max(min(self._integral, cfg.integral_limit), -cfg.integral_limit)
         u = cfg.kp * err + cfg.ki * self._integral
         self.power_fraction = max(0.0, min(1.0, u))
+        if self.observer is not None:
+            self.observer(self)
         return self.power_fraction
 
     @property

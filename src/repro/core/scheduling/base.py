@@ -17,6 +17,7 @@ from repro.core.cluster import Cluster
 from repro.core.requests import CloudRequest, EdgeRequest, RequestStatus
 from repro.core.scheduling.queues import EDFQueue, FCFSQueue
 from repro.hardware.server import ComputeServer, Task
+from repro.obs import get_obs
 
 __all__ = ["SaturationPolicy", "SchedulerStats", "BaseScheduler"]
 
@@ -61,6 +62,8 @@ class BaseScheduler(ABC):
     worker_priority: optional key function ordering candidate workers
         (the middleware passes heat-wanted-first so compute lands where heat
         is requested).
+    obs: optional :class:`repro.obs.Observability` bundle; defaults to the
+        process-wide current one (inactive unless installed).
     """
 
     def __init__(
@@ -71,6 +74,7 @@ class BaseScheduler(ABC):
         offloader=None,
         decision_system=None,
         worker_priority: Optional[Callable[[ComputeServer], float]] = None,
+        obs=None,
     ):
         if policy in (SaturationPolicy.VERTICAL, SaturationPolicy.HORIZONTAL) and offloader is None:
             raise ValueError(f"policy {policy.value} requires an offloader")
@@ -82,6 +86,7 @@ class BaseScheduler(ABC):
         self.offloader = offloader
         self.decision_system = decision_system
         self.worker_priority = worker_priority
+        self.obs = obs if obs is not None else get_obs()
         self.cloud_queue: FCFSQueue[CloudRequest] = FCFSQueue()
         self.edge_queue = EDFQueue()
         self.stats = SchedulerStats()
@@ -117,14 +122,27 @@ class BaseScheduler(ABC):
             metadata={"request": req, "kind": kind},
         )
 
+    def _note_placed(self, req, kind: str, worker_name: str) -> None:
+        """Record a successful placement on the request and the trace."""
+        req.status = RequestStatus.RUNNING
+        req.started_at = self.engine.now
+        req.executed_on = worker_name
+        obs = self.obs
+        if obs.active:
+            obs.emit("request", f"{kind}.scheduled", self.engine.now,
+                     id=req.request_id, worker=worker_name,
+                     cluster=self.cluster.name)
+            obs.counter("requests_scheduled", flow=kind,
+                        cluster=self.cluster.name).inc()
+            obs.histogram("placement_wait_s", flow=kind).observe(
+                self.engine.now - req.time)
+
     def _try_place(self, req, kind: str, workers: Sequence[ComputeServer]) -> bool:
         ordered = self._ordered(workers)
         for w in ordered:
             if w.free_cores >= req.cores:
                 if w.submit(self._make_task(req, kind)):
-                    req.status = RequestStatus.RUNNING
-                    req.started_at = self.engine.now
-                    req.executed_on = w.name
+                    self._note_placed(req, kind, w.name)
                     return True
         # no plain room: evict filler chunks (BOINC-class heat work is always
         # displaceable by paying requests) and retry
@@ -140,9 +158,7 @@ class BaseScheduler(ABC):
                     break
                 w.preempt(t.task_id)
             if w.free_cores >= req.cores and w.submit(self._make_task(req, kind)):
-                req.status = RequestStatus.RUNNING
-                req.started_at = self.engine.now
-                req.executed_on = w.name
+                self._note_placed(req, kind, w.name)
                 return True
         return False
 
@@ -156,22 +172,46 @@ class BaseScheduler(ABC):
             self.completed_edge.append(req)
         else:
             self.completed_cloud.append(req)
+        obs = self.obs
+        if obs.active:
+            service = now - req.started_at if req.started_at >= 0 else 0.0
+            obs.emit("request", f"{kind}.completed", now, dur=service,
+                     id=req.request_id, worker=req.executed_on,
+                     cluster=self.cluster.name)
+            obs.counter("requests_completed", flow=kind,
+                        cluster=self.cluster.name).inc()
+            obs.histogram("service_time_s", flow=kind).observe(service)
         self.drain()
 
     # ------------------------------------------------------------------ #
     # submission API
     # ------------------------------------------------------------------ #
+    def _note_admitted(self, req, kind: str) -> None:
+        obs = self.obs
+        if obs.active:
+            obs.emit("request", f"{kind}.admitted", self.engine.now,
+                     id=req.request_id, cluster=self.cluster.name)
+            obs.counter("requests_admitted", flow=kind,
+                        cluster=self.cluster.name).inc()
+
     def submit_cloud(self, req: CloudRequest) -> None:
         """Admit a cloud request: place now or FCFS-queue."""
         self.stats.cloud_submitted += 1
+        self._note_admitted(req, "cloud")
         if not self._try_place(req, "cloud", self.cloud_workers()):
             req.status = RequestStatus.QUEUED
             self.cloud_queue.push(req)
             self.stats.cloud_queued += 1
+            if self.obs.active:
+                self.obs.emit("request", "cloud.queued", self.engine.now,
+                              id=req.request_id, cluster=self.cluster.name)
+                self.obs.counter("requests_queued", flow="cloud",
+                                 cluster=self.cluster.name).inc()
 
     def submit_edge(self, req: EdgeRequest) -> None:
         """Admit an edge request: place now or apply the saturation policy."""
         self.stats.edge_submitted += 1
+        self._note_admitted(req, "edge")
         if self._try_place(req, "edge", self.edge_workers()):
             self.stats.edge_placed_immediately += 1
             return
@@ -197,6 +237,11 @@ class BaseScheduler(ABC):
         req.status = RequestStatus.QUEUED
         self.edge_queue.push(req)
         self.stats.edge_queued += 1
+        if self.obs.active:
+            self.obs.emit("request", "edge.queued", self.engine.now,
+                          id=req.request_id, cluster=self.cluster.name)
+            self.obs.counter("requests_queued", flow="edge",
+                             cluster=self.cluster.name).inc()
 
     def _preempt_for(self, req: EdgeRequest) -> bool:
         """Free ``req.cores`` on one edge-eligible worker by preempting DCC.
@@ -224,6 +269,12 @@ class BaseScheduler(ABC):
             creq.cycles = max(preempted.remaining_cycles, 1.0)
             self.cloud_queue.push_front(creq)
             self.stats.cloud_preempted += 1
+            if self.obs.active:
+                self.obs.emit("request", "cloud.preempted", self.engine.now,
+                              id=creq.request_id, worker=worker.name,
+                              for_request=req.request_id)
+                self.obs.counter("requests_preempted", flow="cloud",
+                                 cluster=self.cluster.name).inc()
         self.stats.edge_preemptions_triggered += 1
         placed = self._try_place(req, "edge", [worker])
         if not placed:  # pragma: no cover - defensive; victims freed the cores
@@ -294,6 +345,11 @@ class BaseScheduler(ABC):
             stale.mark_rejected()
             self.expired_edge.append(stale)
             self.stats.edge_expired += 1
+            if self.obs.active:
+                self.obs.emit("request", "edge.expired", now,
+                              id=stale.request_id, cluster=self.cluster.name)
+                self.obs.counter("requests_expired", flow="edge",
+                                 cluster=self.cluster.name).inc()
         while self.edge_queue:
             head = self.edge_queue.peek()
             if not self._try_place(head, "edge", self.edge_workers()):

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
-from repro.core.requests import RequestStatus
 from repro.core.scheduling.base import BaseScheduler
 from repro.hardware.server import ComputeServer
 
@@ -65,8 +64,6 @@ class SharedWorkersScheduler(BaseScheduler):
                 task.remaining_cycles += penalty_cycles
                 if w.submit(task):
                     self._last_kind[w.name] = kind
-                    req.status = RequestStatus.RUNNING
-                    req.started_at = self.engine.now
-                    req.executed_on = w.name
+                    self._note_placed(req, kind, w.name)
                     return True
         return False

@@ -36,11 +36,18 @@ def mid_month_start(month: int, year_offset: int = 0) -> float:
     return _CAL.month_start(month) + 9 * DAY + year_offset * 365 * DAY
 
 
-def small_city(**overrides) -> DF3Middleware:
+def small_city(obs=None, **overrides) -> DF3Middleware:
     """The canonical experiment city: small enough for benchmarks, complete.
 
     2 districts × 2 buildings × 3 rooms = 12 Q.rads (192 cores), one 8-node
     datacenter.  Override any :class:`MiddlewareConfig` field via kwargs.
+
+    ``obs`` optionally instruments the city with a specific
+    :class:`repro.obs.Observability` bundle; by default the middleware picks
+    up the process-wide current one, so any experiment run under
+    ``repro.obs.obs_session(...)`` (which is what ``python -m repro run
+    --trace/--profile/--metrics-out`` does) is fully instrumented without
+    changes to its code.
     """
     defaults: Dict[str, Any] = dict(
         n_districts=2,
@@ -52,4 +59,4 @@ def small_city(**overrides) -> DF3Middleware:
         filler_chunk_s=1200.0,
     )
     defaults.update(overrides)
-    return DF3Middleware(MiddlewareConfig(**defaults))
+    return DF3Middleware(MiddlewareConfig(**defaults), obs=obs)

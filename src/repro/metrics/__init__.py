@@ -2,7 +2,7 @@
 
 from repro.metrics.collectors import TimeSeries, percentile
 from repro.metrics.energy import EnergyReport, joules_to_kwh
-from repro.metrics.export import flatten, to_csv, to_json
+from repro.metrics.export import flatten, metrics_to_json, to_csv, to_json
 from repro.metrics.latency import LatencyStats
 from repro.metrics.report import Table, format_series
 
@@ -12,6 +12,7 @@ __all__ = [
     "format_series",
     "joules_to_kwh",
     "LatencyStats",
+    "metrics_to_json",
     "percentile",
     "Table",
     "TimeSeries",

@@ -1,4 +1,4 @@
-"""Export experiment results to JSON/CSV for downstream analysis."""
+"""Export experiment results and metrics snapshots to JSON/CSV."""
 
 from __future__ import annotations
 
@@ -8,10 +8,19 @@ import math
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping
 
-__all__ = ["to_json", "to_csv", "flatten"]
+import numpy as np
+
+__all__ = ["to_json", "to_csv", "flatten", "metrics_to_json"]
 
 
 def _jsonable(value: Any) -> Any:
+    # numpy first: scalars unwrap to their Python equivalents (np.float64 is
+    # already a float subclass, but np.float32/np.int64/np.bool_ are not and
+    # would otherwise fall through to str(), corrupting the export)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, np.generic):
+        return _jsonable(value.item())
     if isinstance(value, float) and (math.isnan(value) or math.isinf(value)):
         return str(value)
     if isinstance(value, Mapping):
@@ -33,6 +42,17 @@ def to_json(result, path: str | Path) -> Path:
         "data": _jsonable(result.data),
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return path
+
+
+def metrics_to_json(registry_or_snapshot, path: str | Path) -> Path:
+    """Write a :class:`repro.obs.MetricsRegistry` (or a snapshot dict) as JSON."""
+    snap = (registry_or_snapshot.snapshot()
+            if hasattr(registry_or_snapshot, "snapshot")
+            else registry_or_snapshot)
+    path = Path(path)
+    path.write_text(json.dumps(_jsonable(snap), indent=2, sort_keys=True),
+                    encoding="utf-8")
     return path
 
 

@@ -1,0 +1,193 @@
+"""Process-wide metrics registry: named counters, gauges and histograms.
+
+The registry is the numeric companion of the tracer: where a trace answers
+"what happened, in order", a metrics snapshot answers "how much, how often".
+Metrics are identified by a name plus a label set (``requests_admitted``
+with ``flow=edge, cluster=district-0``), so per-flow and per-district series
+coexist under one name.
+
+Snapshots are plain nested dicts keyed by the rendered series name
+(``requests_admitted{cluster=district-0,flow=edge}``), which makes them
+JSON-exportable via :func:`repro.metrics.export.metrics_to_json` and
+diffable with :meth:`MetricsRegistry.diff`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _series_name(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: increment must be >= 0")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        """Current value."""
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (free cores, room temperature, …)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        self.value += amount
+
+    def snapshot(self) -> float:
+        """Current value."""
+        return self.value
+
+
+class Histogram:
+    """A distribution of observed values (service times, queue waits, …).
+
+    Observations are retained, which is fine at simulation scale (runs are
+    finite and short); the snapshot reduces to count/sum/min/max/mean and
+    the 50th/95th/99th percentiles.
+    """
+
+    __slots__ = ("name", "labels", "_values")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations so far."""
+        return len(self._values)
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile of the observations."""
+        if not self._values:
+            raise ValueError(f"histogram {self.name}: no observations")
+        if not 0 <= q <= 100:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        vs = sorted(self._values)
+        pos = (len(vs) - 1) * q / 100.0
+        lo = int(pos)
+        hi = min(lo + 1, len(vs) - 1)
+        return vs[lo] + (vs[hi] - vs[lo]) * (pos - lo)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Reduced view of the distribution."""
+        if not self._values:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": len(self._values),
+            "sum": sum(self._values),
+            "min": min(self._values),
+            "max": max(self._values),
+            "mean": sum(self._values) / len(self._values),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home of all metric series in one run.
+
+    One registry per instrumented run; the CLI creates a fresh one per
+    experiment so snapshots never bleed across runs.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[LabelKey, object] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, Any]):
+        key: LabelKey = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1])
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}, "
+                f"not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get or create the counter for ``name`` + ``labels``."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get or create the gauge for ``name`` + ``labels``."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """Get or create the histogram for ``name`` + ``labels``."""
+        return self._get(Histogram, name, labels)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def clear(self) -> None:
+        """Drop every registered series."""
+        self._metrics.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Rendered-name → value (scalar, or dict for histograms)."""
+        return {
+            _series_name(name, labels): metric.snapshot()
+            for (name, labels), metric in sorted(self._metrics.items())
+        }
+
+    @staticmethod
+    def diff(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
+        """Numeric delta of two snapshots (series missing before count from 0).
+
+        Histogram entries diff per-field on ``count`` and ``sum`` (order
+        statistics do not subtract meaningfully and are dropped).
+        """
+        out: Dict[str, Any] = {}
+        for key, new in after.items():
+            old = before.get(key)
+            if isinstance(new, dict):
+                base = old if isinstance(old, dict) else {}
+                out[key] = {
+                    f: new.get(f, 0) - base.get(f, 0) for f in ("count", "sum")
+                }
+            else:
+                out[key] = new - (old if isinstance(old, (int, float)) else 0)
+        return out

@@ -1,0 +1,194 @@
+"""Structured tracing for DF3 runs.
+
+A trace is an append-only sequence of :class:`TraceRecord` — typed, timestamped
+facts about what happened inside the simulator: request lifecycle transitions
+(``edge.admitted`` → ``edge.queued`` → ``edge.scheduled`` → ``edge.completed``),
+regulator actions, fault injections, engine event dispatch.  Records carry
+*simulated* time, so a trace is as deterministic as the run that produced it.
+
+Two tracer flavours:
+
+* :class:`Tracer` — collects records in memory; export with
+  :func:`write_jsonl` (one JSON object per line) or
+  :func:`write_chrome_trace` (the Chrome ``chrome://tracing`` / Perfetto
+  trace-event format).
+* :class:`NullTracer` — the zero-overhead default.  ``enabled`` is False and
+  :meth:`~NullTracer.emit` is a no-op, so instrumentation sites guarded by
+  ``if obs.active:`` cost one attribute check on uninstrumented runs.
+
+Canonical record kinds (``TraceRecord.kind``): ``request``, ``regulator``,
+``fault``, ``engine``.  Kinds are open-ended — new subsystems may add their
+own — but exporters group by kind, so reuse these when they fit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = [
+    "TraceRecord",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "write_jsonl",
+    "read_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+@dataclass
+class TraceRecord:
+    """One observed fact.
+
+    ``ts`` is simulated seconds; ``dur`` (also simulated seconds) turns the
+    record into a span — e.g. the service time of a completed request.
+    ``args`` holds free-form structured payload (request ids, room names,
+    worker names, …).
+    """
+
+    ts: float
+    kind: str
+    name: str
+    args: Dict[str, Any] = field(default_factory=dict)
+    dur: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form used by the JSONL exporter."""
+        out: Dict[str, Any] = {"ts": self.ts, "kind": self.kind, "name": self.name}
+        if self.dur is not None:
+            out["dur"] = self.dur
+        out["args"] = self.args
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "TraceRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            ts=float(d["ts"]),
+            kind=str(d["kind"]),
+            name=str(d["name"]),
+            args=dict(d.get("args", {})),
+            dur=d.get("dur"),
+        )
+
+
+class Tracer:
+    """In-memory collector of :class:`TraceRecord`.
+
+    The ``enabled`` class attribute is the fast-path switch: instrumentation
+    reads it (via ``Observability.active``) before building any record, so a
+    disabled tracer costs nothing on hot paths.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def emit(self, kind: str, name: str, ts: float,
+             dur: Optional[float] = None, **args: Any) -> None:
+        """Append one record at simulated time ``ts``."""
+        self.records.append(TraceRecord(float(ts), kind, name, args, dur))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self.records.clear()
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Record count per ``kind`` — the trace's table of contents."""
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Export this tracer's records as JSONL; see :func:`write_jsonl`."""
+        return write_jsonl(self.records, path)
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        """Export in Chrome trace-event format; see :func:`write_chrome_trace`."""
+        return write_chrome_trace(self.records, path)
+
+
+class NullTracer(Tracer):
+    """The do-nothing tracer: observability off (the default)."""
+
+    enabled = False
+
+    def emit(self, kind: str, name: str, ts: float,
+             dur: Optional[float] = None, **args: Any) -> None:
+        """Discard the record."""
+
+
+#: Shared inert tracer; safe to use from any number of middlewares at once
+#: because it holds no state.
+NULL_TRACER = NullTracer()
+
+
+# --------------------------------------------------------------------------- #
+# exporters
+# --------------------------------------------------------------------------- #
+def write_jsonl(records: Iterable[TraceRecord], path: str | Path) -> Path:
+    """Write records as JSON Lines (one record object per line)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as f:
+        for r in records:
+            f.write(json.dumps(r.to_dict(), sort_keys=True, default=str))
+            f.write("\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> List[TraceRecord]:
+    """Load a JSONL trace back into records (for analysis and tests)."""
+    out: List[TraceRecord] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            out.append(TraceRecord.from_dict(json.loads(line)))
+    return out
+
+
+def to_chrome_trace(records: Iterable[TraceRecord]) -> Dict[str, Any]:
+    """Render records as a Chrome trace-event JSON object.
+
+    Loadable in ``chrome://tracing`` and https://ui.perfetto.dev.  Each record
+    kind becomes one named thread (pid 1); records with ``dur`` become
+    complete-duration events (``ph="X"``), the rest instant events
+    (``ph="i"``).  Timestamps are microseconds of *simulated* time.
+    """
+    events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+    for r in records:
+        tid = tids.get(r.kind)
+        if tid is None:
+            tid = tids[r.kind] = len(tids) + 1
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                "args": {"name": r.kind},
+            })
+        ev: Dict[str, Any] = {
+            "name": r.name, "cat": r.kind, "pid": 1, "tid": tid,
+            "ts": r.ts * 1e6, "args": r.args,
+        }
+        if r.dur is not None:
+            ev["ph"] = "X"
+            ev["dur"] = r.dur * 1e6
+        else:
+            ev["ph"] = "i"
+            ev["s"] = "t"
+        events.append(ev)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: Iterable[TraceRecord], path: str | Path) -> Path:
+    """Write :func:`to_chrome_trace` output to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(records), default=str),
+                    encoding="utf-8")
+    return path

@@ -17,6 +17,13 @@ The engine supports two styles of activity:
 
 Periodic processes receive the elapsed ``dt`` so integrators do not need to
 track time themselves.
+
+The engine optionally carries a tracer and a profiler (see :mod:`repro.obs`):
+with either attached, every dispatched callback is attributed to a label (the
+``label=`` given at scheduling time, or the callback's ``__qualname__``) —
+the profiler accumulates wall-clock per label, the tracer records the
+dispatch at simulated time.  With both detached (the default) the dispatch
+loop is exactly the uninstrumented fast path.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, List, Optional
 
 __all__ = ["Engine", "Event", "Process", "SimulationError"]
@@ -49,6 +57,7 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    label: Optional[str] = field(default=None, compare=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when its time comes."""
@@ -87,6 +96,12 @@ class Engine:
     start:
         Simulation epoch in seconds (default 0.0 = Jan 1, 00:00 in
         :class:`repro.sim.calendar.SimCalendar` terms).
+    tracer:
+        Optional :class:`repro.obs.Tracer`; when set, each dispatched
+        callback emits an ``engine.dispatch`` record.
+    profiler:
+        Optional :class:`repro.obs.Profiler`; when set, each dispatched
+        callback's wall-clock time is attributed to its label.
 
     Notes
     -----
@@ -95,29 +110,38 @@ class Engine:
     extended by a later call.
     """
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0, tracer=None, profiler=None):
         self.now: float = float(start)
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._processes: List[Process] = []
         self._events_executed = 0
+        self.tracer = tracer
+        self.profiler = profiler
 
     # ------------------------------------------------------------------ #
     # scheduling
     # ------------------------------------------------------------------ #
-    def schedule(self, delay: float, callback: Callable[[], None], priority: int = 0) -> Event:
+    def schedule(self, delay: float, callback: Callable[[], None], priority: int = 0,
+                 label: Optional[str] = None) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
-        return self.schedule_at(self.now + delay, callback, priority)
+        return self.schedule_at(self.now + delay, callback, priority, label=label)
 
-    def schedule_at(self, time: float, callback: Callable[[], None], priority: int = 0) -> Event:
-        """Schedule ``callback`` at absolute simulated ``time``."""
+    def schedule_at(self, time: float, callback: Callable[[], None], priority: int = 0,
+                    label: Optional[str] = None) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        ``label`` names the event for profiling/tracing attribution; unnamed
+        events fall back to the callback's ``__qualname__``.
+        """
         if math.isnan(time):
             raise SimulationError("cannot schedule event at NaN time")
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule event in the past: t={time} < now={self.now}"
             )
-        ev = Event(time=float(time), priority=priority, seq=next(self._seq), callback=callback)
+        ev = Event(time=float(time), priority=priority, seq=next(self._seq),
+                   callback=callback, label=label)
         heapq.heappush(self._heap, ev)
         return ev
 
@@ -139,7 +163,7 @@ class Engine:
             if proc.active:
                 self._schedule_process(proc)
 
-        self.schedule(proc.period, tick, priority=10)
+        self.schedule(proc.period, tick, priority=10, label=f"process:{proc.name}")
 
     # ------------------------------------------------------------------ #
     # execution
@@ -148,12 +172,16 @@ class Engine:
         """Execute all events with ``time <= horizon``, then set now=horizon."""
         if horizon < self.now:
             raise SimulationError(f"horizon {horizon} is before now={self.now}")
+        instrumented = self.tracer is not None or self.profiler is not None
         while self._heap and self._heap[0].time <= horizon:
             ev = heapq.heappop(self._heap)
             if ev.cancelled:
                 continue
             self.now = ev.time
-            ev.callback()
+            if instrumented:
+                self._dispatch_instrumented(ev)
+            else:
+                ev.callback()
             self._events_executed += 1
         self.now = float(horizon)
 
@@ -164,10 +192,25 @@ class Engine:
             if ev.cancelled:
                 continue
             self.now = ev.time
-            ev.callback()
+            if self.tracer is not None or self.profiler is not None:
+                self._dispatch_instrumented(ev)
+            else:
+                ev.callback()
             self._events_executed += 1
             return True
         return False
+
+    def _dispatch_instrumented(self, ev: Event) -> None:
+        """Run one callback under profiling and/or tracing attribution."""
+        label = ev.label or getattr(ev.callback, "__qualname__", "callback")
+        t0 = perf_counter()
+        ev.callback()
+        elapsed = perf_counter() - t0
+        if self.profiler is not None:
+            self.profiler.record(label, elapsed)
+        if self.tracer is not None:
+            self.tracer.emit("engine", "engine.dispatch", self.now,
+                             label=label, priority=ev.priority)
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -1,0 +1,102 @@
+"""Tests for the metrics registry: counters, gauges, histograms, snapshots."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+def test_counter_get_or_create_and_inc():
+    reg = MetricsRegistry()
+    c = reg.counter("requests_admitted", flow="edge")
+    c.inc()
+    c.inc(2.0)
+    assert reg.counter("requests_admitted", flow="edge") is c
+    assert c.value == 3.0
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_labels_distinguish_series():
+    reg = MetricsRegistry()
+    reg.counter("x", flow="edge").inc()
+    reg.counter("x", flow="cloud").inc(5)
+    reg.counter("x").inc(9)
+    snap = reg.snapshot()
+    assert snap["x{flow=edge}"] == 1
+    assert snap["x{flow=cloud}"] == 5
+    assert snap["x"] == 9
+    assert len(reg) == 3
+
+
+def test_label_order_does_not_matter():
+    reg = MetricsRegistry()
+    a = reg.counter("x", flow="edge", district=0)
+    b = reg.counter("x", district=0, flow="edge")
+    assert a is b
+
+
+def test_gauge_set_and_inc():
+    reg = MetricsRegistry()
+    g = reg.gauge("free_cores", district=1)
+    g.set(10)
+    g.inc(-3)
+    assert g.value == 7.0
+    assert reg.snapshot()["free_cores{district=1}"] == 7.0
+
+
+def test_histogram_snapshot_and_percentile():
+    reg = MetricsRegistry()
+    h = reg.histogram("service_time_s", flow="edge")
+    for v in [1.0, 2.0, 3.0, 4.0, 5.0]:
+        h.observe(v)
+    assert h.count == 5
+    assert h.percentile(50) == 3.0
+    assert h.percentile(0) == 1.0
+    assert h.percentile(100) == 5.0
+    snap = h.snapshot()
+    assert snap["count"] == 5
+    assert snap["sum"] == 15.0
+    assert snap["mean"] == 3.0
+    assert snap["min"] == 1.0 and snap["max"] == 5.0
+    assert snap["p50"] == 3.0
+
+
+def test_histogram_empty_and_bad_q():
+    reg = MetricsRegistry()
+    h = reg.histogram("h")
+    assert h.snapshot() == {"count": 0, "sum": 0.0}
+    with pytest.raises(ValueError):
+        h.percentile(50)
+    h.observe(1.0)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_type_conflict_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_snapshot_diff():
+    reg = MetricsRegistry()
+    reg.counter("done", flow="edge").inc(3)
+    reg.histogram("lat").observe(1.0)
+    before = reg.snapshot()
+    reg.counter("done", flow="edge").inc(2)
+    reg.counter("new_series").inc()
+    reg.histogram("lat").observe(3.0)
+    after = reg.snapshot()
+    d = MetricsRegistry.diff(before, after)
+    assert d["done{flow=edge}"] == 2
+    assert d["new_series"] == 1  # missing before counts from zero
+    assert d["lat"] == {"count": 1, "sum": 3.0}
+
+
+def test_clear():
+    reg = MetricsRegistry()
+    reg.counter("x").inc()
+    reg.clear()
+    assert len(reg) == 0
+    assert reg.snapshot() == {}

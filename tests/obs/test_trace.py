@@ -1,0 +1,115 @@
+"""Tests for the tracer: records, JSONL round-trip, Chrome trace schema."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    TraceRecord,
+    Tracer,
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def test_emit_collects_typed_records():
+    tr = Tracer()
+    tr.emit("request", "edge.admitted", 1.5, id="edge-0", cluster="district-0")
+    tr.emit("request", "edge.completed", 2.5, dur=1.0, id="edge-0")
+    tr.emit("engine", "engine.dispatch", 2.5, label="inject:edge")
+    assert len(tr) == 3
+    assert tr.counts_by_kind() == {"request": 2, "engine": 1}
+    first = tr.records[0]
+    assert first.ts == 1.5
+    assert first.kind == "request"
+    assert first.args["id"] == "edge-0"
+    assert first.dur is None
+    assert tr.records[1].dur == 1.0
+
+
+def test_clear():
+    tr = Tracer()
+    tr.emit("engine", "x", 0.0)
+    tr.clear()
+    assert len(tr) == 0
+
+
+def test_null_tracer_is_inert():
+    null = NullTracer()
+    assert not null.enabled
+    null.emit("request", "edge.admitted", 1.0, id="r")
+    assert len(null) == 0
+    assert not NULL_TRACER.enabled
+    assert Tracer.enabled  # the real one is on
+
+
+def test_jsonl_roundtrip(tmp_path):
+    tr = Tracer()
+    tr.emit("regulator", "regulator.heat_on", 10.0, room="b/room-0",
+            power_fraction=0.4)
+    tr.emit("fault", "fault.server_crash", 20.0, server="q-1", tasks_killed=2)
+    path = tr.write_jsonl(tmp_path / "t.jsonl")
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    for line in lines:
+        json.loads(line)  # every line is standalone JSON
+    back = read_jsonl(path)
+    assert back == tr.records
+
+
+def test_record_dict_roundtrip():
+    rec = TraceRecord(3.0, "request", "cloud.scheduled",
+                      {"id": "cloud-1", "worker": "q-2"}, dur=None)
+    assert TraceRecord.from_dict(rec.to_dict()) == rec
+
+
+# --------------------------------------------------------------------------- #
+# Chrome trace-event format (the chrome://tracing / Perfetto schema)
+# --------------------------------------------------------------------------- #
+def chrome_fixture():
+    tr = Tracer()
+    tr.emit("request", "edge.admitted", 1.0, id="edge-0")
+    tr.emit("request", "edge.completed", 3.0, dur=2.0, id="edge-0")
+    tr.emit("engine", "engine.dispatch", 3.0, label="x")
+    return tr
+
+
+def test_chrome_trace_schema():
+    doc = to_chrome_trace(chrome_fixture().records)
+    assert isinstance(doc["traceEvents"], list)
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    data = [e for e in events if e["ph"] != "M"]
+    # one thread-name metadata event per kind
+    assert {m["args"]["name"] for m in meta} == {"request", "engine"}
+    for ev in data:
+        assert ev["ph"] in ("X", "i")
+        assert isinstance(ev["name"], str) and ev["name"]
+        assert isinstance(ev["ts"], (int, float))
+        assert isinstance(ev["pid"], int)
+        assert isinstance(ev["tid"], int)
+        if ev["ph"] == "X":
+            assert "dur" in ev and ev["dur"] >= 0
+        else:
+            assert ev["s"] in ("t", "p", "g")
+    # timestamps are microseconds of simulated time
+    assert data[0]["ts"] == pytest.approx(1.0e6)
+    span = next(e for e in data if e["ph"] == "X")
+    assert span["dur"] == pytest.approx(2.0e6)
+
+
+def test_chrome_trace_file_is_valid_json(tmp_path):
+    path = write_chrome_trace(chrome_fixture().records, tmp_path / "c.json")
+    doc = json.loads(path.read_text())
+    assert {"traceEvents", "displayTimeUnit"} <= set(doc)
+
+
+def test_chrome_trace_groups_kinds_on_stable_tids():
+    events = to_chrome_trace(chrome_fixture().records)["traceEvents"]
+    tid_of = {e["args"]["name"]: e["tid"] for e in events if e["ph"] == "M"}
+    for ev in events:
+        if ev["ph"] != "M":
+            assert ev["tid"] == tid_of[ev["cat"]]

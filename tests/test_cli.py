@@ -1,8 +1,11 @@
 """Tests for the CLI experiment runner."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main
+from repro.obs import get_obs
 
 
 def test_list_shows_all_experiments(capsys):
@@ -41,3 +44,51 @@ def test_registry_is_complete():
     main(["list"])  # populate
     assert len(EXPERIMENTS) == 21
     assert set(EXPERIMENTS) >= {f"E{i}" for i in range(1, 13)}
+
+
+# --------------------------------------------------------------------------- #
+# observability / export flags
+# --------------------------------------------------------------------------- #
+def test_run_with_json_export(tmp_path, capsys):
+    out = tmp_path / "a1.json"
+    assert main(["run", "A1", "--json", str(out)]) == 0
+    back = json.loads(out.read_text())
+    assert back["experiment_id"] == "A1"
+    assert back["data"]  # raw numbers came along
+    assert str(out) in capsys.readouterr().out
+
+
+def test_run_fully_instrumented(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    chrome = tmp_path / "t.json"
+    metrics = tmp_path / "m.json"
+    assert main(["run", "F3", "--trace", str(trace), "--chrome-trace",
+                 str(chrome), "--profile", "--metrics-out", str(metrics)]) == 0
+    out = capsys.readouterr().out
+    assert "profile —" in out
+    # JSONL trace: every line parses, several record kinds present
+    kinds = set()
+    for line in trace.read_text().splitlines():
+        kinds.add(json.loads(line)["kind"])
+    assert {"request", "regulator", "engine"} <= kinds
+    # chrome trace parses and carries events
+    doc = json.loads(chrome.read_text())
+    assert len(doc["traceEvents"]) > 100
+    # metrics snapshot is a non-empty mapping
+    snap = json.loads(metrics.read_text())
+    assert snap and any(k.startswith("requests_completed") for k in snap)
+
+
+def test_instrumented_output_identical_to_plain(capsys):
+    assert main(["run", "A1", "--seed", "5"]) == 0
+    plain = capsys.readouterr().out.split("completed")[0]
+    assert main(["run", "A1", "--seed", "5", "--profile"]) == 0
+    instrumented = capsys.readouterr().out.split("completed")[0]
+    assert plain == instrumented
+
+
+def test_obs_uninstalled_after_run(tmp_path):
+    before = get_obs()
+    assert main(["run", "A1", "--metrics-out", str(tmp_path / "m.json")]) == 0
+    assert get_obs() is before
+    assert not get_obs().active

@@ -47,6 +47,30 @@ def test_time_weighted_mean():
     assert ts.time_weighted_mean() == pytest.approx(1.0)
 
 
+def test_time_weighted_mean_single_sample_falls_back_to_mean():
+    ts = TimeSeries("x")
+    ts.add(5.0, 3.0)
+    assert ts.time_weighted_mean() == 3.0
+
+
+def test_time_weighted_mean_differs_from_unweighted_on_uneven_sampling():
+    ts = TimeSeries("x")
+    ts.add(0.0, 0.0)
+    ts.add(1.0, 100.0)   # short spike
+    ts.add(100.0, 100.0)
+    assert ts.mean() == pytest.approx(200.0 / 3)
+    assert ts.time_weighted_mean() == pytest.approx(99.0, rel=1e-3)
+
+
+def test_monotonic_time_guard_allows_equal_times():
+    ts = TimeSeries("x")
+    ts.add(1.0, 1.0)
+    ts.add(1.0, 2.0)  # simultaneous samples are legal (same tick)
+    assert len(ts) == 2
+    with pytest.raises(ValueError):
+        ts.add(0.999, 3.0)
+
+
 def test_window_and_buckets():
     ts = TimeSeries("x")
     for t in range(10):

@@ -3,10 +3,12 @@
 import csv
 import json
 
+import numpy as np
 import pytest
 
 from repro.experiments.common import ExperimentResult
-from repro.metrics.export import flatten, to_csv, to_json
+from repro.metrics.export import flatten, metrics_to_json, to_csv, to_json
+from repro.obs import MetricsRegistry
 
 
 def result(eid="E1", **data):
@@ -56,3 +58,60 @@ def test_to_csv_union_of_keys(tmp_path):
 def test_to_csv_empty_rejected(tmp_path):
     with pytest.raises(ValueError):
         to_csv([], tmp_path / "x.csv")
+
+
+# --------------------------------------------------------------------------- #
+# numpy values must export as numbers, not as their repr strings
+# --------------------------------------------------------------------------- #
+def test_to_json_numpy_scalars(tmp_path):
+    r = result(i64=np.int64(7), f32=np.float32(1.5), f64=np.float64(2.5),
+               flag=np.bool_(True), nan32=np.float32("nan"))
+    back = json.loads(to_json(r, tmp_path / "n.json").read_text())
+    assert back["data"]["i64"] == 7
+    assert back["data"]["f32"] == 1.5
+    assert back["data"]["f64"] == 2.5
+    assert back["data"]["flag"] is True
+    assert back["data"]["nan32"] == "nan"  # NaN policy applies post-unwrap
+
+
+def test_to_json_numpy_arrays(tmp_path):
+    r = result(arr=np.array([1.0, 2.0, 3.0]),
+               mat=np.array([[1, 2], [3, 4]], dtype=np.int64))
+    back = json.loads(to_json(r, tmp_path / "a.json").read_text())
+    assert back["data"]["arr"] == [1.0, 2.0, 3.0]
+    assert back["data"]["mat"] == [[1, 2], [3, 4]]
+
+
+def test_flatten_numpy_values():
+    flat = flatten({"a": np.int64(3), "b": {"c": np.float32(0.5)}})
+    assert flat["a"] == 3 and isinstance(flat["a"], int)
+    assert flat["b.c"] == 0.5 and isinstance(flat["b.c"], float)
+
+
+def test_full_roundtrip_json_csv(tmp_path):
+    r = result("E9", nested={"x": np.float64(1.25), "y": 2},
+               arr=np.arange(3), scalar=7)
+    back = json.loads(to_json(r, tmp_path / "r.json").read_text())
+    assert back["data"] == {"nested": {"x": 1.25, "y": 2},
+                            "arr": [0, 1, 2], "scalar": 7}
+    rows = list(csv.DictReader(to_csv([r], tmp_path / "r.csv").open()))
+    assert rows[0]["nested.x"] == "1.25"
+    assert rows[0]["scalar"] == "7"
+
+
+# --------------------------------------------------------------------------- #
+# metrics registry export (the obs wiring)
+# --------------------------------------------------------------------------- #
+def test_metrics_to_json_from_registry(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("done", flow="edge").inc(4)
+    reg.histogram("lat").observe(np.float64(0.5))
+    back = json.loads(metrics_to_json(reg, tmp_path / "m.json").read_text())
+    assert back["done{flow=edge}"] == 4
+    assert back["lat"]["count"] == 1
+
+
+def test_metrics_to_json_from_snapshot_dict(tmp_path):
+    back = json.loads(
+        metrics_to_json({"x": np.int64(2)}, tmp_path / "s.json").read_text())
+    assert back == {"x": 2}
