@@ -1,0 +1,67 @@
+"""Bench A6 — recovery policies under stochastic churn (§III-C).
+
+Besides the shape assertions, this benchmark emits
+``benchmarks/results/BENCH_resilience.json`` — per (MTBF, policy):
+served-in-deadline rate, wasted cycles and detection-latency p50/p99 — which
+CI uploads as the ``resilience-bench`` artifact.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import RESULTS_DIR, record, run_once
+
+from repro.experiments.a6_churn import BUNDLES, run
+
+
+def test_a6_churn(benchmark):
+    result = run_once(benchmark, run, seed=101)
+    record(result)
+    d = result.data
+
+    # ---- the headline ordering at the harshest churn level -------------- #
+    worst = d["mtbf=2h"]
+    none_rate = worst["none"]["served_rate"]
+    for single in ("retry", "clone", "checkpoint"):
+        # each policy alone strictly beats doing nothing...
+        assert worst[single]["served_rate"] > none_rate, single
+        # ...and none of them beats the full bundle
+        assert worst[single]["served_rate"] <= worst["all"]["served_rate"], single
+
+    # checkpointing rescues the batch jobs a restart loop starves
+    assert worst["checkpoint"]["cloud_done"] > worst["none"]["cloud_done"]
+    # and does so with far less redo work
+    assert worst["checkpoint"]["wasted_gcycles"] < 0.1 * worst["none"]["wasted_gcycles"]
+
+    # detection is never omniscient: latency within (timeout-interval, timeout]
+    for level in d.values():
+        for cell in level.values():
+            assert 1.5 < cell["detect_p50_s"] <= cell["detect_p99_s"] <= 2.5
+
+    # gentler churn, better service for every bundle
+    assert d["mtbf=24h"]["none"]["served_rate"] > d["mtbf=2h"]["none"]["served_rate"]
+
+    # ---- machine-readable artifact for CI ------------------------------- #
+    bench = {
+        "experiment": "A6",
+        "seed": 101,
+        "policies": list(BUNDLES),
+        "levels": {
+            level: {
+                policy: {
+                    "served_in_deadline_rate": cell["served_rate"],
+                    "wasted_gcycles": cell["wasted_gcycles"],
+                    "detection_latency_p50_s": cell["detect_p50_s"],
+                    "detection_latency_p99_s": cell["detect_p99_s"],
+                    "cloud_done": cell["cloud_done"],
+                    "server_failures": cell["server_failures"],
+                }
+                for policy, cell in cells.items()
+            }
+            for level, cells in d.items()
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = Path(RESULTS_DIR) / "BENCH_resilience.json"
+    out.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")

@@ -44,6 +44,7 @@ def _registry() -> Dict[str, Tuple[str, Callable]]:
         a3_crypto_heater,
         a4_demand_response,
         a5_seasonal_sla,
+        a6_churn,
         e1_pue,
         e2_edge_latency,
         e3_seasonal_capacity,
@@ -84,6 +85,7 @@ def _registry() -> Dict[str, Tuple[str, Callable]]:
         "A3": ("Extension: crypto-heater economics", a3_crypto_heater.run),
         "A4": ("Extension: demand response", a4_demand_response.run),
         "A5": ("Extension: seasonal SLAs + planning", a5_seasonal_sla.run),
+        "A6": ("Extension: recovery policies under churn", a6_churn.run),
     }
 
 

@@ -61,8 +61,6 @@ class FaultInjector:
         self._down_servers: Set[str] = set()
         self._masters_down: Set[int] = set()
         self._wan_partitioned = False
-        self._saved_dc = None
-        self._gateway_patched: Dict[int, object] = {}
 
     def _note(self, name: str, **args) -> None:
         """Emit a ``fault`` trace record + counter through the middleware."""
@@ -74,45 +72,108 @@ class FaultInjector:
     # ------------------------------------------------------------------ #
     # server crashes
     # ------------------------------------------------------------------ #
-    def crash_server(self, server_name: str, salvage: bool = True) -> int:
+    def crash_server(self, server_name: str, salvage: bool = True,
+                     hard: bool = False) -> int:
         """Hard-fail a DF server.  Returns the number of tasks it was running.
 
         With ``salvage``, killed cloud requests re-enter their cluster's queue
         and killed edge requests are re-submitted (they may still make their
-        deadline elsewhere); filler is dropped.
+        deadline elsewhere); filler is dropped.  With ``hard``, the server is
+        marked failed and stays off until :meth:`recover_server` even if the
+        heat regulator asks for power (churn-model semantics); the default
+        soft crash keeps the legacy behaviour where the smart grid may power
+        the board back up on the next thermal tick.
+        """
+        killed, district = self.kill_server(server_name, hard=hard)
+        if salvage:
+            self.salvage_tasks(killed, district)
+        return len(killed)
+
+    def kill_server(self, server_name: str, hard: bool = False):
+        """Kill a server's tasks and power it off — no salvage.
+
+        Returns ``(killed_tasks, district)`` so a failure detector can defer
+        salvage until the crash is actually *detected* (heartbeat timeout)
+        rather than the omniscient instant of the fault.
         """
         server, district = self._find(server_name)
         killed = server.kill_all()
-        server.power_off()
+        if hard:
+            server.fail()
+        else:
+            server.power_off()
         self._down_servers.add(server_name)
         self.log.server_crashes += 1
         self.log.tasks_killed += len(killed)
         self.log.note(self.mw.engine.now, f"crash {server_name} ({len(killed)} tasks)")
         self._note("fault.server_crash", server=server_name, district=district,
-                   tasks_killed=len(killed), salvage=salvage)
-        if salvage:
-            sched = self.mw.schedulers[district]
-            for task in killed:
-                kind = task.metadata.get("kind")
-                req = task.metadata.get("request")
-                if kind == "cloud" and req is not None:
+                   tasks_killed=len(killed), hard=hard)
+        return killed, district
+
+    def salvage_tasks(self, killed, district: int, progress: str = "preserve",
+                      salvage_edge: bool = True) -> float:
+        """Re-route tasks killed by a crash; returns the wasted (redo) cycles.
+
+        ``progress`` sets the cloud restart point:
+
+        * ``"preserve"`` — optimistic legacy semantics: all progress survives
+          the crash (as if state were continuously replicated);
+        * ``"restart"`` — the request re-runs from scratch;
+        * ``"checkpoint"`` — it re-runs from the last periodic checkpoint
+          (``task.metadata["ckpt_remaining"]``, written by the resilience
+          runtime's checkpointer).
+
+        Killed edge requests have their lifecycle state reset and re-enter
+        through the *gateway* — so a concurrent master outage rejects salvage
+        exactly as it rejects fresh indirect traffic.  With
+        ``salvage_edge=False`` they are terminally rejected instead (no retry
+        policy: the client never learns it should resubmit).  Filler is
+        always dropped.
+        """
+        if progress not in ("preserve", "restart", "checkpoint"):
+            raise ValueError(f"unknown progress mode {progress!r}")
+        sched = self.mw.schedulers[district]
+        gateway = self.mw.edge_gateways[district]
+        wasted = 0.0
+        for task in killed:
+            kind = task.metadata.get("kind")
+            req = task.metadata.get("request")
+            if req is None:
+                continue
+            if kind == "cloud":
+                if progress == "preserve":
+                    restart_from = task.remaining_cycles
+                elif progress == "checkpoint":
+                    restart_from = task.metadata.get("ckpt_remaining", req.cycles)
+                else:
+                    restart_from = req.cycles
+                wasted += max(0.0, restart_from - task.remaining_cycles)
+                req.cycles = max(restart_from, 1.0)
+                req.status = RequestStatus.QUEUED
+                sched.cloud_queue.push_front(req)
+                self.log.tasks_salvaged += 1
+            elif kind == "edge":
+                if not salvage_edge:
+                    sched.reject_edge(req, reason="crash")
+                    continue
+                if progress == "preserve":
                     req.cycles = max(task.remaining_cycles, 1.0)
-                    req.status = RequestStatus.QUEUED
-                    sched.cloud_queue.push_front(req)
-                    self.log.tasks_salvaged += 1
-                elif kind == "edge" and req is not None:
-                    req.cycles = max(task.remaining_cycles, 1.0)
-                    sched.submit_edge(req)
-                    self.log.tasks_salvaged += 1
-            sched.drain()
-        return len(killed)
+                else:
+                    wasted += max(0.0, req.cycles - task.remaining_cycles)
+                req.status = RequestStatus.QUEUED
+                req.started_at = -1.0
+                req.executed_on = ""
+                gateway.resubmit(req)
+                self.log.tasks_salvaged += 1
+        sched.drain()
+        return wasted
 
     def recover_server(self, server_name: str) -> None:
         """Bring a crashed server back (empty, powered on)."""
         if server_name not in self._down_servers:
             raise ValueError(f"server {server_name!r} is not down")
         server, district = self._find(server_name)
-        server.power_on()
+        server.repair()
         self._down_servers.discard(server_name)
         self.log.server_recoveries += 1
         self.log.note(self.mw.engine.now, f"recover {server_name}")
@@ -136,24 +197,15 @@ class FaultInjector:
     # master outage
     # ------------------------------------------------------------------ #
     def fail_master(self, district: int) -> None:
-        """Take a district's master down: indirect edge submission rejects."""
+        """Take a district's master down: indirect edge submission rejects.
+
+        The direct path survives (it does not need the master, §II-C) and the
+        gateway keeps its obs instrumentation — the outage is a first-class
+        :attr:`EdgeGateway.master_up` flag, not a method patch.
+        """
         if district in self._masters_down:
             raise ValueError(f"master of district {district} already down")
-        gateway = self.mw.edge_gateways[district]
-        original = gateway.submit
-        self._gateway_patched[district] = original
-
-        def rejecting_submit(req, direct_target=None):
-            if direct_target is not None:
-                # the direct path survives: it does not need the master (§II-C)
-                original(req, direct_target=direct_target)
-                return
-            gateway.received += 1
-            req.mark_rejected()
-            gateway.scheduler.expired_edge.append(req)
-            gateway.scheduler.stats.edge_expired += 1
-
-        gateway.submit = rejecting_submit
+        self.mw.edge_gateways[district].master_up = False
         self._masters_down.add(district)
         self.log.master_outages += 1
         self.log.note(self.mw.engine.now, f"master outage district {district}")
@@ -163,7 +215,7 @@ class FaultInjector:
         """Bring a district's master back."""
         if district not in self._masters_down:
             raise ValueError(f"master of district {district} is not down")
-        self.mw.edge_gateways[district].submit = self._gateway_patched.pop(district)
+        self.mw.edge_gateways[district].master_up = True
         self._masters_down.discard(district)
         self.log.note(self.mw.engine.now, f"master restored district {district}")
         self._note("fault.master_restore", district=district)
@@ -176,11 +228,14 @@ class FaultInjector:
     # WAN partition
     # ------------------------------------------------------------------ #
     def partition_wan(self) -> None:
-        """Cut the city off from the datacenter (vertical offloading fails)."""
+        """Cut the city off from the datacenter (vertical offloading fails).
+
+        With :attr:`Offloader.store_and_forward` enabled, vertical offloads
+        buffer during the partition instead of failing, and drain on heal.
+        """
         if self._wan_partitioned:
             raise ValueError("WAN already partitioned")
-        self._saved_dc = self.mw.offloader.datacenter
-        self.mw.offloader.datacenter = None
+        self.mw.offloader.set_wan_up(False)
         self._wan_partitioned = True
         self.log.wan_partitions += 1
         self.log.note(self.mw.engine.now, "WAN partitioned")
@@ -190,7 +245,7 @@ class FaultInjector:
         """Restore datacenter connectivity."""
         if not self._wan_partitioned:
             raise ValueError("WAN is not partitioned")
-        self.mw.offloader.datacenter = self._saved_dc
+        self.mw.offloader.set_wan_up(True)
         self._wan_partitioned = False
         self.log.note(self.mw.engine.now, "WAN healed")
         self._note("fault.wan_heal")

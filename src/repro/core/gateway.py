@@ -52,6 +52,16 @@ class EdgeGateway:
         self.received = 0
         self.direct_requests = 0
         self.direct_rejections = 0
+        #: first-class master state: while False the indirect path rejects
+        #: (the §IV central-point failure), but obs instrumentation keeps
+        #: recording and the direct path keeps working.
+        self.master_up = True
+        #: optional retry policy (``repro.core.resilience.RecoveryConfig``-like
+        #: object with retry_* fields) + jitter stream, installed by the
+        #: resilience runtime; None = reject immediately, the legacy behaviour.
+        self.retry_policy = None
+        self.retry_rng = None
+        self.retries = 0
 
     def _link_for(self, source: str) -> LowPowerLink:
         link = self._links.get(source)
@@ -77,6 +87,11 @@ class EdgeGateway:
                           cluster=self.scheduler.cluster.name)
             self.obs.counter("gateway_received", flow="edge",
                              cluster=self.scheduler.cluster.name).inc()
+        if req.mode is not EdgeMode.DIRECT and not self.master_up:
+            # the master is the indirect path's single point of failure
+            # (§IV); the request never reaches the radio link
+            self._reject_or_retry(req)
+            return
         link = self._link_for(req.source or "unknown")
         delivered = link.send(self.engine.now, int(req.input_bytes))
         radio_delay = delivered - self.engine.now
@@ -94,6 +109,45 @@ class EdgeGateway:
             self.engine.schedule(radio_delay + overhead,
                                  lambda: self.scheduler.submit_edge(req))
 
+    def resubmit(self, req: EdgeRequest) -> None:
+        """Re-enter a request that already paid its delivery delays.
+
+        Used for crash salvage and retries: the request reaches the scheduler
+        synchronously (no second radio trip), but a down master still rejects
+        it — outages apply to salvage exactly as to fresh traffic.
+        """
+        if req.__dict__.get("_clone_cancelled"):
+            return
+        if not self.master_up:
+            self._reject_or_retry(req, via_resubmit=True)
+            return
+        self.scheduler.submit_edge(req)
+
+    def _reject_or_retry(self, req: EdgeRequest, via_resubmit: bool = False) -> None:
+        """Master-down handling: back off and retry when configured, else reject."""
+        pol = self.retry_policy
+        if pol is not None and pol.retry:
+            attempt = req.__dict__.get("_retry_attempts", 0)
+            delay = pol.retry_base_backoff_s * (2.0 ** attempt)
+            if self.retry_rng is not None and pol.retry_jitter_s > 0:
+                delay += float(self.retry_rng.random()) * pol.retry_jitter_s
+            deadline_at = req.time + req.deadline_s
+            if (attempt < pol.retry_max_attempts
+                    and self.engine.now + delay <= deadline_at):
+                req.__dict__["_retry_attempts"] = attempt + 1
+                self.retries += 1
+                if self.obs.active:
+                    self.obs.emit("request", "edge.retry", self.engine.now,
+                                  id=req.request_id, attempt=attempt + 1,
+                                  backoff_s=round(delay, 6))
+                    self.obs.counter("edge_retries",
+                                     cluster=self.scheduler.cluster.name).inc()
+                resub = self.resubmit if via_resubmit else self.submit
+                self.engine.schedule(delay, lambda: resub(req),
+                                     label="gateway:retry")
+                return
+        self.scheduler.reject_edge(req, reason="master_down")
+
     def _direct_place(self, req: EdgeRequest, server: ComputeServer) -> None:
         task = Task(
             task_id=req.request_id,
@@ -107,10 +161,8 @@ class EdgeGateway:
             req.started_at = self.engine.now
             req.executed_on = server.name
         else:
-            req.mark_rejected()
             self.direct_rejections += 1
-            self.scheduler.expired_edge.append(req)
-            self.scheduler.stats.edge_expired += 1
+            self.scheduler.reject_edge(req, reason="direct_full")
 
     def _direct_done(self, req: EdgeRequest, now: float) -> None:
         req.mark_completed(now + _DIRECT_LAN_S)

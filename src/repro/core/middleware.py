@@ -35,6 +35,8 @@ from repro.core.gateway import DCCGateway, EdgeGateway
 from repro.core.offloading import Offloader
 from repro.core.regulation import HeatRegulator, RegulatorConfig
 from repro.core.requests import CloudRequest, EdgeRequest, HeatingRequest
+from repro.core.resilience.config import ResilienceConfig
+from repro.core.resilience.recovery import RecoveryRuntime
 from repro.core.scheduling.base import SaturationPolicy
 from repro.core.scheduling.dedicated import DedicatedWorkersScheduler
 from repro.core.scheduling.shared import SharedWorkersScheduler
@@ -96,6 +98,9 @@ class MiddlewareConfig:
     seed: int = 0
     initial_setpoint_c: float = 20.0
     room_thermal: RoomThermalParams = field(default_factory=RoomThermalParams)
+    #: arm churn + recovery (None = no resilience machinery at all; runs are
+    #: byte-identical to builds without the subsystem)
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.architecture not in ("shared", "dedicated"):
@@ -245,6 +250,10 @@ class DF3Middleware:
             )
 
         self.engine.add_process("df3-tick", cfg.thermal_tick_s, self._tick)
+
+        self.resilience: Optional[RecoveryRuntime] = None
+        if cfg.resilience is not None:
+            self.resilience = RecoveryRuntime(self, cfg.resilience)
 
     # ------------------------------------------------------------------ #
     # observability
@@ -458,6 +467,10 @@ class DF3Middleware:
         target = None
         if direct_target is not None:
             target = self.clusters[d].worker(direct_target)
+        if (target is None and self.resilience is not None
+                and self.resilience.wants_clone(req)):
+            self.resilience.submit_cloned(req, d)
+            return
         self.edge_gateways[d].submit(req, direct_target=target)
 
     # ------------------------------------------------------------------ #

@@ -108,6 +108,14 @@ class Offloader:
         self._peers: Dict[str, Tuple[object, Link]] = {}
         self.vertical_count = 0
         self.horizontal_count = 0
+        #: WAN link state: False during a partition (fault injection/churn)
+        self.wan_up = True
+        #: buffer vertical offloads during a partition and drain them on heal
+        #: (the store-and-forward recovery policy) instead of refusing them
+        self.store_and_forward = False
+        self._sf_buffer: List[Tuple[object, object]] = []
+        self.sf_buffered = 0
+        self.sf_drained = 0
 
     # ------------------------------------------------------------------ #
     def register_peer(self, name: str, scheduler, link: Link) -> None:
@@ -119,20 +127,50 @@ class Offloader:
     # ------------------------------------------------------------------ #
     # vertical
     # ------------------------------------------------------------------ #
+    def set_wan_up(self, up: bool) -> None:
+        """Flip the WAN state; healing drains the store-and-forward buffer."""
+        was_up, self.wan_up = self.wan_up, bool(up)
+        if up and not was_up and self._sf_buffer:
+            pending, self._sf_buffer = self._sf_buffer, []
+            for req, sched in pending:
+                self.sf_drained += 1
+                self.vertical(req, sched)
+
     def can_vertical(self, req) -> bool:
-        """True when the datacenter may legally take this request."""
+        """True when the datacenter may legally take this request.
+
+        During a WAN partition this is False unless store-and-forward is on,
+        in which case the offloader *accepts* the request and buffers it
+        until the link heals.
+        """
         if self.datacenter is None:
+            return False
+        if not self.wan_up and not self.store_and_forward:
             return False
         if isinstance(req, EdgeRequest) and req.privacy_sensitive:
             return self.allow_privacy_vertical
         return True
 
     def vertical(self, req, from_scheduler) -> None:
-        """Ship ``req`` to the datacenter (WAN delay both ways)."""
+        """Ship ``req`` to the datacenter (WAN delay both ways).
+
+        With the WAN down and store-and-forward enabled the request parks in
+        the offloader's buffer; it rides the first uplink after heal.
+        """
         if not self.can_vertical(req):
             raise PermissionError(
                 f"request {req.request_id} may not be offloaded vertically"
             )
+        if not self.wan_up:
+            req.status = RequestStatus.OFFLOADED
+            self._sf_buffer.append((req, from_scheduler))
+            self.sf_buffered += 1
+            if self.obs.active:
+                self.obs.emit("request", "offload.buffered", self.engine.now,
+                              id=req.request_id, src=from_scheduler.cluster.name)
+                self.obs.counter("offloads", direction="buffered",
+                                 flow="edge" if isinstance(req, EdgeRequest) else "cloud").inc()
+            return
         self.vertical_count += 1
         req.status = RequestStatus.OFFLOADED
         uplink_delay = self.wan.delay(req.input_bytes)
@@ -146,14 +184,25 @@ class Offloader:
             self.obs.counter("offloads", direction="vertical", flow=flow).inc()
 
         def arrive() -> None:
+            if req.__dict__.get("_clone_cancelled"):
+                return  # sibling won while this copy crossed the WAN
+
             def done(task: Task, now: float) -> None:
-                ret = self.wan.delay(req.output_bytes)
-                req.network_delay_s += ret
-                self.engine.schedule(ret, lambda: req.mark_completed(self.engine.now))
+                result = req
                 if is_edge:
-                    from_scheduler.completed_edge.append(req)
+                    group = req.__dict__.get("_clone_group")
+                    if group is not None:
+                        result = group.on_complete(req, now)
+                        if result is None:
+                            return
+                ret = self.wan.delay(req.output_bytes)
+                result.network_delay_s += ret
+                self.engine.schedule(
+                    ret, lambda: result.mark_completed(self.engine.now))
+                if is_edge:
+                    from_scheduler.completed_edge.append(result)
                 else:
-                    from_scheduler.completed_cloud.append(req)
+                    from_scheduler.completed_cloud.append(result)
 
             req.status = RequestStatus.RUNNING
             req.started_at = self.engine.now

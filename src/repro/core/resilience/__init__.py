@@ -1,0 +1,42 @@
+"""Resilience under churn: failure model, detection, recovery policies.
+
+The paper's §III-C names availability of DF servers as an open problem and
+§IV claims decentralisation keeps basic services alive through central-point
+failures.  This package makes both testable at city scale:
+
+* :mod:`~repro.core.resilience.config` — :class:`ChurnConfig`,
+  :class:`DetectorConfig`, :class:`RecoveryConfig`, bundled into
+  :class:`ResilienceConfig` (hand it to ``MiddlewareConfig.resilience``);
+* :mod:`~repro.core.resilience.churn` — :class:`ChurnModel`, stochastic
+  failures (per-server MTBF/MTTR, correlated domains, master/WAN churn);
+* :mod:`~repro.core.resilience.detector` —
+  :class:`HeartbeatFailureDetector`, analytic heartbeat-timeout detection;
+* :mod:`~repro.core.resilience.recovery` — :class:`RecoveryRuntime` wiring
+  retries, speculative clones, checkpoints, master failover and
+  store-and-forward into the middleware; :class:`ResilienceLog` for reports.
+
+Experiment ``A6`` (:mod:`repro.experiments.a6_churn`) compares the recovery
+bundles across MTBF levels.
+"""
+
+from repro.core.resilience.churn import ChurnModel
+from repro.core.resilience.config import (
+    ChurnConfig,
+    DetectorConfig,
+    RecoveryConfig,
+    ResilienceConfig,
+)
+from repro.core.resilience.detector import HeartbeatFailureDetector
+from repro.core.resilience.recovery import CloneGroup, RecoveryRuntime, ResilienceLog
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnModel",
+    "CloneGroup",
+    "DetectorConfig",
+    "HeartbeatFailureDetector",
+    "RecoveryConfig",
+    "RecoveryRuntime",
+    "ResilienceConfig",
+    "ResilienceLog",
+]

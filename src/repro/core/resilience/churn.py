@@ -1,0 +1,195 @@
+"""Stochastic churn: who fails when, driven by the engine.
+
+The paper's §III-C availability concern, made quantitative: DF servers sit in
+homes — they get unplugged, lose power with their building, and age faster
+when run hot (free cooling).  :class:`ChurnModel` turns those hazards into
+engine events:
+
+* **individual server churn** — per-server TTF draws (exponential or
+  Weibull) from a *per-server named stream*, so adding a server never
+  perturbs another server's failure times; repair times are exponential
+  around the MTTR.  With ``aging_coupling``, each TTF is divided by the
+  server's current Arrhenius acceleration factor
+  (:class:`repro.hardware.aging.AgingModel`): a busy board runs hotter and
+  fails sooner;
+* **correlated domains** — building-level power cuts and district blackouts
+  take whole groups down *together* (overlapping outages max-merge their
+  heal times), which is what breaks naive redundancy schemes that place
+  replicas in the same blast radius;
+* **master churn** and **WAN flapping** — sequential up/down processes per
+  district master and for the city↔datacenter link.
+
+The model only decides *timing*; the consequences (kill, detect, salvage,
+failover) live in :class:`repro.core.resilience.recovery.RecoveryRuntime`,
+which this class calls through its ``on_*`` hooks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.core.resilience.config import ChurnConfig
+from repro.hardware.aging import AgingModel
+
+__all__ = ["ChurnModel"]
+
+_DAY_S = 86400.0
+#: ambient a free-cooled Q.rad sees (a heated room, °C)
+_ROOM_AMBIENT_C = 21.0
+
+
+class ChurnModel:
+    """Schedules failure/repair events against a :class:`DF3Middleware`."""
+
+    def __init__(self, middleware, config: ChurnConfig, runtime):
+        self.mw = middleware
+        self.cfg = config
+        self.runtime = runtime
+        self.engine = middleware.engine
+        self.aging = AgingModel()
+        #: server name → absolute heal time of the outage currently holding
+        #: it down (individual or domain; overlaps max-merge)
+        self._down_until: Dict[str, float] = {}
+        self._servers = {
+            w.name: w
+            for d in sorted(middleware.clusters)
+            for w in middleware.clusters[d].workers
+        }
+        self._buildings: List[str] = sorted(middleware.buildings)
+        self._districts: List[int] = sorted(middleware.clusters)
+
+        for name in sorted(self._servers):
+            self._schedule_server_failure(name)
+        if self.cfg.building_cut_rate_per_day > 0 and self._buildings:
+            self._schedule_poisson("churn-building", self.cfg.building_cut_rate_per_day,
+                                   self._building_cut)
+        if self.cfg.district_blackout_rate_per_day > 0:
+            self._schedule_poisson("churn-district", self.cfg.district_blackout_rate_per_day,
+                                   self._district_blackout)
+        if self.cfg.master_mtbf_s > 0:
+            for d in self._districts:
+                self._schedule_master_failure(d)
+        if self.cfg.wan_flap_rate_per_day > 0 and self.mw.offloader.datacenter is not None:
+            self._schedule_poisson("churn-wan", self.cfg.wan_flap_rate_per_day,
+                                   self._wan_flap)
+
+    # ------------------------------------------------------------------ #
+    # draws
+    # ------------------------------------------------------------------ #
+    def _server_rng(self, name: str):
+        return self.mw.rngs.stream(f"churn-server-{name}")
+
+    def _draw_ttf(self, name: str) -> float:
+        cfg = self.cfg
+        rng = self._server_rng(name)
+        if cfg.failure_dist == "weibull":
+            # scale so the distribution's mean equals the configured MTBF
+            scale = cfg.server_mtbf_s / math.gamma(1.0 + 1.0 / cfg.weibull_shape)
+            ttf = scale * float(rng.weibull(cfg.weibull_shape))
+        else:
+            ttf = float(rng.exponential(cfg.server_mtbf_s))
+        if cfg.aging_coupling:
+            server = self._servers[name]
+            t_j = self.aging.junction_temperature_c(_ROOM_AMBIENT_C, server.utilization)
+            ttf /= max(float(self.aging.acceleration_factor(t_j)), 1e-9)
+        return max(ttf, 1.0)
+
+    def _draw_ttr(self, name: str) -> float:
+        return max(float(self._server_rng(name).exponential(self.cfg.server_mttr_s)), 1.0)
+
+    # ------------------------------------------------------------------ #
+    # individual server churn
+    # ------------------------------------------------------------------ #
+    def _schedule_server_failure(self, name: str) -> None:
+        self.engine.schedule(self._draw_ttf(name),
+                             lambda: self._server_fail(name), label="churn:fail")
+
+    def _server_fail(self, name: str) -> None:
+        if name in self._down_until:
+            # already down via a domain outage: this failure is absorbed;
+            # draw the next one so the hazard process keeps running
+            self._schedule_server_failure(name)
+            return
+        ttr = self._draw_ttr(name)
+        self._down_until[name] = self.engine.now + ttr
+        self.runtime.on_server_failure(name)
+        self.engine.schedule(ttr, lambda: self._server_heal(name), label="churn:repair")
+
+    def _server_heal(self, name: str) -> None:
+        until = self._down_until.get(name)
+        if until is None or until > self.engine.now + 1e-9:
+            return  # already healed, or a longer outage extended this one
+        del self._down_until[name]
+        self.runtime.on_server_recovery(name)
+        self._schedule_server_failure(name)
+
+    # ------------------------------------------------------------------ #
+    # correlated domains
+    # ------------------------------------------------------------------ #
+    def _schedule_poisson(self, stream: str, rate_per_day: float, fire) -> None:
+        gap = float(self.mw.rngs.stream(stream).exponential(_DAY_S / rate_per_day))
+
+        def event() -> None:
+            fire()
+            self._schedule_poisson(stream, rate_per_day, fire)
+
+        self.engine.schedule(gap, event, label=f"churn:{stream}")
+
+    def _building_cut(self) -> None:
+        rng = self.mw.rngs.stream("churn-building")
+        target = self._buildings[int(rng.integers(len(self._buildings)))]
+        members = sorted(n for n in self._servers if n.startswith(target + "/"))
+        self._domain_outage(members, self.cfg.building_cut_duration_s)
+
+    def _district_blackout(self) -> None:
+        rng = self.mw.rngs.stream("churn-district")
+        d = self._districts[int(rng.integers(len(self._districts)))]
+        prefix = f"district-{d}/"
+        members = sorted(n for n in self._servers if n.startswith(prefix))
+        self._domain_outage(members, self.cfg.district_blackout_duration_s)
+
+    def _domain_outage(self, members: List[str], duration_s: float) -> None:
+        heal_at = self.engine.now + duration_s
+        for name in members:
+            current = self._down_until.get(name)
+            if current is None:
+                self._down_until[name] = heal_at
+                self.runtime.on_server_failure(name)
+            elif current < heal_at:
+                self._down_until[name] = heal_at  # extend; old heal no-ops
+            else:
+                continue  # an outage already outlasts this one
+            self.engine.schedule(duration_s, lambda n=name: self._server_heal(n),
+                                 label="churn:domain-heal")
+
+    # ------------------------------------------------------------------ #
+    # master churn + WAN flapping (sequential up/down processes)
+    # ------------------------------------------------------------------ #
+    def _schedule_master_failure(self, district: int) -> None:
+        rng = self.mw.rngs.stream(f"churn-master-{district}")
+        ttf = float(rng.exponential(self.cfg.master_mtbf_s))
+        self.engine.schedule(max(ttf, 1.0), lambda: self._master_fail(district),
+                             label="churn:master")
+
+    def _master_fail(self, district: int) -> None:
+        rng = self.mw.rngs.stream(f"churn-master-{district}")
+        ttr = max(float(rng.exponential(self.cfg.master_mttr_s)), 1.0)
+        self.runtime.on_master_failure(district)
+        self.engine.schedule(ttr, lambda: self._master_heal(district),
+                             label="churn:master")
+
+    def _master_heal(self, district: int) -> None:
+        self.runtime.on_master_recovery(district)
+        self._schedule_master_failure(district)
+
+    def _wan_flap(self) -> None:
+        self.runtime.on_wan_down()
+        self.engine.schedule(self.cfg.wan_flap_duration_s, self.runtime.on_wan_up,
+                             label="churn:wan")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def down_servers(self) -> List[str]:
+        """Servers currently held down by churn."""
+        return sorted(self._down_until)

@@ -1,0 +1,162 @@
+"""Configuration of the resilience subsystem (churn, detection, recovery).
+
+Three frozen dataclasses, composed into :class:`ResilienceConfig`:
+
+* :class:`ChurnConfig` — the *failure model*: per-server MTBF/MTTR draws
+  (exponential or Weibull), correlated failure domains (building-level power
+  cuts, district blackouts), master outages and WAN flapping, optionally
+  coupled to the Arrhenius aging model of :mod:`repro.hardware.aging` (hotter
+  boards fail sooner — the §III-C aging concern made operational);
+* :class:`DetectorConfig` — the heartbeat failure detector: nothing in the
+  middleware reacts to a crash before the heartbeat timeout expires, so
+  recovery pays a realistic detection latency instead of omniscient salvage;
+* :class:`RecoveryConfig` — which recovery policies are armed: retry with
+  exponential backoff + jitter, speculative request cloning, periodic
+  checkpointing of long cloud tasks, master failover to a standby gateway,
+  and store-and-forward WAN offloading.
+
+All knobs default to the legacy behaviour where that exists; the middleware
+only builds a runtime when ``MiddlewareConfig.resilience`` is set, so the
+default configuration is byte-identical to a build without this subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ChurnConfig", "DetectorConfig", "RecoveryConfig", "ResilienceConfig"]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Stochastic failure model of a DF3 city.
+
+    Rates are *per device*; correlated domains add on top of individual
+    churn.  A rate of 0 disables that failure class.
+    """
+
+    #: mean time between failures of one DF server (s)
+    server_mtbf_s: float = 6 * 3600.0
+    #: mean time to repair one DF server (s)
+    server_mttr_s: float = 900.0
+    #: time-to-failure distribution: "exponential" (memoryless) or "weibull"
+    #: (shape > 1 = wear-out, infant-mortality with shape < 1)
+    failure_dist: str = "exponential"
+    weibull_shape: float = 1.5
+    #: building-level power cuts (all servers of one building down together)
+    building_cut_rate_per_day: float = 0.0
+    building_cut_duration_s: float = 600.0
+    #: district blackouts (a whole district's fleet down together)
+    district_blackout_rate_per_day: float = 0.0
+    district_blackout_duration_s: float = 1800.0
+    #: master (edge-gateway indirect path) churn; 0 disables
+    master_mtbf_s: float = 0.0
+    master_mttr_s: float = 600.0
+    #: WAN flapping (city ↔ datacenter partitions); 0 disables
+    wan_flap_rate_per_day: float = 0.0
+    wan_flap_duration_s: float = 300.0
+    #: divide each server's drawn TTF by its Arrhenius acceleration factor
+    #: at draw time (utilisation-dependent junction temperature): busy,
+    #: hot boards churn faster (§III-C)
+    aging_coupling: bool = False
+
+    def __post_init__(self) -> None:
+        if self.failure_dist not in ("exponential", "weibull"):
+            raise ValueError(f"unknown failure_dist {self.failure_dist!r}")
+        if self.server_mtbf_s <= 0 or self.server_mttr_s <= 0:
+            raise ValueError("server MTBF and MTTR must be > 0")
+        if self.weibull_shape <= 0:
+            raise ValueError("weibull_shape must be > 0")
+        for rate in (self.building_cut_rate_per_day,
+                     self.district_blackout_rate_per_day,
+                     self.wan_flap_rate_per_day, self.master_mtbf_s):
+            if rate < 0:
+                raise ValueError("rates must be >= 0")
+        for dur in (self.building_cut_duration_s,
+                    self.district_blackout_duration_s,
+                    self.wan_flap_duration_s, self.master_mttr_s):
+            if dur <= 0:
+                raise ValueError("outage durations must be > 0")
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Heartbeat failure detection parameters.
+
+    Every monitored component emits a heartbeat each ``heartbeat_interval_s``
+    (with a per-component phase so the fleet does not beat in lockstep); the
+    monitor declares it failed ``timeout_s`` after the last heartbeat it
+    received.  Detection latency is therefore in
+    ``(timeout_s − heartbeat_interval_s, timeout_s]``.
+    """
+
+    heartbeat_interval_s: float = 1.0
+    timeout_s: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat interval must be > 0")
+        if self.timeout_s <= self.heartbeat_interval_s:
+            raise ValueError("timeout must exceed the heartbeat interval "
+                             "(otherwise healthy components look failed)")
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Which recovery policies are armed, and their knobs."""
+
+    #: resubmit rejected/crashed edge requests with exponential backoff
+    retry: bool = False
+    retry_max_attempts: int = 3
+    retry_base_backoff_s: float = 0.5
+    retry_jitter_s: float = 0.2
+    #: speculatively clone tight-deadline indirect edge requests to the best
+    #: peer district; first completion wins, the loser is cancelled
+    clone: bool = False
+    clone_deadline_threshold_s: float = 10.0
+    #: periodically checkpoint running cloud tasks so crash salvage restarts
+    #: from the last checkpoint instead of from scratch
+    checkpoint: bool = False
+    checkpoint_interval_s: float = 600.0
+    #: promote a standby master after a detected master outage
+    failover: bool = False
+    failover_takeover_s: float = 5.0
+    #: buffer vertical offloads during WAN partitions, drain on heal
+    store_and_forward: bool = False
+
+    def __post_init__(self) -> None:
+        if self.retry_max_attempts < 0:
+            raise ValueError("retry_max_attempts must be >= 0")
+        if self.retry_base_backoff_s < 0 or self.retry_jitter_s < 0:
+            raise ValueError("backoff and jitter must be >= 0")
+        if self.clone_deadline_threshold_s <= 0:
+            raise ValueError("clone deadline threshold must be > 0")
+        if self.checkpoint_interval_s <= 0:
+            raise ValueError("checkpoint interval must be > 0")
+        if self.failover_takeover_s < 0:
+            raise ValueError("failover takeover time must be >= 0")
+
+    @classmethod
+    def none(cls) -> "RecoveryConfig":
+        """No recovery: crashes lose work, outages reject."""
+        return cls()
+
+    @classmethod
+    def all_on(cls, **overrides) -> "RecoveryConfig":
+        """Every policy armed (the 'all' bundle of experiment A6)."""
+        base = dict(retry=True, clone=True, checkpoint=True, failover=True,
+                    store_and_forward=True)
+        base.update(overrides)
+        return cls(**base)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Bundle handed to ``MiddlewareConfig.resilience``."""
+
+    churn: ChurnConfig = field(default_factory=ChurnConfig)
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
+    #: drive the stochastic churn model; False = recovery machinery armed
+    #: but faults only come from explicit injection (tests)
+    enable_churn: bool = True

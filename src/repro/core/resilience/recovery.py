@@ -1,0 +1,316 @@
+"""Recovery policies: what the middleware does once a failure is *detected*.
+
+The pipeline for every churn-induced crash is
+
+    fail (ChurnModel) → kill, heartbeats stop (FaultInjector.kill_server)
+      → detect (HeartbeatFailureDetector, timeout later)
+        → salvage (FaultInjector.salvage_tasks under the armed policies)
+
+Nothing is salvaged at the instant of the fault — orphaned tasks are only
+re-routed after the detection latency, which is what makes detection tuning
+matter and what experiment A6 measures.
+
+Armed policies (:class:`~repro.core.resilience.config.RecoveryConfig`):
+
+* **retry** — crashed/rejected edge requests resubmit through the gateway
+  with exponential backoff + jitter (the gateway owns the backoff; this
+  runtime arms it and routes crash salvage through ``gateway.resubmit``);
+* **clone** — tight-deadline indirect edge requests are speculatively
+  duplicated to the best peer district; first completion wins, the loser is
+  cancelled (queued → lazily dropped, running → preempted) and its executed
+  cycles are booked as waste;
+* **checkpoint** — a per-district periodic process snapshots every running
+  cloud task's remaining work into ``task.metadata["ckpt_remaining"]``; crash
+  salvage restarts from the last snapshot instead of from scratch;
+* **failover** — a standby master takes over ``failover_takeover_s`` after a
+  master outage is detected (``EdgeGateway.master_up`` flips back on);
+* **store_and_forward** — vertical offloads buffer in the
+  :class:`~repro.core.offloading.Offloader` during WAN partitions and drain
+  on heal.
+
+Without any policy armed, crashes restart cloud work from scratch (clients
+eventually resubmit — full redo, maximal waste) and edge requests die with
+the server.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.faults import FaultInjector
+from repro.core.requests import EdgeMode, EdgeRequest, RequestStatus
+from repro.core.resilience.churn import ChurnModel
+from repro.core.resilience.config import ResilienceConfig
+from repro.core.resilience.detector import HeartbeatFailureDetector
+
+__all__ = ["CloneGroup", "RecoveryRuntime", "ResilienceLog"]
+
+
+@dataclass
+class ResilienceLog:
+    """What churn did and what recovery salvaged, for experiment reports."""
+
+    server_failures: int = 0
+    server_repairs: int = 0
+    master_failures: int = 0
+    failovers: int = 0
+    wan_flaps: int = 0
+    checkpoints_taken: int = 0
+    clones_spawned: int = 0
+    clone_wins: int = 0            # times the speculative copy finished first
+    tasks_salvaged: int = 0
+    #: cycles executed and thrown away: redo after restart, loser clones
+    wasted_cycles: float = 0.0
+    detection_latencies_s: List[float] = field(default_factory=list)
+
+    def detection_latency_percentile(self, q: float) -> float:
+        """Nearest-rank percentile of detection latency (0 when no failures)."""
+        xs = sorted(self.detection_latencies_s)
+        if not xs:
+            return 0.0
+        rank = max(1, math.ceil(q / 100.0 * len(xs)))
+        return xs[min(rank, len(xs)) - 1]
+
+
+class CloneGroup:
+    """First-completion-wins pair of an edge request and its speculative copy.
+
+    Both members carry this group in ``req.__dict__["_clone_group"]``;
+    schedulers/offloaders consult it at completion and terminal rejection:
+
+    * :meth:`on_complete` — returns the **primary** (with the winner's
+      attribution copied onto it) for the first finisher, ``None`` for the
+      loser (its result is discarded and booked as waste);
+    * :meth:`on_failure` — returns ``None`` while the sibling is still in
+      flight (the failure is silent: the sibling may yet win) and the primary
+      once both members are dead, so exactly one terminal record exists.
+    """
+
+    __slots__ = ("primary", "clone", "runtime", "resolved", "_dead")
+
+    def __init__(self, primary: EdgeRequest, clone: EdgeRequest, runtime):
+        self.primary = primary
+        self.clone = clone
+        self.runtime = runtime
+        self.resolved = False
+        self._dead = 0  # bit 1 = primary dead, bit 2 = clone dead
+
+    def on_complete(self, member: EdgeRequest, now: float):
+        if self.resolved:
+            # the loser ran to completion anyway (e.g. in the datacenter,
+            # beyond preemption reach): pure waste
+            self.runtime.log.wasted_cycles += member.cycles
+            return None
+        self.resolved = True
+        winner_is_clone = member is self.clone
+        self.runtime._cancel_loser(self.primary if winner_is_clone else self.clone)
+        if winner_is_clone:
+            # the primary is the caller-visible request: graft the winning
+            # copy's execution record onto it
+            p, c = self.primary, self.clone
+            p.started_at = c.started_at
+            p.executed_on = c.executed_on
+            p.network_delay_s = c.network_delay_s
+            if "_return_delay_s" in c.__dict__:
+                p.__dict__["_return_delay_s"] = c.__dict__["_return_delay_s"]
+            else:
+                p.__dict__.pop("_return_delay_s", None)
+            self.runtime.log.clone_wins += 1
+        return self.primary
+
+    def on_failure(self, member: EdgeRequest):
+        bit = 2 if member is self.clone else 1
+        if self.resolved or self._dead & bit:
+            return None
+        self._dead |= bit
+        if self._dead == 3:
+            self.resolved = True
+            return self.primary
+        return None
+
+
+class RecoveryRuntime:
+    """Arms the recovery policies on a middleware and reacts to churn."""
+
+    def __init__(self, middleware, config: ResilienceConfig):
+        self.mw = middleware
+        self.cfg = config
+        self.engine = middleware.engine
+        self.log = ResilienceLog()
+        self.injector = FaultInjector(middleware)
+        self.detector = HeartbeatFailureDetector(
+            config.detector, middleware.rngs.stream("resilience-detector"))
+        # registration order is sorted → deterministic phase draws
+        for d in sorted(middleware.clusters):
+            for w in middleware.clusters[d].workers:
+                self.detector.register(w.name)
+        for d in sorted(middleware.edge_gateways):
+            self.detector.register(f"master-{d}")
+
+        rec = config.recovery
+        if rec.retry:
+            for d in sorted(middleware.edge_gateways):
+                gw = middleware.edge_gateways[d]
+                gw.retry_policy = rec
+                gw.retry_rng = middleware.rngs.stream(f"resilience-retry-{d}")
+        middleware.offloader.store_and_forward = rec.store_and_forward
+        if rec.checkpoint:
+            # phase-shifted per district so checkpointers don't pile onto
+            # the same event timestamps
+            for i, d in enumerate(sorted(middleware.clusters)):
+                self.engine.add_process(
+                    f"ckpt-{d}", rec.checkpoint_interval_s,
+                    self._checkpoint_fn(d), offset=float(i))
+
+        self.churn: Optional[ChurnModel] = None
+        if config.enable_churn:
+            self.churn = ChurnModel(middleware, config.churn, self)
+
+    # ------------------------------------------------------------------ #
+    # churn hooks: failure → detect → salvage
+    # ------------------------------------------------------------------ #
+    def _record_detection(self, key: str, kind: str, t_fail: float) -> float:
+        t_detect = self.detector.detection_time(key, t_fail)
+        latency = t_detect - t_fail
+        self.log.detection_latencies_s.append(latency)
+        obs = self.mw.obs
+        if obs.active:
+            obs.emit("resilience", "failure.detected", t_detect,
+                     component=key, role=kind, latency_s=round(latency, 6))
+            obs.histogram("detection_latency_s", kind=kind).observe(latency)
+        return t_detect
+
+    def on_server_failure(self, name: str) -> None:
+        """A server just died: kill its tasks, schedule detection-time salvage."""
+        now = self.engine.now
+        killed, district = self.injector.kill_server(name, hard=True)
+        self.log.server_failures += 1
+        t_detect = self._record_detection(name, "server", now)
+        if killed:
+            self.engine.schedule_at(
+                t_detect, lambda: self._salvage(killed, district),
+                label="resilience:salvage")
+
+    def _salvage(self, killed, district: int) -> None:
+        rec = self.cfg.recovery
+        progress = "checkpoint" if rec.checkpoint else "restart"
+        before = self.injector.log.tasks_salvaged
+        wasted = self.injector.salvage_tasks(
+            killed, district, progress=progress, salvage_edge=rec.retry)
+        self.log.wasted_cycles += wasted
+        self.log.tasks_salvaged += self.injector.log.tasks_salvaged - before
+
+    def on_server_recovery(self, name: str) -> None:
+        """Repaired: back on, empty, eligible for placement again."""
+        self.injector.recover_server(name)
+        self.log.server_repairs += 1
+
+    def on_master_failure(self, district: int) -> None:
+        """Master down: indirect path rejects until failover or repair."""
+        now = self.engine.now
+        self.injector.fail_master(district)
+        self.log.master_failures += 1
+        t_detect = self._record_detection(f"master-{district}", "master", now)
+        if self.cfg.recovery.failover:
+            self.engine.schedule_at(
+                t_detect + self.cfg.recovery.failover_takeover_s,
+                lambda: self._promote_standby(district),
+                label="resilience:failover")
+
+    def _promote_standby(self, district: int) -> None:
+        gateway = self.mw.edge_gateways[district]
+        if not gateway.master_up:
+            gateway.master_up = True
+            self.log.failovers += 1
+            if self.mw.obs.active:
+                self.mw.obs.emit("resilience", "master.failover", self.engine.now,
+                                 district=district)
+
+    def on_master_recovery(self, district: int) -> None:
+        # after a failover the standby already serves; restoring the original
+        # master is then a no-op flag flip, but it clears the injector state
+        self.injector.restore_master(district)
+
+    def on_wan_down(self) -> None:
+        if not self.injector.wan_partitioned:
+            self.injector.partition_wan()
+            self.log.wan_flaps += 1
+
+    def on_wan_up(self) -> None:
+        if self.injector.wan_partitioned:
+            self.injector.heal_wan()
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def _checkpoint_fn(self, district: int):
+        cluster = self.mw.clusters[district]
+
+        def tick(now: float, dt: float) -> None:
+            for w in cluster.workers:
+                if not w.running_tasks:
+                    continue
+                w.sync()
+                for task in w.running_tasks:
+                    if task.metadata.get("kind") == "cloud":
+                        task.metadata["ckpt_remaining"] = task.remaining_cycles
+                        self.log.checkpoints_taken += 1
+
+        return tick
+
+    # ------------------------------------------------------------------ #
+    # speculative cloning
+    # ------------------------------------------------------------------ #
+    def wants_clone(self, req) -> bool:
+        """Whether this request should be speculatively duplicated."""
+        rec = self.cfg.recovery
+        return (rec.clone
+                and isinstance(req, EdgeRequest)
+                and req.mode is EdgeMode.INDIRECT
+                and req.deadline_s <= rec.clone_deadline_threshold_s
+                and len(self.mw.edge_gateways) > 1)
+
+    def submit_cloned(self, req: EdgeRequest, district: int) -> None:
+        """Submit ``req`` to its district plus a speculative copy to a peer.
+
+        The peer with the most free cores takes the copy (lowest district id
+        breaks ties).  The group is attached to *both* members before either
+        submission so a synchronous rejection (master down, no retry) stays
+        silent while the sibling is in flight.
+        """
+        peer = min((d for d in sorted(self.mw.clusters) if d != district),
+                   key=lambda d: (-self.mw.clusters[d].free_cores(), d))
+        clone = copy.copy(req)
+        clone.request_id = f"{req.request_id}#clone"
+        group = CloneGroup(req, clone, self)
+        req.__dict__["_clone_group"] = group
+        clone.__dict__["_clone_group"] = group
+        self.log.clones_spawned += 1
+        if self.mw.obs.active:
+            self.mw.obs.emit("resilience", "edge.cloned", self.engine.now,
+                             id=req.request_id, home=district, peer=peer)
+        self.mw.edge_gateways[district].submit(req)
+        self.mw.edge_gateways[peer].submit(clone)
+
+    def _cancel_loser(self, loser: EdgeRequest) -> None:
+        """Cancel the losing clone; preempt it if it is running on a Q.rad."""
+        loser.__dict__["_clone_cancelled"] = True
+        if loser.status is not RequestStatus.RUNNING or not loser.executed_on:
+            return  # queued or in flight: dropped lazily at the next touch
+        for d in sorted(self.mw.clusters):
+            try:
+                worker = self.mw.clusters[d].worker(loser.executed_on)
+            except KeyError:
+                continue
+            try:
+                task = worker.preempt(loser.request_id)
+            except KeyError:
+                return  # completed in the same instant; on_complete discards
+            self.log.wasted_cycles += max(0.0, loser.cycles - task.remaining_cycles)
+            self.mw.schedulers[d].drain()  # the freed cores can serve queues
+            return
+        # running in the datacenter: out of preemption reach; its completion
+        # will be discarded (and booked as waste) by CloneGroup.on_complete

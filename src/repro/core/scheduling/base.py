@@ -163,6 +163,13 @@ class BaseScheduler(ABC):
         return False
 
     def _on_task_complete(self, req, kind: str, now: float) -> None:
+        if kind == "edge":
+            group = req.__dict__.get("_clone_group")
+            if group is not None:
+                req = group.on_complete(req, now)
+                if req is None:  # the losing clone: result discarded
+                    self.drain()
+                    return
         ret = float(req.__dict__.get("_return_delay_s", 0.0))
         if ret > 0:
             self.engine.schedule(ret, lambda: req.mark_completed(self.engine.now))
@@ -208,8 +215,33 @@ class BaseScheduler(ABC):
                 self.obs.counter("requests_queued", flow="cloud",
                                  cluster=self.cluster.name).inc()
 
+    def reject_edge(self, req: EdgeRequest, reason: str = "rejected") -> None:
+        """Terminally fail an edge request (expiry, outage, decision reject).
+
+        Clone-aware: a member of a speculative-clone pair only lands in
+        ``expired_edge`` once its sibling is also dead; while the sibling is
+        still in flight the failure is silent (first completion may yet win).
+        """
+        group = req.__dict__.get("_clone_group")
+        if group is not None:
+            req = group.on_failure(req)
+            if req is None:
+                return
+        req.mark_rejected()
+        self.expired_edge.append(req)
+        self.stats.edge_expired += 1
+        if self.obs.active:
+            name = "edge.expired" if reason == "expired" else "edge.rejected"
+            self.obs.emit("request", name, self.engine.now,
+                          id=req.request_id, reason=reason,
+                          cluster=self.cluster.name)
+            self.obs.counter("requests_expired", flow="edge",
+                             cluster=self.cluster.name).inc()
+
     def submit_edge(self, req: EdgeRequest) -> None:
         """Admit an edge request: place now or apply the saturation policy."""
+        if req.__dict__.get("_clone_cancelled"):
+            return  # its sibling already won while this copy was in flight
         self.stats.edge_submitted += 1
         self._note_admitted(req, "edge")
         if self._try_place(req, "edge", self.edge_workers()):
@@ -329,9 +361,7 @@ class BaseScheduler(ABC):
         if choice is Decision.VERTICAL and self._offload_vertical(req):
             return
         if choice is Decision.REJECT:
-            req.mark_rejected()
-            self.expired_edge.append(req)
-            self.stats.edge_expired += 1
+            self.reject_edge(req, reason="decision")
             return
         self._enqueue_edge(req)  # LOCAL-but-full, QUEUE, DELAY all land here
 
@@ -342,16 +372,14 @@ class BaseScheduler(ABC):
         """Serve queued work after capacity freed up (EDF first, then FCFS)."""
         now = self.engine.now
         for stale in self.edge_queue.pop_expired(now):
-            stale.mark_rejected()
-            self.expired_edge.append(stale)
-            self.stats.edge_expired += 1
-            if self.obs.active:
-                self.obs.emit("request", "edge.expired", now,
-                              id=stale.request_id, cluster=self.cluster.name)
-                self.obs.counter("requests_expired", flow="edge",
-                                 cluster=self.cluster.name).inc()
+            if stale.__dict__.get("_clone_cancelled"):
+                continue  # sibling already completed; nothing to record
+            self.reject_edge(stale, reason="expired")
         while self.edge_queue:
             head = self.edge_queue.peek()
+            if head.__dict__.get("_clone_cancelled"):
+                self.edge_queue.pop()
+                continue
             if not self._try_place(head, "edge", self.edge_workers()):
                 break
             self.edge_queue.pop()

@@ -120,6 +120,7 @@ class ComputeServer:
         self.engine = engine
         self._freq_cap = len(spec.ladder) - 1
         self._enabled = True
+        self._failed = False
         self._running: Dict[str, Task] = {}
         self._last_sync = engine.now
         self._completion_event = None
@@ -136,6 +137,16 @@ class ComputeServer:
     def enabled(self) -> bool:
         """False when motherboards are powered off."""
         return self._enabled
+
+    @property
+    def failed(self) -> bool:
+        """True while the server is hard-failed (crashed, awaiting repair).
+
+        A failed server stays off even if the heat regulator asks for power:
+        a crashed board cannot be resurrected by flipping the relay — only
+        :meth:`repair` clears the state.
+        """
+        return self._failed
 
     @property
     def n_cores(self) -> int:
@@ -305,9 +316,30 @@ class ComputeServer:
         self._enabled = False
 
     def power_on(self) -> None:
-        """Turn the motherboards back on."""
+        """Turn the motherboards back on (refused while hard-failed)."""
         self.sync()
+        if self._failed:
+            return
         self._enabled = True
+
+    def fail(self) -> None:
+        """Hard-fail the server: off, and immune to :meth:`power_on`.
+
+        Running tasks must already be killed (see :meth:`kill_all`).
+        """
+        self.sync()
+        if self._running:
+            raise RuntimeError(
+                f"cannot fail {self.name}: {len(self._running)} tasks running "
+                "(kill_all first)"
+            )
+        self._enabled = False
+        self._failed = True
+
+    def repair(self) -> None:
+        """Clear the hard-failure state and power the board back on."""
+        self._failed = False
+        self.power_on()
 
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

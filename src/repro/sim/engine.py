@@ -145,15 +145,25 @@ class Engine:
         heapq.heappush(self._heap, ev)
         return ev
 
-    def add_process(self, name: str, period: float, fn: Callable[[float, float], None]) -> Process:
-        """Register a periodic process; see :class:`Process`."""
+    def add_process(self, name: str, period: float, fn: Callable[[float, float], None],
+                    offset: float = 0.0) -> Process:
+        """Register a periodic process; see :class:`Process`.
+
+        ``offset`` shifts the process phase: the first invocation happens at
+        ``now + offset + period`` and subsequent ones every ``period``.  Use
+        distinct offsets to keep independent periodic activities (thermal
+        tick, per-district checkpointers, ...) from piling onto the same
+        event timestamps.
+        """
+        if offset < 0:
+            raise SimulationError(f"process {name!r}: offset must be >= 0, got {offset}")
         proc = Process(name, period, fn)
         proc._last = self.now
         self._processes.append(proc)
-        self._schedule_process(proc)
+        self._schedule_process(proc, extra_delay=offset)
         return proc
 
-    def _schedule_process(self, proc: Process) -> None:
+    def _schedule_process(self, proc: Process, extra_delay: float = 0.0) -> None:
         def tick() -> None:
             if not proc.active:
                 return
@@ -163,7 +173,8 @@ class Engine:
             if proc.active:
                 self._schedule_process(proc)
 
-        self.schedule(proc.period, tick, priority=10, label=f"process:{proc.name}")
+        self.schedule(proc.period + extra_delay, tick, priority=10,
+                      label=f"process:{proc.name}")
 
     # ------------------------------------------------------------------ #
     # execution

@@ -42,7 +42,7 @@ def test_run_with_seed_override(capsys):
 
 def test_registry_is_complete():
     main(["list"])  # populate
-    assert len(EXPERIMENTS) == 21
+    assert len(EXPERIMENTS) == 22
     assert set(EXPERIMENTS) >= {f"E{i}" for i in range(1, 13)}
 
 

@@ -154,6 +154,149 @@ def test_wan_partition_blocks_vertical():
         fi.partition_wan()
 
 
+# --------------------------------------------------------------------------- #
+# salvage semantics (regressions)
+# --------------------------------------------------------------------------- #
+def test_salvaged_edge_request_lifecycle_is_reset():
+    # regression: salvage used to resubmit a still-RUNNING request, leaving
+    # started_at/executed_on pointing at the dead server
+    mw = make_mw()
+    fi = FaultInjector(mw)
+    req = EdgeRequest(cycles=50 * GHZ, time=WINTER, deadline_s=3600.0,
+                      source="district-0/building-0", input_bytes=2e3)
+    mw.engine.run_until(WINTER)
+    mw.schedulers[0].submit_edge(req)
+    victim = req.executed_on
+    # saturate the rest of the district so the salvaged request must queue
+    free = sum(w.free_cores for w in mw.clusters[0].workers)
+    for _ in range(free):
+        mw.schedulers[0].submit_cloud(
+            CloudRequest(cycles=1e13, time=WINTER, cores=1, preemptible=False))
+    mw.run_until(WINTER + 0.5)
+    fi.crash_server(victim)
+    assert req.status is RequestStatus.QUEUED
+    assert req.executed_on == ""
+    assert req.started_at == -1.0
+
+
+def test_salvage_routes_through_gateway_so_master_outage_applies():
+    # regression: salvage used to call the scheduler directly, bypassing a
+    # concurrent master outage that rejects all other indirect traffic
+    mw = make_mw()
+    fi = FaultInjector(mw)
+    req = EdgeRequest(cycles=5 * GHZ, time=WINTER, deadline_s=120.0,
+                      source="district-0/building-0", input_bytes=2e3)
+    mw.engine.run_until(WINTER)
+    mw.schedulers[0].submit_edge(req)
+    victim = req.executed_on
+    mw.run_until(WINTER + 0.2)
+    fi.fail_master(0)
+    fi.crash_server(victim)
+    assert req.status is RequestStatus.REJECTED
+    assert req in mw.schedulers[0].expired_edge
+    mw.run_until(WINTER + 60.0)
+    assert req.status is RequestStatus.REJECTED  # nothing resurrects it
+
+
+def test_master_outage_keeps_gateway_instrumentation():
+    # regression: the outage is a first-class master_up flag, not a method
+    # patch, so the gateway still counts what it rejects
+    mw = make_mw()
+    fi = FaultInjector(mw)
+    fi.fail_master(0)
+    gw = mw.edge_gateways[0]
+    assert gw.master_up is False
+    req = edge(WINTER + 10.0)
+    mw.inject([req])
+    mw.run_until(WINTER + 60.0)
+    assert req.status is RequestStatus.REJECTED
+    assert gw.received == 1
+    fi.restore_master(0)
+    assert gw.master_up is True
+
+
+def test_crash_without_edge_salvage_rejects():
+    mw = make_mw()
+    fi = FaultInjector(mw)
+    req = EdgeRequest(cycles=5 * GHZ, time=WINTER, deadline_s=120.0,
+                      source="district-0/building-0", input_bytes=2e3)
+    mw.engine.run_until(WINTER)
+    mw.schedulers[0].submit_edge(req)
+    victim = req.executed_on
+    mw.run_until(WINTER + 0.2)
+    killed, district = fi.kill_server(victim, hard=True)
+    fi.salvage_tasks(killed, district, salvage_edge=False)
+    assert req.status is RequestStatus.REJECTED
+
+
+# --------------------------------------------------------------------------- #
+# kill/salvage split and progress modes
+# --------------------------------------------------------------------------- #
+def _run_cloud_until(mw, t):
+    req = CloudRequest(cycles=1e13, time=WINTER, cores=4)
+    mw.schedulers[0].submit_cloud(req)
+    mw.run_until(t)
+    return req
+
+
+def test_salvage_restart_books_lost_progress_as_waste():
+    mw = make_mw()
+    fi = FaultInjector(mw)
+    req = _run_cloud_until(mw, WINTER + 100.0)
+    killed, district = fi.kill_server(req.executed_on, hard=True)
+    (task,) = killed
+    executed = 1e13 - task.remaining_cycles
+    assert executed > 0
+    wasted = fi.salvage_tasks(killed, district, progress="restart")
+    assert wasted == pytest.approx(executed)
+    assert req.cycles == pytest.approx(1e13)  # re-runs from scratch
+
+
+def test_salvage_checkpoint_restarts_from_snapshot():
+    mw = make_mw()
+    fi = FaultInjector(mw)
+    req = _run_cloud_until(mw, WINTER + 400.0)
+    killed, district = fi.kill_server(req.executed_on, hard=True)
+    (task,) = killed
+    snapshot = 0.6e13  # remaining work at the last (synthetic) checkpoint
+    assert task.remaining_cycles < snapshot
+    task.metadata["ckpt_remaining"] = snapshot
+    wasted = fi.salvage_tasks(killed, district, progress="checkpoint")
+    assert wasted == pytest.approx(snapshot - task.remaining_cycles)
+    assert req.cycles == pytest.approx(snapshot)
+
+
+def test_salvage_checkpoint_without_snapshot_is_full_restart():
+    mw = make_mw()
+    fi = FaultInjector(mw)
+    req = _run_cloud_until(mw, WINTER + 100.0)
+    killed, district = fi.kill_server(req.executed_on, hard=True)
+    fi.salvage_tasks(killed, district, progress="checkpoint")
+    assert req.cycles == pytest.approx(1e13)
+
+
+def test_salvage_rejects_unknown_progress_mode():
+    mw = make_mw()
+    with pytest.raises(ValueError):
+        FaultInjector(mw).salvage_tasks([], 0, progress="wishful")
+
+
+def test_hard_crash_is_not_resurrected_by_the_regulator():
+    mw = make_mw(enable_filler=True)
+    fi = FaultInjector(mw)
+    name = mw.clusters[0].workers[0].name
+    fi.crash_server(name, hard=True)
+    mw.run_until(WINTER + 2 * HOUR)  # thermal ticks ask for heat meanwhile
+    w = mw.clusters[0].worker(name)
+    assert w.failed and not w.enabled
+    fi.recover_server(name)
+    assert mw.clusters[0].worker(name).enabled
+    assert not mw.clusters[0].worker(name).failed
+
+
+# --------------------------------------------------------------------------- #
+# WAN partition
+# --------------------------------------------------------------------------- #
 def test_partitioned_city_falls_back_to_queue():
     mw = make_mw(saturation_policy=SaturationPolicy.VERTICAL,
                  allow_privacy_vertical=True)

@@ -1,0 +1,354 @@
+"""Tests for the resilience subsystem: churn, detection, recovery (§III-C)."""
+
+import pytest
+
+from repro.core.middleware import DF3Middleware, MiddlewareConfig
+from repro.core.requests import CloudRequest, EdgeRequest, RequestStatus
+from repro.core.resilience import (
+    ChurnConfig,
+    DetectorConfig,
+    HeartbeatFailureDetector,
+    RecoveryConfig,
+    ResilienceConfig,
+    ResilienceLog,
+)
+from repro.core.scheduling.base import SaturationPolicy
+from repro.sim.calendar import DAY, HOUR
+from repro.sim.rng import RngRegistry
+
+GHZ = 1e9
+T0 = 10 * DAY
+
+
+def make_mw(recovery=None, churn=None, detector=None, enable_churn=False, **kw):
+    res = ResilienceConfig(
+        churn=churn if churn is not None else ChurnConfig(),
+        detector=detector if detector is not None else
+        DetectorConfig(heartbeat_interval_s=1.0, timeout_s=2.5),
+        recovery=recovery if recovery is not None else RecoveryConfig.none(),
+        enable_churn=enable_churn,
+    )
+    defaults = dict(n_districts=2, buildings_per_district=1, rooms_per_building=2,
+                    dc_nodes=2, seed=3, start_time=T0, enable_filler=False,
+                    resilience=res)
+    defaults.update(kw)
+    return DF3Middleware(MiddlewareConfig(**defaults))
+
+
+def edge(t, source="district-0/building-0", deadline=30.0, cycles=0.2 * GHZ):
+    return EdgeRequest(cycles=cycles, time=t, deadline_s=deadline,
+                       source=source, input_bytes=2e3)
+
+
+# --------------------------------------------------------------------------- #
+# configuration validation
+# --------------------------------------------------------------------------- #
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ChurnConfig(failure_dist="bogus")
+    with pytest.raises(ValueError):
+        ChurnConfig(server_mtbf_s=0.0)
+    with pytest.raises(ValueError):
+        ChurnConfig(weibull_shape=0.0)
+    with pytest.raises(ValueError):
+        DetectorConfig(heartbeat_interval_s=1.0, timeout_s=0.5)
+    with pytest.raises(ValueError):
+        RecoveryConfig(retry_max_attempts=-1)
+    with pytest.raises(ValueError):
+        RecoveryConfig(checkpoint_interval_s=0.0)
+
+
+def test_recovery_config_factories():
+    none = RecoveryConfig.none()
+    assert not (none.retry or none.clone or none.checkpoint
+                or none.failover or none.store_and_forward)
+    full = RecoveryConfig.all_on(retry_max_attempts=7)
+    assert full.retry and full.clone and full.checkpoint
+    assert full.failover and full.store_and_forward
+    assert full.retry_max_attempts == 7
+
+
+# --------------------------------------------------------------------------- #
+# heartbeat failure detector
+# --------------------------------------------------------------------------- #
+def test_detector_latency_within_bounds():
+    cfg = DetectorConfig(heartbeat_interval_s=1.0, timeout_s=3.0)
+    det = HeartbeatFailureDetector(cfg, RngRegistry(1).stream("det"))
+    for key in ("a", "b", "c"):
+        det.register(key)
+    for key in ("a", "b", "c"):
+        for t_fail in (0.1, 3.7, 100.3, 777.77, 86400.5):
+            t_detect = det.detection_time(key, t_fail)
+            assert t_detect >= t_fail
+            assert 2.0 < t_detect - t_fail <= 3.0  # (timeout - interval, timeout]
+
+
+def test_detector_register_and_monitors():
+    det = HeartbeatFailureDetector(DetectorConfig(), RngRegistry(1).stream("det"))
+    det.register("x")
+    assert det.monitors("x") and not det.monitors("y")
+    with pytest.raises(ValueError):
+        det.register("x")
+
+
+def test_detector_deterministic_across_builds():
+    def build():
+        det = HeartbeatFailureDetector(
+            DetectorConfig(), RngRegistry(5).stream("resilience-detector"))
+        for key in sorted(("s1", "s2", "s3")):
+            det.register(key)
+        return [det.detection_time(k, 123.456) for k in ("s1", "s2", "s3")]
+
+    assert build() == build()
+
+
+# --------------------------------------------------------------------------- #
+# resilience log
+# --------------------------------------------------------------------------- #
+def test_detection_latency_percentiles():
+    log = ResilienceLog()
+    assert log.detection_latency_percentile(99) == 0.0
+    log.detection_latencies_s.extend([4.0, 1.0, 3.0, 2.0])
+    assert log.detection_latency_percentile(50) == 2.0
+    assert log.detection_latency_percentile(99) == 4.0
+    assert log.detection_latency_percentile(100) == 4.0
+
+
+# --------------------------------------------------------------------------- #
+# armed machinery must not perturb a churn-free run
+# --------------------------------------------------------------------------- #
+def test_resilience_without_churn_is_inert():
+    def signature(mw):
+        reqs = [edge(T0 + 10.0 + 30.0 * i) for i in range(10)]
+        mw.inject(reqs)
+        mw.run_until(T0 + HOUR)
+        return [(r.status.value, r.completed_at, r.executed_on) for r in reqs]
+
+    plain = DF3Middleware(MiddlewareConfig(
+        n_districts=2, buildings_per_district=1, rooms_per_building=2,
+        dc_nodes=2, seed=3, start_time=T0, enable_filler=False))
+    armed = make_mw(recovery=RecoveryConfig.all_on(), enable_churn=False)
+    assert signature(plain) == signature(armed)
+
+
+# --------------------------------------------------------------------------- #
+# detection latency gates salvage (no omniscient recovery)
+# --------------------------------------------------------------------------- #
+def test_salvage_waits_for_detection():
+    mw = make_mw(recovery=RecoveryConfig(retry=True))
+    rt = mw.resilience
+    req = edge(T0, deadline=120.0, cycles=50 * GHZ)
+    mw.engine.run_until(T0)
+    mw.schedulers[0].submit_edge(req)
+    victim = req.executed_on
+    mw.run_until(T0 + 5.0)
+
+    rt.on_server_failure(victim)
+    # heartbeats stop, but nothing reacts before the timeout window opens
+    mw.run_until(T0 + 5.0 + 1.4)  # min latency is timeout - interval = 1.5
+    assert req.executed_on == victim
+    mw.run_until(T0 + 5.0 + 2.6)  # max latency is timeout = 2.5
+    assert req.executed_on != victim  # salvaged through the gateway
+    mw.run_until(T0 + 120.0)
+    assert req.status is RequestStatus.COMPLETED
+    (latency,) = rt.log.detection_latencies_s
+    assert 1.5 < latency <= 2.5
+    assert rt.log.tasks_salvaged == 1
+
+
+# --------------------------------------------------------------------------- #
+# retry with backoff bridges a short master outage
+# --------------------------------------------------------------------------- #
+def test_retry_bridges_master_outage():
+    mw = make_mw(recovery=RecoveryConfig(retry=True))
+    rt = mw.resilience
+    rt.injector.fail_master(0)
+    mw.engine.schedule_at(T0 + 12.0, lambda: rt.injector.restore_master(0))
+    req = edge(T0 + 10.0, deadline=60.0)
+    mw.inject([req])
+    mw.run_until(T0 + 120.0)
+    assert req.status is RequestStatus.COMPLETED
+    assert mw.edge_gateways[0].retries >= 1
+
+
+def test_retry_gives_up_at_the_deadline():
+    mw = make_mw(recovery=RecoveryConfig(retry=True))
+    mw.resilience.injector.fail_master(0)  # never restored
+    req = edge(T0 + 10.0, deadline=20.0)
+    mw.inject([req])
+    mw.run_until(T0 + 120.0)
+    assert req.status is RequestStatus.REJECTED
+
+
+# --------------------------------------------------------------------------- #
+# speculative cloning
+# --------------------------------------------------------------------------- #
+def terminal_edge_records(mw):
+    out = []
+    for sched in mw.schedulers.values():
+        out.extend(sched.completed_edge)
+        out.extend(sched.expired_edge)
+    return out
+
+
+def test_clone_first_completion_wins_single_terminal_record():
+    mw = make_mw(recovery=RecoveryConfig(clone=True, clone_deadline_threshold_s=10.0))
+    rt = mw.resilience
+    req = edge(T0 + 5.0, deadline=8.0, cycles=2 * GHZ)
+    mw.inject([req])
+    mw.run_until(T0 + 60.0)
+    assert rt.log.clones_spawned == 1
+    assert req.status is RequestStatus.COMPLETED
+    records = terminal_edge_records(mw)
+    assert records == [req]  # exactly one record, and it is the primary
+    assert not any(r.request_id.endswith("#clone") for r in records)
+    # the losing copy was cancelled/discarded and its cores freed again
+    for cluster in mw.clusters.values():
+        for w in cluster.workers:
+            assert w.free_cores == w.n_cores
+
+
+def test_clone_survives_primary_crash():
+    mw = make_mw(recovery=RecoveryConfig(clone=True, clone_deadline_threshold_s=10.0))
+    rt = mw.resilience
+    req = edge(T0 + 5.0, deadline=8.0, cycles=10 * GHZ)
+    mw.inject([req])
+    mw.run_until(T0 + 5.5)
+    assert req.status is RequestStatus.RUNNING
+    victim = req.executed_on
+    assert victim.startswith("district-0/")
+    rt.on_server_failure(victim)
+    mw.run_until(T0 + 60.0)
+    # the speculative copy won; its execution record was grafted onto req
+    assert req.status is RequestStatus.COMPLETED
+    assert req.executed_on.startswith("district-1/")
+    assert rt.log.clone_wins == 1
+    assert terminal_edge_records(mw) == [req]
+
+
+def test_loose_deadline_requests_are_not_cloned():
+    mw = make_mw(recovery=RecoveryConfig(clone=True, clone_deadline_threshold_s=10.0))
+    req = edge(T0 + 5.0, deadline=300.0)
+    mw.inject([req])
+    mw.run_until(T0 + 60.0)
+    assert req.status is RequestStatus.COMPLETED
+    assert mw.resilience.log.clones_spawned == 0
+
+
+# --------------------------------------------------------------------------- #
+# periodic checkpointing
+# --------------------------------------------------------------------------- #
+def test_checkpoint_salvage_restarts_from_snapshot():
+    mw = make_mw(recovery=RecoveryConfig(checkpoint=True, checkpoint_interval_s=100.0))
+    rt = mw.resilience
+    req = CloudRequest(cycles=1e13, time=T0, cores=4)
+    mw.engine.run_until(T0)
+    mw.schedulers[0].submit_cloud(req)
+    mw.run_until(T0 + 350.0)
+    assert rt.log.checkpoints_taken >= 2
+    victim = req.executed_on
+    rt.on_server_failure(victim)
+    mw.run_until(T0 + 360.0)  # past detection: salvage happened
+    # restarted from the last snapshot, not from scratch
+    assert req.cycles < 1e13
+    # waste = progress since the last checkpoint only
+    executed_at_crash = 350.0 * 4 * 3.5e9
+    assert 0.0 < rt.log.wasted_cycles < executed_at_crash
+    mw.run_until(T0 + HOUR)
+    assert req.status is RequestStatus.COMPLETED
+
+
+# --------------------------------------------------------------------------- #
+# master failover
+# --------------------------------------------------------------------------- #
+def test_failover_promotes_standby_after_detection():
+    mw = make_mw(recovery=RecoveryConfig(failover=True, failover_takeover_s=5.0))
+    rt = mw.resilience
+    mw.run_until(T0 + 10.0)
+    rt.on_master_failure(0)
+    gw = mw.edge_gateways[0]
+    assert gw.master_up is False
+    mw.run_until(T0 + 10.0 + 1.4)  # before detection: still down
+    assert gw.master_up is False
+    mw.run_until(T0 + 10.0 + 2.5 + 5.0 + 0.1)
+    assert gw.master_up is True
+    assert rt.log.failovers == 1
+    rt.on_master_recovery(0)  # original master returns: a no-op flag flip
+    assert gw.master_up is True
+
+
+# --------------------------------------------------------------------------- #
+# store-and-forward WAN offloading
+# --------------------------------------------------------------------------- #
+def test_store_and_forward_buffers_and_drains():
+    mw = make_mw(recovery=RecoveryConfig(store_and_forward=True),
+                 saturation_policy=SaturationPolicy.VERTICAL,
+                 allow_privacy_vertical=True)
+    rt = mw.resilience
+    mw.engine.run_until(T0)
+    for w in mw.clusters[0].workers:
+        for _ in range(w.n_cores):
+            mw.schedulers[0].submit_cloud(
+                CloudRequest(cycles=1e13, time=T0, cores=1, preemptible=False))
+    rt.on_wan_down()
+    req = edge(T0 + 10.0, deadline=3600.0)
+    mw.inject([req])
+    mw.run_until(T0 + 60.0)
+    assert mw.offloader.sf_buffered == 1  # held during the partition
+    assert req.status is not RequestStatus.COMPLETED
+    rt.on_wan_up()
+    mw.run_until(T0 + 600.0)
+    assert mw.offloader.sf_drained == 1
+    assert req.status is RequestStatus.COMPLETED
+
+
+# --------------------------------------------------------------------------- #
+# stochastic churn model
+# --------------------------------------------------------------------------- #
+def churn_city(seed=11, **churn_kw):
+    cfg = dict(server_mtbf_s=1800.0, server_mttr_s=300.0,
+               building_cut_rate_per_day=8.0, building_cut_duration_s=300.0,
+               master_mtbf_s=1200.0, master_mttr_s=60.0,
+               wan_flap_rate_per_day=12.0, wan_flap_duration_s=120.0)
+    cfg.update(churn_kw)
+    mw = make_mw(recovery=RecoveryConfig.all_on(), churn=ChurnConfig(**cfg),
+                 enable_churn=True, seed=seed)
+    reqs = [edge(T0 + 20.0 + 60.0 * i, deadline=60.0) for i in range(30)]
+    mw.inject(reqs)
+    mw.run_until(T0 + 6 * HOUR)
+    return mw, reqs
+
+
+def test_churn_drives_failures_and_repairs():
+    mw, reqs = churn_city()
+    log = mw.resilience.log
+    assert log.server_failures > 0
+    assert 0 < log.server_repairs <= log.server_failures
+    assert log.master_failures > 0
+    assert log.wan_flaps > 0
+    for latency in log.detection_latencies_s:
+        assert 1.5 < latency <= 2.5
+    # churn's view of who is down matches the injector's
+    assert set(mw.resilience.churn.down_servers) == mw.resilience.injector.down_servers
+    for cluster in mw.clusters.values():
+        for w in cluster.workers:
+            assert 0 <= w.free_cores <= w.n_cores
+
+
+def test_churn_is_deterministic():
+    def signature():
+        mw, reqs = churn_city()
+        log = mw.resilience.log
+        return (
+            log.server_failures, log.server_repairs, log.master_failures,
+            log.wan_flaps, log.wasted_cycles, tuple(log.detection_latencies_s),
+            tuple((r.status.value, r.completed_at, r.executed_on) for r in reqs),
+        )
+
+    assert signature() == signature()
+
+
+def test_weibull_and_aging_coupled_churn():
+    mw, _ = churn_city(failure_dist="weibull", weibull_shape=0.8,
+                       aging_coupling=True)
+    assert mw.resilience.log.server_failures > 0

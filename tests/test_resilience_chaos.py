@@ -1,0 +1,153 @@
+"""Randomized fault chaos: seeded crash/recover/partition storms (§III-C).
+
+A seeded planner generates a legal but adversarial fault schedule — server
+crashes and repairs, WAN partitions, master outages — and replays it against
+a live city under mixed load.  The suite then checks the conservation
+invariants the middleware must hold under *any* fault interleaving:
+
+* no worker ever ends up with negative (or over-capacity) free cores;
+* no request is lost (every finished request has exactly one terminal
+  record) and none is duplicated;
+* the whole scenario is byte-identical when re-run with the same seed.
+"""
+
+import random
+from collections import Counter
+
+from repro.core.faults import FaultInjector
+from repro.core.middleware import DF3Middleware, MiddlewareConfig
+from repro.core.requests import CloudRequest, EdgeRequest, RequestStatus
+from repro.sim.calendar import DAY, HOUR
+
+GHZ = 1e9
+T0 = 10 * DAY
+N_DISTRICTS = 2
+STORM_S = 2 * HOUR  # faults fire in [T0, T0 + STORM_S); then everything heals
+
+
+def plan_faults(server_names, seed):
+    """Seeded, state-aware fault schedule: every op is legal when it fires."""
+    rng = random.Random(seed)
+    up, down = set(server_names), set()
+    wan_up = True
+    masters_up = set(range(N_DISTRICTS))
+    ops, t = [], T0
+    while True:
+        t += rng.uniform(20.0, 180.0)
+        if t >= T0 + STORM_S:
+            return ops
+        roll = rng.random()
+        if roll < 0.40 and up:
+            s = rng.choice(sorted(up))
+            up.discard(s), down.add(s)
+            ops.append((t, "crash", s))
+        elif roll < 0.70 and down:
+            s = rng.choice(sorted(down))
+            down.discard(s), up.add(s)
+            ops.append((t, "recover", s))
+        elif roll < 0.85:
+            ops.append((t, "wan_down" if wan_up else "wan_up", None))
+            wan_up = not wan_up
+        else:
+            d = rng.randrange(N_DISTRICTS)
+            if d in masters_up:
+                masters_up.discard(d)
+                ops.append((t, "master_down", d))
+            else:
+                masters_up.add(d)
+                ops.append((t, "master_up", d))
+
+
+def run_chaos(seed=17):
+    mw = DF3Middleware(MiddlewareConfig(
+        n_districts=N_DISTRICTS, buildings_per_district=1, rooms_per_building=2,
+        dc_nodes=2, seed=3, start_time=T0, enable_filler=False))
+    fi = FaultInjector(mw)
+    names = [w.name for d in sorted(mw.clusters) for w in mw.clusters[d].workers]
+
+    dispatch = {
+        "crash": lambda s: fi.crash_server(s, hard=True),
+        "recover": fi.recover_server,
+        "wan_down": lambda _: fi.partition_wan(),
+        "wan_up": lambda _: fi.heal_wan(),
+        "master_down": fi.fail_master,
+        "master_up": fi.restore_master,
+    }
+    for t, op, arg in plan_faults(names, seed):
+        mw.engine.schedule_at(t, lambda op=op, arg=arg: dispatch[op](arg))
+
+    edge_reqs = [
+        EdgeRequest(cycles=2 * GHZ, time=T0 + 30.0 + 150.0 * i, deadline_s=120.0,
+                    source=f"district-{i % N_DISTRICTS}/building-0",
+                    input_bytes=2e3)
+        for i in range(40)
+    ]
+    cloud_reqs = [CloudRequest(cycles=2e12, time=T0 + 300.0 + 700.0 * i, cores=2)
+                  for i in range(8)]
+    mw.inject(edge_reqs)
+    mw.inject(cloud_reqs)
+
+    mw.run_until(T0 + STORM_S)
+    for s in sorted(fi.down_servers):
+        fi.recover_server(s)
+    if fi.wan_partitioned:
+        fi.heal_wan()
+    for d in range(N_DISTRICTS):
+        if fi.master_is_down(d):
+            fi.restore_master(d)
+    mw.run_until(T0 + STORM_S + HOUR)
+    return mw, fi, edge_reqs, cloud_reqs
+
+
+def signature(mw, fi, edge_reqs, cloud_reqs):
+    # request_id is a process-global counter, so reruns shift it: compare the
+    # requests positionally, not by id
+    return (
+        tuple((r.status.value, r.completed_at, r.executed_on)
+              for r in edge_reqs + cloud_reqs),
+        tuple(fi.log.events),
+        tuple(w.free_cores for d in sorted(mw.clusters)
+              for w in mw.clusters[d].workers),
+    )
+
+
+def test_chaos_invariants_hold():
+    mw, fi, edge_reqs, cloud_reqs = run_chaos()
+    assert fi.log.server_crashes > 0  # the storm actually stormed
+
+    # capacity conservation: cores never go negative or over capacity
+    for d in sorted(mw.clusters):
+        for w in mw.clusters[d].workers:
+            assert 0 <= w.free_cores <= w.n_cores
+            assert w.enabled and not w.failed  # everything healed
+
+    # request conservation: exactly one terminal record per finished request
+    edge_records = Counter()
+    for sched in mw.schedulers.values():
+        for r in sched.completed_edge:
+            edge_records[r.request_id] += 1
+        for r in sched.expired_edge:
+            edge_records[r.request_id] += 1
+    assert all(n == 1 for n in edge_records.values())
+    for r in edge_reqs:
+        assert r.finished  # nothing is stuck after the heal + drain tail
+        assert edge_records[r.request_id] == 1
+
+    cloud_records = Counter()
+    for sched in mw.schedulers.values():
+        for r in sched.completed_cloud:
+            cloud_records[r.request_id] += 1
+    if mw.offloader.datacenter is not None:
+        for r in getattr(mw.offloader, "completed", []):
+            cloud_records[r.request_id] += 1
+    for r in cloud_reqs:
+        assert r.status is RequestStatus.COMPLETED
+        assert cloud_records[r.request_id] == 1
+
+
+def test_chaos_rerun_is_byte_identical():
+    assert signature(*run_chaos(seed=23)) == signature(*run_chaos(seed=23))
+
+
+def test_chaos_seed_changes_the_storm():
+    assert signature(*run_chaos(seed=23)) != signature(*run_chaos(seed=24))
