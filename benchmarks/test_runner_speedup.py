@@ -1,0 +1,77 @@
+"""Bench the sweep runner: serial vs ``--jobs 4`` vs warm cache.
+
+Times the A6 churn sweep (15 independent points, the repo's largest) through
+:class:`repro.runner.SweepRunner` three ways and emits
+``benchmarks/results/BENCH_runner.json`` — serial/parallel/warm wall-clock,
+speedups and byte-identity — which CI uploads as the ``runner-bench``
+artifact.
+
+The ≥2× parallel-speedup assertion is gated on ``os.cpu_count() >= 4``: on a
+single-core runner four workers cannot beat one, and the artifact records
+that honestly instead of asserting fiction.  The warm-cache speedup holds on
+any machine — a fully cached sweep only unpickles and reduces.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import RESULTS_DIR
+
+from repro.experiments.a6_churn import SWEEP
+from repro.runner import ResultCache, SweepRunner
+
+JOBS = 4
+SEED = 101
+
+
+def _timed(runner):
+    t0 = time.perf_counter()
+    report = runner.run_spec(SWEEP, seed=SEED)
+    return time.perf_counter() - t0, report
+
+
+def test_runner_speedup(tmp_path):
+    cache = ResultCache(tmp_path / "bench_cache")
+
+    serial_s, serial = _timed(SweepRunner(jobs=1, cache=None))
+    parallel_s, parallel = _timed(SweepRunner(jobs=JOBS, cache=cache))
+    warm_s, warm = _timed(SweepRunner(jobs=1, cache=cache))
+
+    # determinism contract: all three paths render the same bytes
+    assert parallel.result.text == serial.result.text
+    assert warm.result.text == serial.result.text
+    assert serial.points == parallel.points == warm.points
+    assert parallel.computed == parallel.points and parallel.cached == 0
+    assert warm.fully_cached
+
+    cpus = os.cpu_count() or 1
+    parallel_speedup = serial_s / parallel_s
+    cache_speedup = serial_s / warm_s
+
+    # a fully cached sweep only unpickles and reduces — fast everywhere
+    assert cache_speedup >= 2.0, f"warm cache only {cache_speedup:.2f}x"
+    if cpus >= JOBS:
+        assert parallel_speedup >= 2.0, (
+            f"--jobs {JOBS} only {parallel_speedup:.2f}x on {cpus} CPUs"
+        )
+
+    bench = {
+        "experiment": SWEEP.experiment_id,
+        "seed": SEED,
+        "points": serial.points,
+        "jobs": JOBS,
+        "cpu_count": cpus,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "warm_cache_s": round(warm_s, 3),
+        "parallel_speedup": round(parallel_speedup, 2),
+        "cache_speedup": round(cache_speedup, 2),
+        "parallel_speedup_asserted": cpus >= JOBS,
+        "byte_identical": True,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = Path(RESULTS_DIR) / "BENCH_runner.json"
+    out.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")

@@ -7,6 +7,24 @@ Usage::
     python -m repro run all              # run every experiment
     python -m repro run E5 --seed 123    # override the seed
 
+Parallelism and caching (see DESIGN.md, "Sweep runner")::
+
+    python -m repro run A6 --jobs 4          # sweep points over 4 processes
+    python -m repro run all                  # warm runs reuse .repro_cache/
+    python -m repro run all --no-cache       # force recomputation
+    python -m repro run E3 --cache-dir /tmp/c
+
+Sweep-shaped experiments (those exporting a ``SWEEP`` spec) decompose into
+independent points executed by :class:`repro.runner.SweepRunner`; completed
+points are stored content-addressed under ``--cache-dir`` (default
+``.repro_cache/``), keyed by experiment id + point spec + code version, so a
+re-run only recomputes what changed.  ``--jobs 1`` (the default) executes
+points inline in points order — byte-identical to the historical serial
+runner — and any ``--jobs`` produces byte-identical tables, because results
+are always reassembled in points order.  Runs with observability flags
+bypass the cache: an instrumented run must actually execute to have
+something to observe.
+
 Observability (see DESIGN.md, "Observability") — any combination of::
 
     python -m repro run F3 --trace t.jsonl         # structured JSONL trace
@@ -26,6 +44,7 @@ Instrumentation never changes them: tracing and metrics only *observe*.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from contextlib import nullcontext
@@ -158,6 +177,14 @@ def main(argv=None) -> int:
                       help="print per-subsystem wall-clock profile")
     runp.add_argument("--metrics-out", metavar="PATH", default=None,
                       help="write the metrics registry snapshot as JSON")
+    runp.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes for sweep experiments (default 1)")
+    runp.add_argument("--no-cache", action="store_true",
+                      help="neither read nor write the result cache")
+    runp.add_argument("--cache-dir", metavar="PATH",
+                      default=os.environ.get("REPRO_CACHE_DIR", ".repro_cache"),
+                      help="result cache directory (default .repro_cache, "
+                           "or $REPRO_CACHE_DIR when set)")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -166,6 +193,9 @@ def main(argv=None) -> int:
             print(f"{key.ljust(width)}  {desc}")
         return 0
 
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
     ids = list(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment.upper()]
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
@@ -173,22 +203,36 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
     multi = len(ids) > 1
+    from repro.runner import ResultCache, SweepRunner
+
+    cache = None if args.no_cache else ResultCache(Path(args.cache_dir))
     for eid in ids:
         _, fn = EXPERIMENTS[eid]
         kwargs = {}
         if args.seed is not None:
             kwargs["seed"] = args.seed
         obs = _build_obs(args)  # fresh bundle per experiment
+        # an instrumented run must execute to have something to observe
+        runner = SweepRunner(jobs=args.jobs,
+                             cache=None if obs is not None else cache)
         t0 = time.time()
         with obs_mod.obs_session(obs) if obs is not None else nullcontext():
             try:
-                result = fn(**kwargs)
+                report = runner.run_experiment(fn, **kwargs)
             except TypeError:
-                result = fn()  # experiment without a seed parameter
+                report = runner.run_experiment(fn)  # no seed parameter
+        result = report.result
         print(result)
-        print(f"({eid} completed in {time.time() - t0:.1f}s)")
+        if report.points:
+            detail = (f"; {report.points} points: "
+                      f"{report.computed} computed, {report.cached} cached")
+        else:
+            detail = "; result cached" if report.cached else ""
+        print(f"({eid} completed in {time.time() - t0:.1f}s{detail})")
         _write_artefacts(args, obs, result, eid, multi)
         print()
+    if cache is not None and cache.stats.hits + cache.stats.misses:
+        print(f"cache {args.cache_dir}: {cache.stats}")
     return 0
 
 

@@ -10,18 +10,27 @@ recover.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from repro.experiments.common import ExperimentResult, mid_month_start, small_city
 from repro.metrics.collectors import TimeSeries
 from repro.metrics.report import Table
+from repro.runner.runner import run_sweep
+from repro.runner.spec import SweepPoint, SweepSpec
 from repro.sim.calendar import DAY, HOUR
 
-__all__ = ["run"]
+__all__ = ["run", "SWEEP"]
+
+#: report windows around the 17:00–19:00 cap, in display order
+_WINDOWS_H = (
+    ("before (14–17h)", 14, 17),
+    ("capped (17–19h)", 17, 19),
+    ("after (19–22h)", 19, 22),
+)
 
 
-def run(seed: int = 71) -> ExperimentResult:
-    """One cold day with a 17:00–19:00 grid cap at 40% of fleet power."""
+def _dr_cell(seed: int) -> Dict[str, float]:
+    """Simulate the capped day; returns the window means + comfort summary."""
     t0 = mid_month_start(1)
     mw = small_city(seed=seed, start_time=t0)
     cap_holder = {"w": 0.0}
@@ -44,25 +53,42 @@ def run(seed: int = 71) -> ExperimentResult:
     mw.engine.add_process("a4-sample", 600.0, sample)
     mw.run_until(t0 + DAY)
 
-    windows = {
-        "before (14–17h)": (t0 + 14 * HOUR, t0 + 17 * HOUR),
-        "capped (17–19h)": (t0 + 17 * HOUR, t0 + 19 * HOUR),
-        "after (19–22h)": (t0 + 19 * HOUR, t0 + 22 * HOUR),
+    cell: Dict[str, float] = {
+        name: power.window(t0 + a * HOUR, t0 + b * HOUR).mean()
+        for name, a, b in _WINDOWS_H
     }
+    comfort = mw.comfort.result()
+    cell["cap_w"] = cap_holder["w"]
+    cell["comfort_in_band"] = comfort.time_in_band
+    cell["curtailment_events"] = mw.smartgrid.curtailment_events
+    return cell
+
+
+def sweep_points(seed: int = 71) -> List[SweepPoint]:
+    """A single point: the whole capped day is one indivisible simulation."""
+    return [SweepPoint(
+        experiment_id="A4", point_id="capped-day",
+        cell="repro.experiments.a4_demand_response:_dr_cell",
+        params=(("seed", seed),),
+    )]
+
+
+def sweep_reduce(cells: Dict[str, Any], seed: int = 71) -> ExperimentResult:
+    """Render the window means + comfort footer."""
+    cell = cells["capped-day"]
     table = Table(["window", "mean_fleet_power_w", "grid_cap_w"],
                   title="A4 — demand-response event on the DF3 fleet (§III-A)")
     data: Dict[str, float] = {}
-    for name, (a, b) in windows.items():
-        p = power.window(a, b).mean()
-        data[name] = p
-        table.add_row(name, round(p), round(cap_holder["w"]) if "capped" in name else "-")
+    for name, _, _ in _WINDOWS_H:
+        data[name] = cell[name]
+        table.add_row(name, round(cell[name]),
+                      round(cell["cap_w"]) if "capped" in name else "-")
 
-    comfort = mw.comfort.result()
-    data["comfort_in_band"] = comfort.time_in_band
-    data["curtailment_events"] = mw.smartgrid.curtailment_events
+    data["comfort_in_band"] = cell["comfort_in_band"]
+    data["curtailment_events"] = cell["curtailment_events"]
     footer = (
-        f"\ncurtailment events: {mw.smartgrid.curtailment_events}; "
-        f"comfort across the day: in-band {comfort.time_in_band:.0%} "
+        f"\ncurtailment events: {cell['curtailment_events']}; "
+        f"comfort across the day: in-band {cell['comfort_in_band']:.0%} "
         f"(rooms coast on thermal inertia through the cap)"
     )
     return ExperimentResult(
@@ -71,3 +97,11 @@ def run(seed: int = 71) -> ExperimentResult:
         text=table.render() + footer,
         data=data,
     )
+
+
+SWEEP = SweepSpec("A4", points=sweep_points, reduce=sweep_reduce)
+
+
+def run(seed: int = 71) -> ExperimentResult:
+    """One cold day with a 17:00–19:00 grid cap at 40% of fleet power."""
+    return run_sweep(SWEEP, seed=seed)

@@ -35,6 +35,8 @@ from __future__ import annotations
 
 from typing import Dict
 
+from typing import Any, List
+
 from repro.core.requests import CloudRequest
 from repro.core.resilience import (
     ChurnConfig,
@@ -45,11 +47,13 @@ from repro.core.resilience import (
 from repro.core.scheduling.base import SaturationPolicy
 from repro.experiments.common import ExperimentResult, mid_month_start, small_city
 from repro.metrics.report import Table
+from repro.runner.runner import run_sweep
+from repro.runner.spec import SweepPoint, SweepSpec
 from repro.sim.calendar import DAY, HOUR
 from repro.sim.rng import RngRegistry
 from repro.workloads.edge import EdgeWorkloadConfig, EdgeWorkloadGenerator
 
-__all__ = ["run", "BUNDLES", "MTBF_LEVELS_S"]
+__all__ = ["run", "BUNDLES", "MTBF_LEVELS_S", "SWEEP"]
 
 #: the recovery bundles compared (order = report order)
 BUNDLES = {
@@ -131,16 +135,30 @@ def _run_cell(seed: int, mtbf_s: float, recovery: RecoveryConfig) -> Dict[str, f
     }
 
 
-def run(seed: int = 101) -> ExperimentResult:
-    """Sweep recovery bundles × MTBF levels over identical churn draws."""
+def sweep_points(seed: int = 101) -> List[SweepPoint]:
+    """One point per (MTBF level, recovery bundle) cell of the grid."""
+    return [
+        SweepPoint(
+            experiment_id="A6",
+            point_id=f"{mtbf_label}/{policy}",
+            cell="repro.experiments.a6_churn:_run_cell",
+            params=(("seed", seed), ("mtbf_s", mtbf_s), ("recovery", recovery)),
+        )
+        for mtbf_label, mtbf_s in MTBF_LEVELS_S.items()
+        for policy, recovery in BUNDLES.items()
+    ]
+
+
+def sweep_reduce(cells: Dict[str, Any], seed: int = 101) -> ExperimentResult:
+    """Reassemble the grid cells into the A6 table + footer."""
     table = Table(["mtbf", "policy", "edge_served", "cloud_done",
                    "wasted_gcycles", "detect_p50", "detect_p99"],
                   title="A6 — recovery policies under churn")
     data: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for mtbf_label, mtbf_s in MTBF_LEVELS_S.items():
+    for mtbf_label in MTBF_LEVELS_S:
         data[mtbf_label] = {}
-        for policy, recovery in BUNDLES.items():
-            cell = _run_cell(seed, mtbf_s, recovery)
+        for policy in BUNDLES:
+            cell = cells[f"{mtbf_label}/{policy}"]
             data[mtbf_label][policy] = cell
             table.add_row(
                 mtbf_label, policy, f"{cell['served_rate']:.2%}",
@@ -166,3 +184,11 @@ def run(seed: int = 101) -> ExperimentResult:
         text=table.render() + footer,
         data=data,
     )
+
+
+SWEEP = SweepSpec("A6", points=sweep_points, reduce=sweep_reduce)
+
+
+def run(seed: int = 101) -> ExperimentResult:
+    """Sweep recovery bundles × MTBF levels over identical churn draws."""
+    return run_sweep(SWEEP, seed=seed)

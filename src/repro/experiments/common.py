@@ -10,7 +10,12 @@ from repro.sim.calendar import DAY, SimCalendar
 
 __all__ = ["ExperimentResult", "mid_month_start", "small_city"]
 
-_CAL = SimCalendar()
+# Deliberately no module-level singletons here: experiment cells execute in
+# pool worker processes (repro.runner), and any instance constructed at
+# import time would be re-created per worker with whatever state it had —
+# an invisible fork hazard.  SimCalendar is a stateless frozen dataclass,
+# so constructing one per call is free and keeps this module fork-safe;
+# tests/test_runner_worker.py enforces the no-mutable-module-state rule.
 
 
 @dataclass
@@ -33,7 +38,7 @@ class ExperimentResult:
 
 def mid_month_start(month: int, year_offset: int = 0) -> float:
     """Simulated time of the 10th of a month — a representative window."""
-    return _CAL.month_start(month) + 9 * DAY + year_offset * 365 * DAY
+    return SimCalendar().month_start(month) + 9 * DAY + year_offset * 365 * DAY
 
 
 def small_city(obs=None, **overrides) -> DF3Middleware:

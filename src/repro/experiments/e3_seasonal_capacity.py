@@ -11,31 +11,53 @@ requests").
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any, Dict, List
 
 from repro.core.pricing import SeasonalPricing
 from repro.experiments.common import ExperimentResult, mid_month_start, small_city
 from repro.metrics.report import Table
+from repro.runner.runner import run_sweep
+from repro.runner.spec import SweepPoint, SweepSpec
 from repro.sim.calendar import DAY, MONTH_LENGTHS, month_name
 
-__all__ = ["run"]
+__all__ = ["run", "SWEEP"]
+
+
+def _capacity_cell(seed: int, days: float, month: int, boilers: int) -> float:
+    """Extrapolated core-hours of one (month, fleet flavour) sample window."""
+    mw = small_city(seed=seed, start_time=mid_month_start(month),
+                    boilers_per_district=boilers)
+    mw.run_until(mw.engine.now + days * DAY)
+    sampled = mw.smartgrid.monthly_capacity_core_hours().get(month, 0.0)
+    return sampled * MONTH_LENGTHS[month - 1] / days
 
 
 def _monthly_capacity(seed: int, days: float, boilers: int) -> Dict[int, float]:
-    caps: Dict[int, float] = {}
-    for month in range(1, 13):
-        mw = small_city(seed=seed, start_time=mid_month_start(month),
-                        boilers_per_district=boilers)
-        mw.run_until(mw.engine.now + days * DAY)
-        sampled = mw.smartgrid.monthly_capacity_core_hours().get(month, 0.0)
-        caps[month] = sampled * MONTH_LENGTHS[month - 1] / days
-    return caps
+    """All twelve months of one fleet flavour, serially (used by A5)."""
+    return {month: _capacity_cell(seed, days, month, boilers)
+            for month in range(1, 13)}
 
 
-def run(days_per_month: float = 1.0, seed: int = 19) -> ExperimentResult:
-    """Monthly capacity with and without boilers + the §IV price table."""
-    heaters_only = _monthly_capacity(seed, days_per_month, boilers=0)
-    with_boilers = _monthly_capacity(seed, days_per_month, boilers=1)
+def sweep_points(days_per_month: float = 1.0, seed: int = 19) -> List[SweepPoint]:
+    """One point per (month, boilers) — 24 independent city windows."""
+    return [
+        SweepPoint(
+            experiment_id="E3",
+            point_id=f"boilers={boilers}/month={month:02d}",
+            cell="repro.experiments.e3_seasonal_capacity:_capacity_cell",
+            params=(("seed", seed), ("days", days_per_month),
+                    ("month", month), ("boilers", boilers)),
+        )
+        for boilers in (0, 1)
+        for month in range(1, 13)
+    ]
+
+
+def sweep_reduce(cells: Dict[str, Any], days_per_month: float = 1.0,
+                 seed: int = 19) -> ExperimentResult:
+    """Reassemble the 24 capacity samples into the price table."""
+    heaters_only = {m: cells[f"boilers=0/month={m:02d}"] for m in range(1, 13)}
+    with_boilers = {m: cells[f"boilers=1/month={m:02d}"] for m in range(1, 13)}
 
     pricing = SeasonalPricing(heaters_only)
     table = Table(
@@ -66,3 +88,11 @@ def run(days_per_month: float = 1.0, seed: int = 19) -> ExperimentResult:
             "price_table": pricing.price_table(),
         },
     )
+
+
+SWEEP = SweepSpec("E3", points=sweep_points, reduce=sweep_reduce)
+
+
+def run(days_per_month: float = 1.0, seed: int = 19) -> ExperimentResult:
+    """Monthly capacity with and without boilers + the §IV price table."""
+    return run_sweep(SWEEP, days_per_month=days_per_month, seed=seed)

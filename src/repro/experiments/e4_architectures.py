@@ -9,17 +9,27 @@ the dedicated-pool size, reporting edge deadline misses and DCC throughput.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from repro.core.requests import CloudRequest
 from repro.core.scheduling.base import SaturationPolicy
 from repro.experiments.common import ExperimentResult, mid_month_start, small_city
 from repro.metrics.report import Table
+from repro.runner.runner import run_sweep
+from repro.runner.spec import SweepPoint, SweepSpec
 from repro.sim.calendar import HOUR, MINUTE
 from repro.sim.rng import RngRegistry
 from repro.workloads.edge import EdgeWorkloadConfig, EdgeWorkloadGenerator
 
-__all__ = ["run"]
+__all__ = ["run", "SWEEP"]
+
+#: (point-id suffix, architecture, dedicated pool, display label) in row order
+_VARIANTS = (
+    ("shared", "shared", 0, "shared (class 1)"),
+    ("dedicated-1", "dedicated", 1, "dedicated pool=1 (class 2)"),
+    ("dedicated-2", "dedicated", 2, "dedicated pool=2 (class 2)"),
+    ("dedicated-3", "dedicated", 3, "dedicated pool=3 (class 2)"),
+)
 
 _GHZ = 1e9
 
@@ -67,16 +77,28 @@ def _scenario(architecture: str, dedicated: int, burst: bool, seed: int) -> Dict
     }
 
 
-def run(seed: int = 23) -> ExperimentResult:
-    """Shared vs dedicated (pool sizes 1, 2, 3) × steady/burst edge load."""
+def sweep_points(seed: int = 23) -> List[SweepPoint]:
+    """One point per (edge load, architecture variant) scenario."""
+    return [
+        SweepPoint(
+            experiment_id="E4",
+            point_id=f"{'burst' if burst else 'steady'}/{vid}",
+            cell="repro.experiments.e4_architectures:_scenario",
+            params=(("architecture", arch), ("dedicated", pool),
+                    ("burst", burst), ("seed", seed)),
+        )
+        for burst in (False, True)
+        for vid, arch, pool, _ in _VARIANTS
+    ]
+
+
+def sweep_reduce(cells: Dict[str, Any], seed: int = 23) -> ExperimentResult:
+    """Reassemble the eight scenarios into the architecture table."""
     rows = []
     for burst in (False, True):
         load = "burst" if burst else "steady"
-        shared = _scenario("shared", 0, burst, seed)
-        rows.append((load, "shared (class 1)", shared))
-        for pool in (1, 2, 3):
-            ded = _scenario("dedicated", pool, burst, seed)
-            rows.append((load, f"dedicated pool={pool} (class 2)", ded))
+        for vid, _, _, label in _VARIANTS:
+            rows.append((load, label, cells[f"{load}/{vid}"]))
 
     table = Table(["edge_load", "architecture", "edge_miss_rate", "cloud_completed"],
                   title="E4 — shared vs dedicated workers under DCC pressure")
@@ -90,3 +112,11 @@ def run(seed: int = 23) -> ExperimentResult:
         text=table.render(),
         data=data,
     )
+
+
+SWEEP = SweepSpec("E4", points=sweep_points, reduce=sweep_reduce)
+
+
+def run(seed: int = 23) -> ExperimentResult:
+    """Shared vs dedicated (pool sizes 1, 2, 3) × steady/burst edge load."""
+    return run_sweep(SWEEP, seed=seed)

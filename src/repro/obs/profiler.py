@@ -37,6 +37,15 @@ class Profiler:
         if seconds > self._max.get(label, 0.0):
             self._max[label] = seconds
 
+    def merge(self, other: "Profiler") -> None:
+        """Fold another profiler into this one (worker → parent merge-back)."""
+        for label in sorted(other._calls):
+            self._calls[label] = self._calls.get(label, 0) + other._calls[label]
+            self._seconds[label] = (self._seconds.get(label, 0.0)
+                                    + other._seconds[label])
+            if other._max[label] > self._max.get(label, 0.0):
+                self._max[label] = other._max[label]
+
     @property
     def total_s(self) -> float:
         """Wall-clock seconds across all labels."""

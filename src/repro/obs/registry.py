@@ -162,6 +162,24 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (worker → parent merge-back).
+
+        Counters add, histograms concatenate their observations, gauges take
+        the other registry's value (a worker's gauge is the more recent
+        observation of the same instrument).  Series are merged in sorted
+        key order so repeated merges are deterministic.
+        """
+        for (name, labels), metric in sorted(other._metrics.items()):
+            kwargs = dict(labels)
+            if isinstance(metric, Counter):
+                self.counter(name, **kwargs).inc(metric.value)
+            elif isinstance(metric, Gauge):
+                self.gauge(name, **kwargs).set(metric.value)
+            elif isinstance(metric, Histogram):
+                mine = self.histogram(name, **kwargs)
+                mine._values.extend(metric._values)
+
     def clear(self) -> None:
         """Drop every registered series."""
         self._metrics.clear()

@@ -1,0 +1,48 @@
+"""Parallel sweep execution with content-addressed result caching.
+
+The experiment layer (``repro.experiments``) is embarrassingly parallel at
+the *sweep point* level: every cell of A6's policy × MTBF grid, every month
+of E3's capacity sweep, every scale point of E14 builds its own city from a
+seed and never talks to its neighbours.  This subpackage exploits that:
+
+* :class:`~repro.runner.spec.SweepPoint` / :class:`~repro.runner.spec.SweepSpec`
+  — the decomposition protocol an experiment module opts into by exporting a
+  ``SWEEP`` object: a *points* function (kwargs → picklable point specs), a
+  per-point *cell* function (referenced by ``module:name`` so it pickles by
+  reference), and a *reduce* function that reassembles the cells — always in
+  points order, never in completion order — into the experiment's
+  :class:`~repro.experiments.common.ExperimentResult`;
+* :class:`~repro.runner.cache.ResultCache` — a content-addressed store under
+  ``.repro_cache/`` keyed by :func:`~repro.runner.hashing.stable_hash` of
+  (experiment id, point spec, code version), so a warm re-run only recomputes
+  points whose inputs — or whose code — changed;
+* :class:`~repro.runner.runner.SweepRunner` — executes pending points either
+  inline (``jobs=1``, byte-identical to the historical serial runner) or over
+  a ``ProcessPoolExecutor`` (``--jobs N``), merging each worker's metrics
+  registry and profiler back into the parent observability bundle.
+
+Determinism contract: for a fixed seed, ``jobs=1``, ``jobs=N`` and a warm
+cache hit all yield byte-identical ``ExperimentResult.text`` (locked in by
+``tests/test_runner_equivalence.py`` and the golden harness).
+"""
+
+from __future__ import annotations
+
+from repro.runner.cache import ResultCache
+from repro.runner.hashing import code_version, stable_hash
+from repro.runner.runner import RunReport, SweepRunner, run_sweep
+from repro.runner.spec import SweepPoint, SweepSpec, sweep_of
+from repro.runner.worker import init_worker
+
+__all__ = [
+    "ResultCache",
+    "RunReport",
+    "SweepPoint",
+    "SweepRunner",
+    "SweepSpec",
+    "code_version",
+    "init_worker",
+    "run_sweep",
+    "stable_hash",
+    "sweep_of",
+]

@@ -1,0 +1,197 @@
+"""`SweepRunner`: execute experiment sweeps serially, in parallel, or cached.
+
+The execution pipeline for a sweep-shaped experiment (one exporting a
+``SWEEP`` spec, see :mod:`repro.runner.spec`):
+
+1. **decompose** — ``spec.make_points(**kwargs)`` yields the ordered point
+   list; each point gets a cache key from :func:`~repro.runner.hashing.stable_hash`
+   over (code version, point spec);
+2. **probe** — with a cache attached, stored cell values are loaded and only
+   the *pending* points go to execution;
+3. **execute** — ``jobs=1`` runs pending cells inline, in points order, under
+   the ambient observability bundle (byte-identical to the historical serial
+   path); ``jobs>1`` fans them out over a ``ProcessPoolExecutor`` whose
+   workers are initialized by :func:`~repro.runner.worker.init_worker`;
+4. **reassemble** — cell values are keyed by ``point_id`` and handed to
+   ``spec.reduce`` strictly in points order, so completion order can never
+   leak into the result (property-tested in ``tests/test_runner_properties.py``);
+5. **merge back** — per-worker metrics registries and profilers are folded
+   into the parent bundle, again in points order.
+
+Experiments without a ``SWEEP`` spec still benefit: their whole
+:class:`~repro.experiments.common.ExperimentResult` is cached under
+(code version, experiment id, kwargs), so a warm ``run all`` skips them too.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs as obs_mod
+from repro.runner.cache import ResultCache
+from repro.runner.hashing import code_version, stable_hash
+from repro.runner.spec import SweepPoint, SweepSpec, sweep_of
+from repro.runner.worker import init_worker, run_point_task
+
+__all__ = ["RunReport", "SweepRunner", "point_key", "reassemble", "run_sweep"]
+
+
+def point_key(point: SweepPoint) -> str:
+    """Cache key of one sweep point (content-addressed, code-versioned)."""
+    return stable_hash(("point", code_version(), point))
+
+
+def result_key(experiment_id: str, kwargs: Dict[str, Any]) -> str:
+    """Cache key of a whole-experiment result (the non-sweep fallback)."""
+    return stable_hash(("result", code_version(), experiment_id,
+                        tuple(sorted(kwargs.items()))))
+
+
+def reassemble(
+    points: Sequence[SweepPoint],
+    outcomes: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Cell values keyed by ``point_id`` **in points order**.
+
+    ``outcomes`` may have been populated in any completion order; the
+    returned dict's iteration order is the points order, which is what makes
+    ``reduce`` deterministic under parallel execution.
+    """
+    missing = [p.point_id for p in points if p.point_id not in outcomes]
+    if missing:
+        raise KeyError(f"missing outcomes for points: {missing}")
+    return {p.point_id: outcomes[p.point_id] for p in points}
+
+
+@dataclass
+class RunReport:
+    """What one experiment run did: the result plus cache/execution counts."""
+
+    result: Any
+    points: int = 0        # sweep points in the decomposition (0 = non-sweep)
+    computed: int = 0      # points (or whole results) actually executed
+    cached: int = 0        # points (or whole results) served from the cache
+
+    @property
+    def fully_cached(self) -> bool:
+        """True when nothing had to be executed."""
+        return self.computed == 0
+
+
+@dataclass
+class SweepRunner:
+    """Sweep executor: ``jobs`` worker processes + optional result cache.
+
+    ``jobs=1`` (the default) never creates a pool: pending cells run inline
+    in points order in this process, so an uncached ``jobs=1`` run is
+    *the* reference serial execution.  ``obs`` overrides the bundle that
+    receives worker merge-back (defaults to the process-wide current one at
+    call time).
+    """
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    obs: Optional[obs_mod.Observability] = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    # ------------------------------------------------------------------ #
+    def run_experiment(self, fn: Callable[..., Any], **kwargs: Any) -> RunReport:
+        """Run ``fn`` (an experiment ``run`` callable) through the runner.
+
+        Sweep-shaped experiments are decomposed per point; everything else
+        falls back to whole-result execution + caching.
+        """
+        spec = sweep_of(fn)
+        if spec is not None:
+            return self.run_spec(spec, **kwargs)
+        if self.cache is None:
+            return RunReport(result=fn(**kwargs), computed=1)
+        key = result_key(f"{fn.__module__}:{fn.__qualname__}", kwargs)
+        hit, value = self.cache.get(key)
+        if hit:
+            return RunReport(result=value, cached=1)
+        value = fn(**kwargs)
+        self.cache.put(key, value)
+        return RunReport(result=value, computed=1)
+
+    def run_spec(self, spec: SweepSpec, **kwargs: Any) -> RunReport:
+        """Decompose → probe cache → execute pending → reduce in order."""
+        points = spec.make_points(**kwargs)
+        outcomes: Dict[str, Any] = {}
+        pending: List[Tuple[SweepPoint, Optional[str]]] = []
+        for p in points:
+            key = point_key(p) if self.cache is not None else None
+            if key is not None:
+                hit, value = self.cache.get(key)
+                if hit:
+                    outcomes[p.point_id] = value
+                    continue
+            pending.append((p, key))
+
+        if pending:
+            self._execute(pending, outcomes)
+        cells = reassemble(points, outcomes)
+        return RunReport(
+            result=spec.reduce(cells, **kwargs),
+            points=len(points),
+            computed=len(pending),
+            cached=len(points) - len(pending),
+        )
+
+    # ------------------------------------------------------------------ #
+    def _execute(
+        self,
+        pending: Sequence[Tuple[SweepPoint, Optional[str]]],
+        outcomes: Dict[str, Any],
+    ) -> None:
+        if self.jobs == 1:
+            for point, key in pending:
+                value = point.execute()
+                outcomes[point.point_id] = value
+                if key is not None and self.cache is not None:
+                    self.cache.put(key, value)
+            return
+
+        bundle = self.obs if self.obs is not None else obs_mod.get_obs()
+        want_metrics = bundle.metrics_enabled
+        want_profile = bundle.profiler is not None
+        merge_back: Dict[str, Tuple[Optional[obs_mod.MetricsRegistry],
+                                    Optional[obs_mod.Profiler]]] = {}
+        with ProcessPoolExecutor(max_workers=self.jobs,
+                                 initializer=init_worker) as pool:
+            futures = {
+                pool.submit(run_point_task, point, want_metrics, want_profile):
+                (point, key)
+                for point, key in pending
+            }
+            # gather in submission order (workers still run concurrently);
+            # reduce-order determinism is enforced again by reassemble()
+            for future, (point, key) in futures.items():
+                point_id, value, registry, profiler = future.result()
+                outcomes[point_id] = value
+                merge_back[point_id] = (registry, profiler)
+                if key is not None and self.cache is not None:
+                    self.cache.put(key, value)
+
+        for point, _ in pending:  # merge in points order, not completion order
+            registry, profiler = merge_back.get(point.point_id, (None, None))
+            if registry is not None:
+                bundle.registry.merge(registry)
+            if profiler is not None and bundle.profiler is not None:
+                bundle.profiler.merge(profiler)
+
+
+def run_sweep(spec: SweepSpec, jobs: int = 1,
+              cache: Optional[ResultCache] = None, **kwargs: Any) -> Any:
+    """Run one sweep spec and return its ``ExperimentResult``.
+
+    ``run_sweep(SWEEP, **kwargs)`` with the defaults is the drop-in body for
+    an experiment module's ``run()``: serial, uncached, byte-identical to
+    the pre-runner implementation.
+    """
+    return SweepRunner(jobs=jobs, cache=cache).run_spec(spec, **kwargs).result

@@ -1,0 +1,93 @@
+"""The sweep decomposition protocol experiment modules opt into.
+
+An experiment becomes runnable in parallel (and cacheable per point) by
+exporting a module-level ``SWEEP``::
+
+    def sweep_points(seed: int = 101) -> List[SweepPoint]: ...
+    def _cell(**params) -> Any: ...          # module-level → pickles by name
+    def sweep_reduce(cells: Dict[str, Any], seed: int = 101) -> ExperimentResult: ...
+
+    SWEEP = SweepSpec("A6", points=sweep_points, reduce=sweep_reduce)
+
+    def run(seed: int = 101) -> ExperimentResult:
+        return run_sweep(SWEEP, seed=seed)    # serial, uncached — the old path
+
+Contract:
+
+* every point is **independent**: its cell builds its own city from the spec
+  and shares no state with other points (no module-level singletons — see
+  ``tests/test_runner_worker.py``);
+* ``params`` values must be picklable (they cross the process boundary) and
+  canonically hashable (they become cache-key material) — plain scalars,
+  tuples and frozen dataclasses all qualify;
+* ``reduce`` receives cells keyed by ``point_id`` **in points order** no
+  matter which worker finished first, and must be a pure function of them.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+__all__ = ["SweepPoint", "SweepSpec", "sweep_of"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent unit of an experiment sweep.
+
+    ``cell`` is a ``"package.module:function"`` reference rather than a
+    callable so the spec pickles by name and hashes stably; ``params`` is a
+    sorted tuple of ``(name, value)`` kwargs for that function.
+    """
+
+    experiment_id: str
+    point_id: str
+    cell: str
+    params: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if ":" not in self.cell:
+            raise ValueError(f"cell must be 'module:function', got {self.cell!r}")
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    def resolve(self) -> Callable[..., Any]:
+        """Import and return the cell function this point references."""
+        module_name, _, func_name = self.cell.partition(":")
+        return getattr(importlib.import_module(module_name), func_name)
+
+    def execute(self) -> Any:
+        """Run the cell in this process (the serial / in-worker path)."""
+        return self.resolve()(**dict(self.params))
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """An experiment's decomposition: points factory + deterministic reduce."""
+
+    experiment_id: str
+    points: Callable[..., List[SweepPoint]]
+    reduce: Callable[..., Any]
+
+    def make_points(self, **kwargs: Any) -> List[SweepPoint]:
+        """Build the point list for one run, validating id uniqueness."""
+        points = self.points(**kwargs)
+        seen: Dict[str, SweepPoint] = {}
+        for p in points:
+            if p.experiment_id != self.experiment_id:
+                raise ValueError(
+                    f"point {p.point_id!r} belongs to {p.experiment_id!r}, "
+                    f"not {self.experiment_id!r}"
+                )
+            if p.point_id in seen:
+                raise ValueError(f"duplicate point id {p.point_id!r}")
+            seen[p.point_id] = p
+        return points
+
+
+def sweep_of(fn: Callable[..., Any]) -> SweepSpec | None:
+    """The ``SWEEP`` spec of the module defining ``fn``, if it exports one."""
+    module = importlib.import_module(fn.__module__)
+    spec = getattr(module, "SWEEP", None)
+    return spec if isinstance(spec, SweepSpec) else None

@@ -1,0 +1,54 @@
+"""Explicit worker-process initialization and the per-point worker task.
+
+Worker processes must not depend on whatever process-global state the parent
+accumulated: the process-wide observability bundle is reset to the inactive
+default on startup, and each cell builds its own city from its point spec
+(``repro.experiments.common`` keeps no mutable module-level singletons — a
+property ``tests/test_runner_worker.py`` enforces).
+
+When the parent's bundle collects metrics or profiles, the worker builds a
+*fresh* bundle with the same pillars, runs the cell under it, and ships the
+registry/profiler back alongside the cell value; the parent merges them in
+deterministic points order.  Tracing stays parent-side only: a trace is an
+ordered narrative, and interleaving per-worker narratives would be noise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro import obs as obs_mod
+from repro.runner.spec import SweepPoint
+
+__all__ = ["init_worker", "run_point_task"]
+
+
+def init_worker() -> None:
+    """Initializer for every pool worker: start from a clean slate.
+
+    Installs the inactive observability bundle (a forked worker would
+    otherwise inherit whatever bundle the parent had installed, double
+    counting its metrics) and pre-imports the experiment package so the
+    first point does not pay the import latency under timing.
+    """
+    obs_mod.install(obs_mod.OBS_OFF)
+    import repro.experiments.common  # noqa: F401  (warm the import cache)
+
+
+def run_point_task(
+    point: SweepPoint, want_metrics: bool, want_profile: bool,
+) -> Tuple[str, Any, Optional[obs_mod.MetricsRegistry],
+           Optional[obs_mod.Profiler]]:
+    """Execute one sweep point in a worker; returns merge-back material.
+
+    The returned tuple is ``(point_id, cell value, registry | None,
+    profiler | None)`` — everything picklable, nothing process-global.
+    """
+    if not (want_metrics or want_profile):
+        return point.point_id, point.execute(), None, None
+    registry = obs_mod.MetricsRegistry() if want_metrics else None
+    profiler = obs_mod.Profiler() if want_profile else None
+    bundle = obs_mod.Observability(registry=registry, profiler=profiler)
+    with obs_mod.obs_session(bundle):
+        value = point.execute()
+    return point.point_id, value, registry, profiler

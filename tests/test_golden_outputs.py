@@ -1,0 +1,62 @@
+"""Golden regression harness: every experiment's rendered output is pinned.
+
+``tests/golden/<EID>.txt`` holds the canonical ``str(ExperimentResult)`` of
+each experiment at its default parameters.  Any change to those bytes — a
+refactor that perturbs an RNG stream, a table column edit, a float-formatting
+drift — fails here first, with a diff a reviewer can read.
+
+Intentional changes are recorded with ``pytest --update-golden`` (see
+``tests/conftest.py``).  Experiments that take more than a few seconds at
+full fidelity are marked ``slow`` and run in the CI full job; the fast tier
+still pins the quick majority.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import _registry
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: experiments that take > ~3 s at default fidelity (full tier only)
+SLOW_IDS = {"F4", "E3", "E9", "A6"}
+
+
+def _params():
+    for eid, (_, fn) in _registry().items():
+        marks = [pytest.mark.slow] if eid in SLOW_IDS else []
+        yield pytest.param(eid, fn, id=eid, marks=marks)
+
+
+def test_every_experiment_has_a_fixture():
+    """Fixture completeness is checked even when slow params are deselected."""
+    missing = [eid for eid in _registry()
+               if not (GOLDEN_DIR / f"{eid}.txt").exists()]
+    assert not missing, (
+        f"missing golden fixtures for {missing}; run "
+        "pytest tests/test_golden_outputs.py -m 'slow or not slow' --update-golden"
+    )
+
+
+def test_no_stale_fixtures():
+    known = set(_registry())
+    stale = [p.name for p in GOLDEN_DIR.glob("*.txt") if p.stem not in known]
+    assert not stale, f"golden fixtures without a registered experiment: {stale}"
+
+
+@pytest.mark.parametrize("eid,fn", _params())
+def test_golden_output(eid, fn, update_golden):
+    rendered = str(fn()) + "\n"
+    path = GOLDEN_DIR / f"{eid}.txt"
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(rendered, encoding="utf-8")
+        return
+    assert path.exists(), f"missing golden fixture {path}; run --update-golden"
+    assert rendered == path.read_text(encoding="utf-8"), (
+        f"{eid} output drifted from tests/golden/{eid}.txt; if intentional, "
+        "regenerate with --update-golden and commit the diff"
+    )

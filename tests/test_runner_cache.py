@@ -1,0 +1,101 @@
+"""Unit tests for the content-addressed result cache and the run report."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.runner import ResultCache, SweepRunner, code_version, stable_hash
+from repro.runner.runner import RunReport, result_key
+
+_CALLS = {"n": 0}
+
+
+def _fake_experiment(seed: int = 3) -> ExperimentResult:
+    _CALLS["n"] += 1
+    return ExperimentResult(experiment_id="FX", title="fake",
+                            text=f"seed={seed}", data={"seed": seed})
+
+
+def _other_experiment(seed: int = 3) -> ExperimentResult:
+    return ExperimentResult(experiment_id="FY", title="other",
+                            text="other", data={})
+
+
+# --------------------------------------------------------------------------- #
+def test_cache_miss_then_hit(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get("ab" * 32) == (False, None)
+    cache.put("ab" * 32, {"x": 1})
+    assert "ab" * 32 in cache
+    hit, value = cache.get("ab" * 32)
+    assert hit and value == {"x": 1}
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.writes == 1
+    assert len(cache) == 1
+
+
+def test_cache_survives_corrupt_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = stable_hash("victim")
+    cache.put(key, [1, 2, 3])
+    path = cache._path(key)
+    path.write_bytes(b"\x80\x04 this is not a pickle")
+    hit, value = cache.get(key)
+    assert not hit and value is None  # corrupt entry degrades to a miss
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    for i in range(5):
+        cache.put(stable_hash(i), i)
+    assert len(cache) == 5
+    assert cache.clear() == 5
+    assert len(cache) == 0
+
+
+def test_cache_shards_by_key_prefix(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = stable_hash("sharded")
+    cache.put(key, 1)
+    assert cache._path(key).parent.name == key[:2]
+
+
+# --------------------------------------------------------------------------- #
+def test_whole_result_caching_for_non_sweep_experiments(tmp_path):
+    cache = ResultCache(tmp_path)
+    runner = SweepRunner(jobs=1, cache=cache)
+    before = _CALLS["n"]
+    first = runner.run_experiment(_fake_experiment, seed=9)
+    assert first.computed == 1 and first.cached == 0 and first.points == 0
+    second = runner.run_experiment(_fake_experiment, seed=9)
+    assert second.cached == 1 and second.computed == 0
+    assert second.fully_cached
+    assert second.result == first.result
+    assert _CALLS["n"] == before + 1  # the second call never executed
+    # different kwargs → different key
+    third = runner.run_experiment(_fake_experiment, seed=10)
+    assert third.computed == 1
+
+
+def test_whole_result_keys_do_not_collide_across_functions():
+    k1 = result_key(f"{_fake_experiment.__module__}:{_fake_experiment.__qualname__}", {})
+    k2 = result_key(f"{_other_experiment.__module__}:{_other_experiment.__qualname__}", {})
+    assert k1 != k2
+
+
+def test_no_cache_means_always_computed():
+    runner = SweepRunner(jobs=1, cache=None)
+    before = _CALLS["n"]
+    runner.run_experiment(_fake_experiment)
+    runner.run_experiment(_fake_experiment)
+    assert _CALLS["n"] == before + 2
+
+
+def test_code_version_is_stable_within_process():
+    assert code_version() == code_version()
+    assert len(code_version()) == 64
+
+
+def test_run_report_fully_cached_flag():
+    assert RunReport(result=None, points=3, computed=0, cached=3).fully_cached
+    assert not RunReport(result=None, points=3, computed=1, cached=2).fully_cached

@@ -1,0 +1,129 @@
+"""Serial vs parallel vs cached: byte-identical output, always.
+
+The runner's determinism contract (DESIGN.md, "Sweep runner"): for a fixed
+seed, ``jobs=1``, ``jobs=N``, and a warm cache hit all produce the same
+``ExperimentResult.text``, byte for byte.  These tests drive the ported
+sweep experiments through all three paths; the fast tier uses the quick
+sweeps (E4, E14, A4 and a reduced-fidelity E3), the full tier adds A6 at
+full fidelity and a whole ``run all`` warm-cache pass.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import (
+    a4_demand_response,
+    a6_churn,
+    e3_seasonal_capacity,
+    e4_architectures,
+    e14_scale,
+)
+from repro.runner import ResultCache, SweepRunner
+
+FAST_SWEEPS = [
+    pytest.param(e4_architectures, {}, id="E4"),
+    pytest.param(e14_scale, {}, id="E14"),
+    pytest.param(a4_demand_response, {}, id="A4"),
+    pytest.param(e3_seasonal_capacity, {"days_per_month": 0.1}, id="E3-reduced"),
+]
+
+
+@pytest.mark.parametrize("mod,kwargs", FAST_SWEEPS)
+def test_serial_parallel_cached_equivalence(tmp_path, mod, kwargs):
+    serial = SweepRunner(jobs=1).run_spec(mod.SWEEP, **kwargs)
+    assert serial.computed == serial.points > 0
+
+    cache = ResultCache(tmp_path / "cache")
+    parallel = SweepRunner(jobs=2, cache=cache).run_spec(mod.SWEEP, **kwargs)
+    assert parallel.result.text == serial.result.text
+    assert parallel.computed == parallel.points  # cold cache: all executed
+
+    warm = SweepRunner(jobs=1, cache=cache).run_spec(mod.SWEEP, **kwargs)
+    assert warm.fully_cached
+    assert warm.cached == warm.points
+    assert warm.result.text == serial.result.text
+
+
+@pytest.mark.parametrize("mod,kwargs", FAST_SWEEPS)
+def test_cache_key_depends_on_kwargs(tmp_path, mod, kwargs):
+    """A different seed must never hit the other seed's cache entries."""
+    cache = ResultCache(tmp_path / "cache")
+    SweepRunner(jobs=1, cache=cache).run_spec(mod.SWEEP, **kwargs, seed=1)
+    other = SweepRunner(jobs=1, cache=cache).run_spec(mod.SWEEP, **kwargs, seed=2)
+    assert other.cached == 0
+
+
+def _completion_lines(out: str):
+    """[(experiment id, detail)] from the CLI's per-experiment status lines."""
+    return re.findall(r"\((\w+) completed in [\d.]+s(.*?)\)", out)
+
+
+def test_cli_jobs_byte_identical(tmp_path, capsys):
+    """`run E14 --jobs 2` prints the same result block as `--jobs 1`."""
+    assert main(["run", "E14", "--jobs", "1", "--no-cache"]) == 0
+    serial = capsys.readouterr().out.split("(E14 completed")[0]
+    assert main(["run", "E14", "--jobs", "2", "--no-cache"]) == 0
+    parallel = capsys.readouterr().out.split("(E14 completed")[0]
+    assert parallel == serial
+
+
+def test_cli_warm_cache_skips_all_points(tmp_path, capsys):
+    """A warm re-run recomputes nothing, sweep and non-sweep alike."""
+    ids = ["E14", "E4", "A4", "E2"]
+    for eid in ids:
+        assert main(["run", eid, "--cache-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    for eid in ids:
+        assert main(["run", eid, "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    lines = dict(_completion_lines(out))
+    assert set(lines) == set(ids)
+    for eid in ("E14", "E4", "A4"):  # sweep-shaped: every point cached
+        assert re.search(r": 0 computed, \d+ cached", lines[eid]), lines[eid]
+    assert lines["E2"] == "; result cached"  # non-sweep: whole result cached
+
+
+def test_cli_no_cache_flag(tmp_path, capsys):
+    """--no-cache ignores a warm cache and recomputes every point."""
+    assert main(["run", "E14", "--cache-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["run", "E14", "--no-cache", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "3 points: 3 computed, 0 cached" in out
+    assert "cache " not in out  # no cache session summary when disabled
+
+
+def test_cli_rejects_bad_jobs(capsys):
+    assert main(["run", "E14", "--jobs", "0"]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- #
+# full tier: the acceptance-criteria runs at full fidelity
+# --------------------------------------------------------------------------- #
+@pytest.mark.slow
+def test_cli_a6_jobs4_byte_identical(capsys):
+    """`python -m repro run a6 --jobs 4` ≡ `--jobs 1` (acceptance criterion)."""
+    assert main(["run", "a6", "--jobs", "1", "--no-cache"]) == 0
+    serial = capsys.readouterr().out.split("(A6 completed")[0]
+    assert main(["run", "a6", "--jobs", "4", "--no-cache"]) == 0
+    parallel = capsys.readouterr().out.split("(A6 completed")[0]
+    assert parallel == serial
+
+
+@pytest.mark.slow
+def test_run_all_warm_cache_skips_every_point(tmp_path, capsys):
+    """A warm `run all` executes nothing at all (acceptance criterion)."""
+    assert main(["run", "all", "--cache-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["run", "all", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    lines = _completion_lines(out)
+    assert len(lines) == 22
+    for eid, detail in lines:
+        assert re.search(r": 0 computed, \d+ cached", detail) \
+            or detail == "; result cached", (eid, detail)
