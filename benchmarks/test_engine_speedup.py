@@ -1,0 +1,141 @@
+"""Bench the simulation hot path: scalar reference vs vectorised kernel.
+
+Runs an E14-shaped city (same generator as the scale experiment: districts
+of Q.rad-heated buildings under an edge workload, PREEMPT saturation policy)
+at 1x/4x/16x fleet size under both kernels and emits
+``benchmarks/results/BENCH_engine.json`` — sim-phase wall-clock per kernel,
+speedups, and the cross-kernel equivalence verdict — which CI uploads as the
+``engine-bench`` artifact.
+
+Methodology:
+
+* Only the simulation phase (``run_until``) is timed.  City construction and
+  workload generation are identical work under either kernel and would
+  dilute the ratio.
+* Best-of-3: each (size, kernel) cell runs three times and keeps the fastest
+  wall-clock, damping scheduler noise on shared runners.
+* Every run's output signature (completed/expired request multisets, fleet
+  energy, executed cycles, filler count, event count) must match across
+  kernels and across repetitions — a speedup over a wrong answer is worth
+  nothing.
+
+The >=3x assertion at the 16x fleet is gated on ``os.cpu_count() >= 2`` so a
+starved single-core runner records its numbers honestly instead of flaking.
+"""
+
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR
+
+from repro.core.scheduling.base import SaturationPolicy
+from repro.experiments.common import mid_month_start, small_city
+from repro.workloads.edge import EdgeWorkloadConfig, EdgeWorkloadGenerator
+
+DAY = 86400.0
+SEED = 83
+REPEATS = 3
+SIZES = (1, 4, 16)          # n_districts: 1x / 4x / 16x fleet
+LOAD_DAYS = 0.25            # edge arrivals span
+DRAIN_DAYS = 0.05           # extra horizon to drain in-flight work
+RATE_PER_HOUR = 60.0
+MIN_SPEEDUP_16X = 3.0
+
+
+def _run(n_districts: int, kernel: str):
+    """Build the city, inject the workload, time the sim phase only."""
+    mw = small_city(
+        seed=SEED,
+        start_time=mid_month_start(1),
+        n_districts=n_districts,
+        buildings_per_district=2,
+        rooms_per_building=3,
+        saturation_policy=SaturationPolicy.PREEMPT,
+        kernel=kernel,
+    )
+    t0 = mw.engine.now
+    for bname in mw.buildings:
+        gen = EdgeWorkloadGenerator(
+            mw.rngs.stream(f"edge-{bname}"),
+            source=bname,
+            config=EdgeWorkloadConfig(rate_per_hour=RATE_PER_HOUR),
+        )
+        mw.inject(gen.generate(t0, t0 + LOAD_DAYS * DAY))
+    wall0 = time.perf_counter()
+    mw.run_until(t0 + (LOAD_DAYS + DRAIN_DAYS) * DAY)
+    wall = time.perf_counter() - wall0
+    # request ids come from a global counter, so the signature is built from
+    # id-insensitive fields only
+    signature = (
+        sorted(
+            (r.time, r.source, r.started_at, r.completed_at, r.executed_on)
+            for r in mw.completed_edge()
+        ),
+        sorted((r.time, r.source) for r in mw.expired_edge()),
+        mw.fleet_energy_j(),
+        mw.total_cycles_executed(),
+        mw.filler_completed,
+        mw.engine.events_executed,
+    )
+    return wall, signature
+
+
+def test_engine_speedup():
+    cpus = os.cpu_count() or 1
+    rows = []
+    all_identical = True
+    for n in SIZES:
+        walls = {"scalar": [], "vector": []}
+        sigs = {"scalar": [], "vector": []}
+        for _ in range(REPEATS):
+            for kernel in ("scalar", "vector"):
+                wall, sig = _run(n, kernel)
+                walls[kernel].append(wall)
+                sigs[kernel].append(sig)
+        # determinism within a kernel and equivalence across kernels
+        for kernel in ("scalar", "vector"):
+            assert all(s == sigs[kernel][0] for s in sigs[kernel]), (
+                f"n={n}: {kernel} kernel is not run-to-run deterministic"
+            )
+        identical = sigs["scalar"][0] == sigs["vector"][0]
+        all_identical = all_identical and identical
+        assert identical, f"n={n}: kernels disagree on simulation outputs"
+        scalar_s = min(walls["scalar"])
+        vector_s = min(walls["vector"])
+        rows.append(
+            {
+                "n_districts": n,
+                "fleet_multiplier": f"{n}x",
+                "scalar_s": round(scalar_s, 3),
+                "vector_s": round(vector_s, 3),
+                "speedup": round(scalar_s / vector_s, 2),
+                "outputs_identical": identical,
+            }
+        )
+
+    big = rows[-1]
+    if cpus >= 2:
+        assert big["speedup"] >= MIN_SPEEDUP_16X, (
+            f"vector kernel only {big['speedup']:.2f}x at {big['fleet_multiplier']} "
+            f"fleet (need >= {MIN_SPEEDUP_16X}x)"
+        )
+
+    bench = {
+        "experiment": "ENGINE",
+        "seed": SEED,
+        "repeats": REPEATS,
+        "timed_phase": "run_until only",
+        "load_days": LOAD_DAYS,
+        "drain_days": DRAIN_DAYS,
+        "rate_per_hour": RATE_PER_HOUR,
+        "cpu_count": cpus,
+        "speedup_asserted": cpus >= 2,
+        "min_speedup_16x": MIN_SPEEDUP_16X,
+        "outputs_identical": all_identical,
+        "sizes": rows,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_engine.json"
+    out.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")

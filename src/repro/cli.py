@@ -6,6 +6,7 @@ Usage::
     python -m repro run F4               # run one experiment, print its table
     python -m repro run all              # run every experiment
     python -m repro run E5 --seed 123    # override the seed
+    python -m repro run E14 --kernel scalar   # reference (non-vectorised) kernel
 
 Parallelism and caching (see DESIGN.md, "Sweep runner")::
 
@@ -177,6 +178,9 @@ def main(argv=None) -> int:
                       help="print per-subsystem wall-clock profile")
     runp.add_argument("--metrics-out", metavar="PATH", default=None,
                       help="write the metrics registry snapshot as JSON")
+    runp.add_argument("--kernel", choices=("scalar", "vector"), default=None,
+                      help="simulation kernel (default: $REPRO_KERNEL or "
+                           "'vector'; outputs are byte-identical either way)")
     runp.add_argument("--jobs", type=int, default=1, metavar="N",
                       help="worker processes for sweep experiments (default 1)")
     runp.add_argument("--no-cache", action="store_true",
@@ -196,6 +200,9 @@ def main(argv=None) -> int:
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    if args.kernel is not None:
+        # via the environment so sweep worker processes inherit the choice
+        os.environ["REPRO_KERNEL"] = args.kernel
     ids = list(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment.upper()]
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:

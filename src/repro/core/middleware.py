@@ -25,15 +25,18 @@ is wanted and cores are idle — evicted instantly when real work arrives.
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.cluster import Cluster, ClusterConfig
 from repro.core.collective import CollectiveController
 from repro.core.decision import DecisionConfig, DecisionSystem
 from repro.core.gateway import DCCGateway, EdgeGateway
 from repro.core.offloading import Offloader
-from repro.core.regulation import HeatRegulator, RegulatorConfig
+from repro.core.regulation import FleetRegulatorBank, HeatRegulator, RegulatorConfig
 from repro.core.requests import CloudRequest, EdgeRequest, HeatingRequest
 from repro.core.resilience.config import ResilienceConfig
 from repro.core.resilience.recovery import RecoveryRuntime
@@ -55,14 +58,32 @@ from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 from repro.thermal.building import Building, RoomConfig, ThermostatSchedule
 from repro.thermal.comfort import ComfortTracker
+from repro.thermal.fused import FusedCityThermal
 from repro.thermal.heat_island import HeatIslandLedger, OutdoorHeatSource
 from repro.thermal.hydronics import WaterLoop, WaterLoopConfig
 from repro.thermal.rc_model import RoomThermalParams
 from repro.thermal.weather import Weather, WeatherConfig
 
-__all__ = ["MiddlewareConfig", "DF3Middleware"]
+__all__ = ["MiddlewareConfig", "DF3Middleware", "resolve_kernel"]
 
 _GHZ = 1e9
+
+_KERNELS = ("scalar", "vector")
+
+
+def resolve_kernel(value: Optional[str] = None) -> str:
+    """Resolve the simulation kernel: explicit config > env > default.
+
+    ``value`` is :attr:`MiddlewareConfig.kernel`; when None the
+    ``REPRO_KERNEL`` environment variable applies (how the CLI's ``--kernel``
+    flag reaches pool workers), and the default is ``"vector"``.  Both
+    kernels are byte-identical by contract (DESIGN.md §2.13); ``"scalar"``
+    is the reference implementation.
+    """
+    kernel = value or os.environ.get("REPRO_KERNEL") or "vector"
+    if kernel not in _KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {_KERNELS}")
+    return kernel
 
 
 @dataclass(frozen=True)
@@ -101,8 +122,13 @@ class MiddlewareConfig:
     #: arm churn + recovery (None = no resilience machinery at all; runs are
     #: byte-identical to builds without the subsystem)
     resilience: Optional[ResilienceConfig] = None
+    #: simulation kernel: "scalar" | "vector" | None (= ``REPRO_KERNEL`` env
+    #: or the "vector" default).  Outputs are byte-identical either way.
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.kernel is not None and self.kernel not in _KERNELS:
+            raise ValueError(f"unknown kernel {self.kernel!r}; expected one of {_KERNELS}")
         if self.architecture not in ("shared", "dedicated"):
             raise ValueError(f"unknown architecture {self.architecture!r}")
         if self.architecture == "dedicated" and not (
@@ -132,6 +158,11 @@ class DF3Middleware:
             tracer=self.obs.tracer if self.obs.tracer.enabled else None,
             profiler=self.obs.profiler,
         )
+        #: resolved kernel for this city ("scalar" | "vector"); resolved
+        #: before any server exists, because servers adopt the engine's
+        #: incremental-accounting mode at construction time
+        self.kernel = resolve_kernel(cfg.kernel)
+        self.engine.incremental_accounting = self.kernel == "vector"
         self.rngs = RngRegistry(cfg.seed)
         self.cal = SimCalendar()
         self.weather = Weather(
@@ -172,8 +203,19 @@ class DF3Middleware:
         self._filler_ids = itertools.count()
         self.filler_completed = 0
 
+        bank = FleetRegulatorBank() if self.kernel == "vector" else None
+        self._bank: Optional[FleetRegulatorBank] = bank
+        #: bank index → (qrad, district); only populated on the vector kernel
+        self._bank_entries: List[Tuple[QRad, int]] = []
+        self._district_qrad_idx: Dict[int, List[int]] = {}
+        self._district_boilers: Dict[int, List[DigitalBoiler]] = {}
+        #: (bank version, {qrad name → heat wanted}) for _qrad_wanted_map
+        self._wanted_cache: Tuple[int, Dict[str, bool]] = (-1, {})
+
         for d in range(cfg.n_districts):
             cluster = Cluster(ClusterConfig(name=f"district-{d}", district=d))
+            self._district_qrad_idx[d] = []
+            self._district_boilers[d] = []
             dedicated_left = (
                 cfg.dedicated_per_cluster if cfg.architecture == "dedicated" else 0
             )
@@ -202,6 +244,9 @@ class DF3Middleware:
                     self._server_room[qrad.name] = room.name
                     self._room_server[room.name] = qrad
                     self.smartgrid.register(qrad, reg)
+                    if bank is not None:
+                        self._district_qrad_idx[d].append(bank.attach(reg))
+                        self._bank_entries.append((qrad, d))
                     cluster.add_worker(qrad, dedicated_edge=dedicated_left > 0)
                     dedicated_left -= 1
                 self.collectives[bname] = CollectiveController(building_regs)
@@ -212,6 +257,7 @@ class DF3Middleware:
                     spec=STIMERGY_SMALL, ledger=self.ledger,
                 )
                 self.boilers.append(boiler)
+                self._district_boilers[d].append(boiler)
                 self.smartgrid.register_boiler(boiler)
                 cluster.add_worker(boiler)
             self.clusters[d] = cluster
@@ -228,6 +274,7 @@ class DF3Middleware:
                 offloader=self.offloader,
                 decision_system=decision,
                 worker_priority=self._worker_priority,
+                incremental_scans=self.kernel == "vector",
                 obs=self.obs,
             )
             if cfg.architecture == "shared":
@@ -249,7 +296,37 @@ class DF3Middleware:
                 f"district-{d}", sched, Link(f"metro-{d}", 0.004, 1e9)
             )
 
-        self.engine.add_process("df3-tick", cfg.thermal_tick_s, self._tick)
+        # fleet membership is fixed after construction (churn fails/repairs
+        # servers in place); cache the flat list so the hot aggregate helpers
+        # stop rebuilding it on every call
+        self._all_servers: List = [
+            w for c in self.clusters.values() for w in c.workers
+        ]
+
+        #: city-fused thermal stepping (vector kernel only; None when the
+        #: city's buildings cannot be fused — the tick then falls back to
+        #: per-building stepping, still byte-identical)
+        self._fused_thermal: Optional[FusedCityThermal] = None
+        if bank is not None:
+            bank.freeze()
+            self.smartgrid.attach_bank(bank)
+            fused = FusedCityThermal(list(self.buildings.values()))
+            if fused.compatible and fused.n == len(bank):
+                self._fused_thermal = fused
+            # the three tick stages share one fused heap event per period —
+            # the same single "df3-tick" dispatch the scalar kernel schedules,
+            # so event counts, sequence numbers and labels stay identical
+            self.engine.add_process(
+                "df3-regulation", cfg.thermal_tick_s, self._tick_regulation,
+                group="df3-tick")
+            self.engine.add_process(
+                "df3-workload", cfg.thermal_tick_s, self._tick_workload,
+                group="df3-tick")
+            self.engine.add_process(
+                "df3-thermal", cfg.thermal_tick_s, self._tick_thermal,
+                group="df3-tick")
+        else:
+            self.engine.add_process("df3-tick", cfg.thermal_tick_s, self._tick)
 
         self.resilience: Optional[RecoveryRuntime] = None
         if cfg.resilience is not None:
@@ -301,6 +378,14 @@ class DF3Middleware:
     # placement priority: servers whose room wants heat go first
     # ------------------------------------------------------------------ #
     def _worker_priority(self, server) -> tuple:
+        if self._bank is not None:
+            wanted = self._qrad_wanted_map().get(server.name)
+            if wanted is None:  # boiler: tank state changes continuously
+                wanted = any(
+                    b.name == server.name and b.heat_demand_w() > 0
+                    for b in self.boilers
+                )
+            return (0 if wanted else 1, -server.free_cores)
         room = self._server_room.get(server.name)
         if room is None:  # boiler: wants heat while the tank has headroom
             wanted = any(
@@ -310,10 +395,29 @@ class DF3Middleware:
             wanted = self.regulators[room].heat_wanted
         return (0 if wanted else 1, -server.free_cores)
 
+    def _qrad_wanted_map(self) -> Dict[str, bool]:
+        """Per-Q.rad heat-wanted flags, cached against the bank's version.
+
+        Placement priorities query the flag for every candidate worker of
+        every placement; the underlying fractions only change when the bank
+        mutates (PI pass, demand-response scaling), so one dict rebuild per
+        version replaces thousands of per-query bank reads.  Values equal
+        :attr:`HeatRegulator.heat_wanted` by construction.
+        """
+        bank = self._bank
+        if self._wanted_cache[0] != bank.version:
+            mask = bank.heat_wanted_mask().tolist()
+            self._wanted_cache = (
+                bank.version,
+                {e[0].name: w for e, w in zip(self._bank_entries, mask)},
+            )
+        return self._wanted_cache[1]
+
     # ------------------------------------------------------------------ #
     # the periodic tick: regulation, migration, filler, thermal stepping
     # ------------------------------------------------------------------ #
     def _tick(self, now: float, dt: float) -> None:
+        """Scalar kernel: all six tick stages as one process callback."""
         # 1) regulators observe their rooms (collective controllers first:
         #    they rebalance per-room targets toward the requested mean)
         for bname, building in self.buildings.items():
@@ -325,13 +429,50 @@ class DF3Middleware:
                 self.regulators[room.name].update(dt, float(temps[room.index]))
         # 2) fleet coordination actuates DVFS caps / power states
         self.smartgrid.tick(now, dt)
-        # 3) hybrid migration: drain compute off servers that must go cold
+        # 3+4) migration and filler
+        self._tick_workload(now, dt)
+        # 5+6) thermal fabric + metric sampling
+        self._tick_thermal(now, dt)
+
+    def _tick_regulation(self, now: float, dt: float) -> None:
+        """Vector kernel, stage 1+2: PI bank step + fleet coordination.
+
+        Collective controllers run first, building by building, exactly as
+        the scalar tick interleaves them; they only write setpoints (through
+        the attached regulators into the bank arrays), so hoisting the PI
+        updates out of the per-building loop into one bank pass observes the
+        same setpoints — and fires the observers in the same attach order the
+        scalar loop would.
+        """
+        temps_parts = []
+        for bname, building in self.buildings.items():
+            temps = building.temperatures
+            ctrl = self.collectives.get(bname)
+            if ctrl is not None and ctrl.active:
+                ctrl.update(temps)
+            temps_parts.append(temps)
+        self._bank.update_all(dt, np.concatenate(temps_parts))
+        self.smartgrid.tick(now, dt)
+
+    def _tick_workload(self, now: float, dt: float) -> None:
+        """Stage 3+4: hybrid migration off cold servers, then filler."""
+        vec = self._bank is not None
         if self.config.hybrid_migration:
-            self._migrate_cold_servers()
-        # 4) filler keeps wanted-heat servers busy
+            if vec:
+                self._migrate_cold_servers_vec()
+            else:
+                self._migrate_cold_servers()
         if self.config.enable_filler:
-            self._inject_filler()
-        # 5) thermal fabric advances
+            if vec:
+                self._inject_filler_vec()
+            else:
+                self._inject_filler()
+
+    def _tick_thermal(self, now: float, dt: float) -> None:
+        """Stage 5+6: thermal fabric advances, then metric sampling."""
+        if self._fused_thermal is not None:
+            self._tick_thermal_vec(now, dt)
+            return
         hod = self.cal.hour_of_day(now)
         for bname, building in self.buildings.items():
             building.step(now, dt)
@@ -342,6 +483,37 @@ class DF3Middleware:
                 p = room.heater_power_w()
                 if p > 0 and self.regulators[room.name].heat_wanted:
                     self.ledger.add_useful_heat(p * dt)
+        for boiler in self.boilers:
+            boiler.thermal_step(now, dt, hod)
+        if self.datacenter is not None:
+            self.datacenter.account_heat(dt)
+        if self.obs.active:
+            self._tick_metrics()
+
+    def _tick_thermal_vec(self, now: float, dt: float) -> None:
+        """Vector kernel stage 5+6: one fused RC step for the whole city.
+
+        Per-building comfort samples and the room-order useful-heat ledger
+        walk are preserved exactly (same accumulators, same fold order), so
+        the resulting statistics are bitwise those of the scalar loop.
+        """
+        fused = self._fused_thermal
+        p_heat = fused.step(now, dt)
+        month = self.cal.month(now)
+        setpoints = self._bank.setpoints
+        if fused.uniform:
+            nb = len(fused.buildings)
+            self.comfort.add_rows(dt, fused.t_air.reshape(nb, -1),
+                                  setpoints.reshape(nb, -1), month=month)
+        else:
+            for sl in fused.slices:
+                self.comfort.add(dt, fused.t_air[sl], setpoints[sl], month=month)
+        wanted = self._bank.heat_wanted_mask().tolist()
+        add_useful = self.ledger.add_useful_heat
+        for p, w in zip(p_heat, wanted):
+            if p > 0 and w:
+                add_useful(p * dt)
+        hod = self.cal.hour_of_day(now)
         for boiler in self.boilers:
             boiler.thermal_step(now, dt, hod)
         if self.datacenter is not None:
@@ -375,6 +547,35 @@ class DF3Middleware:
                         else:
                             sched.cloud_queue.push_front(creq)
 
+    def _migrate_cold_servers_vec(self) -> None:
+        """Vector kernel: visit only the cold, non-idle Q.rads.
+
+        The scalar loop walks every worker of every district and skips the
+        heat-wanted ones; here the cold set comes straight off the bank's
+        mask.  Bank order is district-major and matches the scalar visit
+        order, so preemptions and vertical offloads happen in the same
+        sequence.
+        """
+        entries = self._bank_entries
+        for i in np.flatnonzero(~self._bank.heat_wanted_mask()).tolist():
+            server, d = entries[i]
+            if server.idle:
+                continue
+            sched = self.schedulers[d]
+            for task in list(server.running_tasks):
+                kind = task.metadata.get("kind")
+                if kind == "filler":
+                    server.preempt(task.task_id)
+                elif kind == "cloud" and task.metadata["request"].preemptible:
+                    t = server.preempt(task.task_id)
+                    creq = t.metadata["request"]
+                    creq.cycles = max(t.remaining_cycles, 1.0)
+                    if self.offloader.can_vertical(creq):
+                        self.offloader.vertical(creq, sched)
+                        sched.stats.cloud_offloaded_vertical += 1
+                    else:
+                        sched.cloud_queue.push_front(creq)
+
     def _inject_filler(self) -> None:
         for server in self.smartgrid.heat_wanted_servers():
             while server.free_cores > 0:
@@ -392,6 +593,39 @@ class DF3Middleware:
                     break
                 if self.obs.active:
                     self.obs.counter("filler_injected").inc()
+
+    def _inject_filler_vec(self) -> None:
+        """Vector kernel: one batched submit per heat-wanted server.
+
+        The scalar loop submits chunk by chunk, each paying a sync and a
+        completion cancel/reschedule; a powered-on server with ``f`` free
+        cores accepts exactly ``f`` one-core chunks, so pre-building the
+        batch consumes the same filler ids and :meth:`ComputeServer.
+        submit_batch` reserves the sequence numbers the per-chunk path would
+        have burned — the surviving completion event is bit-identical.
+        """
+        chunk_s = self.config.filler_chunk_s
+        obs_active = self.obs.active
+        for server in self.smartgrid.heat_wanted_servers():
+            free = server.free_cores
+            if free <= 0:
+                continue
+            work = (
+                server.core_rate_cycles_per_s() or server.spec.ladder.top.freq_ghz * _GHZ
+            ) * chunk_s
+            mk = Task.prevalidated
+            done = self._filler_chunk_done
+            ids = self._filler_ids
+            tasks = [
+                mk(f"filler-{next(ids)}", work, 1, done, {"kind": "filler"})
+                for _ in range(free)
+            ]
+            accepted = server.submit_batch(tasks)
+            if obs_active and accepted:
+                self.obs.counter("filler_injected").inc(accepted)
+
+    def _filler_chunk_done(self, task: Task, now: float) -> None:
+        self._filler_done()
 
     def _filler_done(self) -> None:
         self.filler_completed += 1
@@ -443,15 +677,41 @@ class DF3Middleware:
         where heat is requested); falls back to round-robin on ties.
         """
         if district is None:
-            district = max(
-                self.clusters,
-                key=lambda d: sum(
-                    w.free_cores
-                    for w in self.clusters[d].workers
-                    if self._wants_heat(w)
-                ),
-            )
+            if self._bank is not None:
+                district = self._route_cloud_vec()
+            else:
+                district = max(
+                    self.clusters,
+                    key=lambda d: sum(
+                        w.free_cores
+                        for w in self.clusters[d].workers
+                        if self._wants_heat(w)
+                    ),
+                )
         self.dcc_gateways[district].submit(req)
+
+    def _route_cloud_vec(self) -> int:
+        """Vector kernel: heat-authorised-capacity routing off the bank mask.
+
+        Same argmax as the scalar ``max(...)`` — integer core sums, first
+        district wins ties (``>`` keeps the earliest maximum, as ``max`` over
+        the dict's insertion order does).
+        """
+        wanted = self._bank.heat_wanted_mask().tolist()
+        entries = self._bank_entries
+        best_d = -1
+        best = -1
+        for d in self.clusters:
+            total = 0
+            for i in self._district_qrad_idx[d]:
+                if wanted[i]:
+                    total += entries[i][0].free_cores
+            for b in self._district_boilers[d]:
+                if b.heat_demand_w() > 0:
+                    total += b.free_cores
+            if total > best:
+                best_d, best = d, total
+        return best_d
 
     def _wants_heat(self, server) -> bool:
         room = self._server_room.get(server.name)
@@ -503,8 +763,13 @@ class DF3Middleware:
     # ------------------------------------------------------------------ #
     @property
     def all_servers(self) -> List:
-        """Every DF server in the city (Q.rads + boilers)."""
-        return [w for c in self.clusters.values() for w in c.workers]
+        """Every DF server in the city (Q.rads + boilers).
+
+        The list is cached at construction — cluster membership never changes
+        afterwards (churn fails and repairs servers in place) — and a copy is
+        returned so callers may mutate their snapshot freely.
+        """
+        return list(self._all_servers)
 
     def completed_edge(self) -> List[EdgeRequest]:
         """Edge requests completed anywhere in the city."""
@@ -530,15 +795,17 @@ class DF3Middleware:
 
     def fleet_energy_j(self) -> float:
         """Electrical energy of all DF servers so far (J)."""
-        for s in self.all_servers:
+        servers = self._all_servers
+        for s in servers:
             s.sync()
-        return sum(s.energy_j for s in self.all_servers)
+        return sum(s.energy_j for s in servers)
 
     def total_cycles_executed(self) -> float:
         """Cycles executed by the DF fleet so far."""
-        for s in self.all_servers:
+        servers = self._all_servers
+        for s in servers:
             s.sync()
-        return sum(s.cycles_executed for s in self.all_servers)
+        return sum(s.cycles_executed for s in servers)
 
     def audit_isolation(self):
         """Audit executed placements against the natural segmentation policy.

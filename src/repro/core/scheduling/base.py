@@ -62,6 +62,11 @@ class BaseScheduler(ABC):
     worker_priority: optional key function ordering candidate workers
         (the middleware passes heat-wanted-first so compute lands where heat
         is requested).
+    incremental_scans: vector-kernel switch — placement scans run as a
+        single first-fit-by-priority pass that only evaluates the priority
+        key for workers with free capacity, instead of the scalar
+        reference's sort-the-whole-pool rescan.  The chosen worker is
+        identical (see :meth:`_best_worker`); only the scan work changes.
     obs: optional :class:`repro.obs.Observability` bundle; defaults to the
         process-wide current one (inactive unless installed).
     """
@@ -74,6 +79,7 @@ class BaseScheduler(ABC):
         offloader=None,
         decision_system=None,
         worker_priority: Optional[Callable[[ComputeServer], float]] = None,
+        incremental_scans: bool = False,
         obs=None,
     ):
         if policy in (SaturationPolicy.VERTICAL, SaturationPolicy.HORIZONTAL) and offloader is None:
@@ -86,6 +92,7 @@ class BaseScheduler(ABC):
         self.offloader = offloader
         self.decision_system = decision_system
         self.worker_priority = worker_priority
+        self.incremental_scans = incremental_scans
         self.obs = obs if obs is not None else get_obs()
         self.cloud_queue: FCFSQueue[CloudRequest] = FCFSQueue()
         self.edge_queue = EDFQueue()
@@ -93,6 +100,11 @@ class BaseScheduler(ABC):
         self.completed_edge: List[EdgeRequest] = []
         self.completed_cloud: List[CloudRequest] = []
         self.expired_edge: List[EdgeRequest] = []
+        #: priority-key evaluations performed by placement scans.  The key
+        #: function is the expensive part of a scan (dict lookups + regulator
+        #: reads per worker); the perf-regression guard asserts this grows
+        #: with the number of workers *with free capacity*, not fleet size.
+        self.scan_key_evals = 0
 
     # ------------------------------------------------------------------ #
     # worker eligibility (architecture classes differ here)
@@ -108,7 +120,35 @@ class BaseScheduler(ABC):
     def _ordered(self, workers: Sequence[ComputeServer]) -> List[ComputeServer]:
         if self.worker_priority is None:
             return list(workers)
+        self.scan_key_evals += len(workers)
         return sorted(workers, key=self.worker_priority)
+
+    def _best_worker(self, workers: Sequence[ComputeServer], cores: int):
+        """First worker, in priority order, with ``cores`` free.
+
+        Equivalent to ``self._ordered(workers)`` followed by a first-fit
+        probe — ``sorted`` is stable and a strict ``<`` keeps the earliest
+        minimum, so the chosen worker is identical — but the priority key is
+        only evaluated for workers that can actually host the request, which
+        keeps placement scans O(workers with capacity) instead of
+        O(fleet · log fleet) in key work.
+        """
+        key_fn = self.worker_priority
+        if key_fn is None:
+            for w in workers:
+                if w.free_cores >= cores:
+                    return w
+            return None
+        best = None
+        best_key = None
+        for w in workers:
+            if w.free_cores < cores:
+                continue
+            self.scan_key_evals += 1
+            key = key_fn(w)
+            if best is None or key < best_key:
+                best, best_key = w, key
+        return best
 
     # ------------------------------------------------------------------ #
     # placement primitives
@@ -138,14 +178,23 @@ class BaseScheduler(ABC):
                 self.engine.now - req.time)
 
     def _try_place(self, req, kind: str, workers: Sequence[ComputeServer]) -> bool:
-        ordered = self._ordered(workers)
-        for w in ordered:
-            if w.free_cores >= req.cores:
-                if w.submit(self._make_task(req, kind)):
-                    self._note_placed(req, kind, w.name)
-                    return True
+        ordered = None
+        if self.incremental_scans:
+            w = self._best_worker(workers, req.cores)
+            if w is not None and w.submit(self._make_task(req, kind)):
+                self._note_placed(req, kind, w.name)
+                return True
+        else:
+            ordered = self._ordered(workers)
+            for w in ordered:
+                if w.free_cores >= req.cores:
+                    if w.submit(self._make_task(req, kind)):
+                        self._note_placed(req, kind, w.name)
+                        return True
         # no plain room: evict filler chunks (BOINC-class heat work is always
         # displaceable by paying requests) and retry
+        if ordered is None:
+            ordered = self._ordered(workers)
         for w in ordered:
             if not w.enabled:
                 continue

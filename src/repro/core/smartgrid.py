@@ -11,12 +11,23 @@ signals — how much power the heat demand authorises, how many cores that
 unlocks — and applies grid-operator constraints (demand-response caps) by
 scaling regulator budgets down.  Experiment E3's seasonal-capacity series is
 the manager's :attr:`capacity_log` accumulated over a year.
+
+Vector fast path: when the fleet's regulators live in a
+:class:`~repro.core.regulation.FleetRegulatorBank` (see
+:meth:`SmartGridManager.attach_bank`), the per-tick fleet signals are
+computed from the bank's arrays instead of walking ``(server, regulator)``
+pairs in Python.  Float sums that land in logged outputs are performed as
+sequential left-folds over the elementwise-computed products — never as
+numpy reductions, whose pairwise association would change low-order bits —
+so the vector path stays byte-identical to the scalar one (DESIGN.md §2.13).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.sim.calendar import SimCalendar
 
@@ -48,6 +59,10 @@ class SmartGridManager:
         #: month → accumulated authorised energy (J)
         self.energy_budget_log: Dict[int, float] = {}
         self.curtailment_events = 0
+        self._bank = None               # FleetRegulatorBank, vector kernel only
+        self._pmax_w: Optional[np.ndarray] = None
+        self._ncores: Optional[np.ndarray] = None
+        self._min_on: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     def register(self, server, regulator) -> None:
@@ -57,6 +72,36 @@ class SmartGridManager:
     def register_boiler(self, boiler) -> None:
         """Track a digital boiler (heat demand = its tank headroom)."""
         self._boilers.append(boiler)
+
+    def attach_bank(self, bank) -> None:
+        """Enable the vector fast path: fleet regulators live in ``bank``.
+
+        The bank's attach order must match this manager's registration order
+        (entry *i*'s regulator is ``bank.regulators[i]``) — the middleware
+        builds both in the same loop, and this method verifies it.
+        """
+        if len(bank) != len(self._fleet):
+            raise ValueError(
+                f"bank holds {len(bank)} regulators, fleet has {len(self._fleet)}"
+            )
+        for e, reg in zip(self._fleet, bank.regulators):
+            if e.regulator is not reg:
+                raise ValueError("bank order does not match fleet registration order")
+        self._bank = bank
+        self._pmax_w = np.asarray(
+            [e.server.spec.p_max_w for e in self._fleet], dtype=np.float64)
+        self._ncores = np.asarray(
+            [e.server.n_cores for e in self._fleet], dtype=np.int64)
+        self._min_on = np.asarray(
+            [e.regulator.config.min_on_fraction for e in self._fleet],
+            dtype=np.float64)
+        # one shared DVFS ladder (the usual fleet: one Q.rad model) lets the
+        # per-tick budget→P-state lookups collapse into a single searchsorted
+        ladders = {id(e.server.spec.ladder) for e in self._fleet}
+        self._shared_scales: Optional[np.ndarray] = None
+        if len(ladders) == 1:
+            self._shared_scales = np.asarray(
+                self._fleet[0].server.spec.ladder._power_scales, dtype=np.float64)
 
     @property
     def fleet_size(self) -> int:
@@ -68,9 +113,14 @@ class SmartGridManager:
     # ------------------------------------------------------------------ #
     def authorized_power_w(self) -> float:
         """Power the current heat demand authorises across the fleet (W)."""
-        p = sum(
-            e.regulator.power_fraction * e.server.spec.p_max_w for e in self._fleet
-        )
+        if self._bank is not None:
+            # elementwise products are bit-identical to the scalar terms; the
+            # sequential sum over the list matches the scalar left-fold
+            p = sum((self._bank.power_fraction * self._pmax_w).tolist())
+        else:
+            p = sum(
+                e.regulator.power_fraction * e.server.spec.p_max_w for e in self._fleet
+            )
         p += sum(min(b.heat_demand_w(), b.spec.p_max_w) for b in self._boilers)
         return p
 
@@ -81,7 +131,10 @@ class SmartGridManager:
         §III-C observation that boilers decouple compute from space-heating
         seasons.
         """
-        cores = sum(e.server.n_cores for e in self._fleet if e.regulator.heat_wanted)
+        if self._bank is not None:
+            cores = int((self._ncores * self._bank.heat_wanted_mask()).sum())
+        else:
+            cores = sum(e.server.n_cores for e in self._fleet if e.regulator.heat_wanted)
         cores += sum(
             b.n_cores for b in self._boilers if b.heat_demand_w() > 0.05 * b.spec.p_max_w
         )
@@ -89,6 +142,9 @@ class SmartGridManager:
 
     def heat_wanted_servers(self) -> List[object]:
         """Heater servers whose regulator currently requests heat."""
+        if self._bank is not None:
+            fleet = self._fleet
+            return [fleet[i].server for i in self._bank.heat_wanted_indices().tolist()]
         return [e.server for e in self._fleet if e.regulator.heat_wanted]
 
     # ------------------------------------------------------------------ #
@@ -109,8 +165,11 @@ class SmartGridManager:
             return 1.0
         scale = self.grid_cap_w / p
         self.curtailment_events += 1
-        for e in self._fleet:
-            e.regulator.power_fraction *= scale
+        if self._bank is not None:
+            self._bank.scale_power(scale)
+        else:
+            for e in self._fleet:
+                e.regulator.power_fraction *= scale
         return scale
 
     # ------------------------------------------------------------------ #
@@ -122,8 +181,11 @@ class SmartGridManager:
         energy-budget logs.
         """
         self._apply_cap()
-        for e in self._fleet:
-            e.regulator.apply_to_server(e.server)
+        if self._bank is not None:
+            self._actuate_vector()
+        else:
+            for e in self._fleet:
+                e.regulator.apply_to_server(e.server)
         month = self._cal.month(now)
         self.capacity_log[month] = (
             self.capacity_log.get(month, 0.0) + self.available_cores() * dt
@@ -131,6 +193,49 @@ class SmartGridManager:
         self.energy_budget_log[month] = (
             self.energy_budget_log.get(month, 0.0) + self.authorized_power_w() * dt
         )
+
+    def _actuate_vector(self) -> None:
+        """Vectorised equivalent of per-entry ``apply_to_server`` calls.
+
+        The heat-wanted test and the power budget are computed for the whole
+        fleet in two array ops; the per-server actuation (``set_freq_cap``
+        with its sync and completion reschedule) stays per-server because the
+        scalar path performs it per-server — skipping an "unchanged" cap
+        would recompute completion horizons at different times and drift the
+        event stream (DESIGN.md §2.13).
+        """
+        bank = self._bank
+        wanted = bank.heat_wanted_mask().tolist()
+        # scalar: max(power_fraction, min_on_fraction) per regulator
+        budget = np.maximum(bank.power_fraction, self._min_on)
+        if self._shared_scales is not None:
+            # index_for_power_budget = largest i with scale[i] <= budget+1e-12
+            # (scales ascend); searchsorted(side="right") counts exactly the
+            # elements <= the probe, so count-1 (floored at state 0) matches
+            caps = np.maximum(
+                np.searchsorted(self._shared_scales, budget + 1e-12,
+                                side="right") - 1,
+                0,
+            ).tolist()
+            for i, e in enumerate(self._fleet):
+                server = e.server
+                if wanted[i]:
+                    if not server.enabled:
+                        server.power_on()
+                    server.set_freq_cap(caps[i])
+                elif server.enabled and server.idle:
+                    server.power_off()
+            return
+        budget = budget.tolist()
+        for i, e in enumerate(self._fleet):
+            server = e.server
+            if wanted[i]:
+                if not server.enabled:
+                    server.power_on()
+                server.set_freq_cap(
+                    server.spec.ladder.index_for_power_budget(budget[i]))
+            elif server.enabled and server.idle:
+                server.power_off()
 
     # ------------------------------------------------------------------ #
     def monthly_capacity_core_hours(self) -> Dict[int, float]:

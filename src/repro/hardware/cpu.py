@@ -50,6 +50,13 @@ class DVFSLadder:
             if b.voltage_v < a.voltage_v:
                 raise ValueError("voltage must be non-decreasing with frequency")
         self.states: Tuple[PState, ...] = tuple(states)
+        # f·V² factors are pure functions of the (immutable) states; they sit
+        # on the per-sync hot path, so compute them once
+        t = self.states[-1]
+        self._power_scales: Tuple[float, ...] = tuple(
+            (s.freq_ghz * s.voltage_v**2) / (t.freq_ghz * t.voltage_v**2)
+            for s in self.states
+        )
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -73,8 +80,7 @@ class DVFSLadder:
 
         ``f·V²`` normalised to the top state: in (0, 1].
         """
-        s, t = self.states[index], self.top
-        return (s.freq_ghz * s.voltage_v**2) / (t.freq_ghz * t.voltage_v**2)
+        return self._power_scales[index]
 
     def speed_scale(self, index: int) -> float:
         """Throughput factor of state ``index`` relative to the top state."""
@@ -88,8 +94,8 @@ class DVFSLadder:
         the bottom state (a server that is on cannot go below its floor).
         """
         best = 0
-        for i in range(len(self.states)):
-            if self.power_scale(i) <= budget_fraction + 1e-12:
+        for i, scale in enumerate(self._power_scales):
+            if scale <= budget_fraction + 1e-12:
                 best = i
         return best
 

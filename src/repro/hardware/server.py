@@ -48,7 +48,7 @@ class TaskState(Enum):
     KILLED = "killed"
 
 
-@dataclass
+@dataclass(slots=True)
 class Task:
     """A unit of compute work.
 
@@ -80,6 +80,28 @@ class Task:
             raise ValueError(f"cores must be >= 1, got {self.cores}")
         if self.remaining_cycles < 0:
             self.remaining_cycles = float(self.work_cycles)
+
+    @classmethod
+    def prevalidated(cls, task_id: str, work_cycles: float, cores: int,
+                     on_complete, metadata: dict) -> "Task":
+        """Fast constructor for hot loops that build tasks in bulk.
+
+        Produces the same object state as ``Task(...)`` but skips the
+        dataclass argument plumbing and ``__post_init__`` validation — the
+        caller guarantees ``work_cycles > 0`` and ``cores >= 1``.
+        """
+        t = object.__new__(cls)
+        t.task_id = task_id
+        t.work_cycles = work_cycles
+        t.cores = cores
+        t.on_complete = on_complete
+        t.metadata = metadata
+        t.state = TaskState.PENDING
+        t.remaining_cycles = float(work_cycles)
+        t.submitted_at = -1.0
+        t.completed_at = -1.0
+        t.server_name = ""
+        return t
 
 
 @dataclass(frozen=True)
@@ -122,6 +144,17 @@ class ComputeServer:
         self._enabled = True
         self._failed = False
         self._running: Dict[str, Task] = {}
+        # cached Σ task.cores, maintained on every change.  The cache is only
+        # *read* when the engine runs with incremental accounting (the vector
+        # kernel); the scalar reference recomputes from the running-task map.
+        self._busy_cores = 0
+        self._incremental = bool(getattr(engine, "incremental_accounting", False))
+        # memoised power_w()/core_rate values, read only under incremental
+        # accounting; invalidated whenever busy cores, the frequency cap or
+        # the power state change, so the cached value is always bitwise equal
+        # to a recomputation
+        self._power_cache: Optional[float] = None
+        self._rate_cache: Optional[float] = None
         self._last_sync = engine.now
         self._completion_event = None
         # accounting
@@ -155,8 +188,20 @@ class ComputeServer:
 
     @property
     def busy_cores(self) -> int:
-        """Cores currently occupied by running tasks."""
+        """Cores currently occupied by running tasks.
+
+        Scalar reference: recomputed from the running-task map on every read.
+        Vector kernel (``engine.incremental_accounting``): the incrementally
+        maintained counter — always equal, O(1) instead of O(tasks).
+        """
+        if self._incremental:
+            return self._busy_cores
         return sum(t.cores for t in self._running.values())
+
+    @property
+    def idle(self) -> bool:
+        """True when no task is running (cheaper than ``running_tasks``)."""
+        return not self._running
 
     @property
     def free_cores(self) -> int:
@@ -180,17 +225,28 @@ class ComputeServer:
 
     def core_rate_cycles_per_s(self) -> float:
         """Per-core execution rate at the current P-state."""
-        if not self._enabled:
-            return 0.0
-        return self.spec.ladder[self._freq_cap].freq_ghz * _GHZ
+        if self._rate_cache is not None:
+            return self._rate_cache
+        rate = (
+            self.spec.ladder[self._freq_cap].freq_ghz * _GHZ if self._enabled else 0.0
+        )
+        if self._incremental:
+            self._rate_cache = rate
+        return rate
 
     def power_w(self) -> float:
         """Instantaneous electrical draw (W)."""
+        if self._power_cache is not None:
+            return self._power_cache
         if not self._enabled:
-            return 0.0
-        util = self.utilization
-        scale = self.spec.ladder.power_scale(self._freq_cap)
-        return self.spec.p_idle_w + (self.spec.p_max_w - self.spec.p_idle_w) * util * scale
+            p = 0.0
+        else:
+            util = self.utilization
+            scale = self.spec.ladder.power_scale(self._freq_cap)
+            p = self.spec.p_idle_w + (self.spec.p_max_w - self.spec.p_idle_w) * util * scale
+        if self._incremental:
+            self._power_cache = p
+        return p
 
     def heat_output_w(self) -> float:
         """Thermal power currently delivered to the environment (W)."""
@@ -211,11 +267,19 @@ class ComputeServer:
         self.busy_core_seconds += self.busy_cores * dt
         rate = self.core_rate_cycles_per_s()
         if rate > 0:
+            # same fold order as `self.cycles_executed += executed` per task;
+            # rem - rem == +0.0 exactly, so the branch matches min()+subtract
+            acc = self.cycles_executed
             for t in self._running.values():
                 step = rate * t.cores * dt
-                executed = min(step, t.remaining_cycles)
-                t.remaining_cycles -= executed
-                self.cycles_executed += executed
+                rem = t.remaining_cycles
+                if step < rem:
+                    t.remaining_cycles = rem - step
+                    acc += step
+                else:
+                    t.remaining_cycles = 0.0
+                    acc += rem
+            self.cycles_executed = acc
         self._last_sync = now
 
     def _reschedule_completion(self) -> None:
@@ -225,7 +289,11 @@ class ComputeServer:
         rate = self.core_rate_cycles_per_s()
         if rate <= 0 or not self._running:
             return
-        horizon = min(t.remaining_cycles / (rate * t.cores) for t in self._running.values())
+        horizon = float("inf")
+        for t in self._running.values():
+            h = t.remaining_cycles / (rate * t.cores)
+            if h < horizon:
+                horizon = h
         self._completion_event = self.engine.schedule(
             max(horizon, _TIME_EPS), self._on_completion_event
         )
@@ -235,17 +303,23 @@ class ComputeServer:
         self.sync()
         now = self.engine.now
         rate = self.core_rate_cycles_per_s()
-        finished = [
-            t
-            for t in self._running.values()
-            if t.remaining_cycles <= max(_CYCLE_EPS, rate * t.cores * _TIME_EPS)
-        ]
+        # threshold = max(_CYCLE_EPS, rate * t.cores * _TIME_EPS), branch form
+        finished = []
+        for t in self._running.values():
+            thr = rate * t.cores * _TIME_EPS
+            if thr < _CYCLE_EPS:
+                thr = _CYCLE_EPS
+            if t.remaining_cycles <= thr:
+                finished.append(t)
         for t in finished:
             del self._running[t.task_id]
+            self._busy_cores -= t.cores
             t.state = TaskState.COMPLETED
             t.remaining_cycles = 0.0
             t.completed_at = now
             self.completed_count += 1
+        if finished:
+            self._power_cache = None
         self._reschedule_completion()
         for t in finished:  # callbacks last: they may submit new work
             if t.on_complete is not None:
@@ -270,8 +344,54 @@ class ComputeServer:
         task.submitted_at = self.engine.now if task.submitted_at < 0 else task.submitted_at
         task.server_name = self.name
         self._running[task.task_id] = task
+        self._busy_cores += task.cores
+        self._power_cache = None
         self._reschedule_completion()
         return True
+
+    def submit_batch(self, tasks: List[Task]) -> int:
+        """Start as many of ``tasks`` as fit, as one batch; returns the count.
+
+        Byte-equivalent to calling :meth:`submit` sequentially — the same
+        prefix of ``tasks`` is accepted, the running-task order is the same,
+        and the engine sees the same live completion event with the same
+        ``(time, priority, seq)`` — but with one sync and one completion
+        reschedule instead of one per task.  The k−1 intermediate sequence
+        numbers the sequential path would have burned on immediately
+        re-cancelled completion events are reserved explicitly, which is what
+        keeps the two paths' event streams identical (and spares the heap
+        k−1 dead entries).
+        """
+        self.sync()
+        accepted = 0
+        free = self.free_cores  # tracked locally; enabled can't change mid-loop
+        now = self.engine.now
+        name = self.name
+        running = self._running
+        n_cores = self.spec.n_cores
+        enabled = self._enabled
+        for task in tasks:
+            if task.task_id in running:
+                raise ValueError(f"task {task.task_id!r} already running on {self.name}")
+            if task.cores > n_cores:
+                raise ValueError(
+                    f"task {task.task_id!r} needs {task.cores} cores; "
+                    f"{self.name} has {self.spec.n_cores}"
+                )
+            if not enabled or task.cores > free:
+                break
+            task.state = TaskState.RUNNING
+            task.submitted_at = now if task.submitted_at < 0 else task.submitted_at
+            task.server_name = name
+            self._running[task.task_id] = task
+            self._busy_cores += task.cores
+            free -= task.cores
+            accepted += 1
+        if accepted:
+            self._power_cache = None
+            self.engine.reserve_seq(accepted - 1)
+            self._reschedule_completion()
+        return accepted
 
     def preempt(self, task_id: str) -> Task:
         """Stop a running task, preserving its remaining work for resubmission."""
@@ -281,6 +401,8 @@ class ComputeServer:
         except KeyError:
             raise KeyError(f"task {task_id!r} not running on {self.name}") from None
         task.state = TaskState.PREEMPTED
+        self._busy_cores -= task.cores
+        self._power_cache = None
         self._reschedule_completion()
         return task
 
@@ -289,6 +411,8 @@ class ComputeServer:
         self.sync()
         tasks = list(self._running.values())
         self._running.clear()
+        self._busy_cores = 0
+        self._power_cache = None
         for t in tasks:
             t.state = TaskState.KILLED
         self._reschedule_completion()
@@ -303,6 +427,8 @@ class ComputeServer:
             raise ValueError(f"freq index {index} out of range 0..{len(self.spec.ladder)-1}")
         self.sync()
         self._freq_cap = index
+        self._power_cache = None
+        self._rate_cache = None
         self._reschedule_completion()
 
     def power_off(self) -> None:
@@ -314,6 +440,8 @@ class ComputeServer:
                 "(preempt or drain first)"
             )
         self._enabled = False
+        self._power_cache = None
+        self._rate_cache = None
 
     def power_on(self) -> None:
         """Turn the motherboards back on (refused while hard-failed)."""
@@ -321,6 +449,8 @@ class ComputeServer:
         if self._failed:
             return
         self._enabled = True
+        self._power_cache = None
+        self._rate_cache = None
 
     def fail(self) -> None:
         """Hard-fail the server: off, and immune to :meth:`power_on`.
@@ -335,6 +465,8 @@ class ComputeServer:
             )
         self._enabled = False
         self._failed = True
+        self._power_cache = None
+        self._rate_cache = None
 
     def repair(self) -> None:
         """Clear the hard-failure state and power the board back on."""

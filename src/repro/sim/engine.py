@@ -18,6 +18,22 @@ The engine supports two styles of activity:
 Periodic processes receive the elapsed ``dt`` so integrators do not need to
 track time themselves.
 
+Processes that share a period (and offset) may be **fused** into one batched
+dispatch by registering them with the same ``group=`` name: the engine then
+pops a single heap event per tick and invokes every member callback in
+registration order, instead of popping one event per process.  Fusion is an
+engine-level optimisation with a strict ordering contract — member callbacks
+run in exactly the order an unfused registration would have run them (see
+``tests/test_sim_engine_properties.py``) — and a fused tick counts as one
+executed event, because it *is* one event.
+
+One low-level hook supports byte-identical *vectorised* fast paths layered
+above the engine (see DESIGN.md §2.13): :meth:`Engine.reserve_seq` advances
+the insertion counter without scheduling, so a batched operation can consume
+exactly the sequence numbers its scalar equivalent would have consumed — the
+live events' ``(time, priority, seq)`` triples, and therefore the dispatch
+order, stay identical.
+
 The engine optionally carries a tracer and a profiler (see :mod:`repro.obs`):
 with either attached, every dispatched callback is attributed to a label (the
 ``label=`` given at scheduling time, or the callback's ``__qualname__``) —
@@ -42,7 +58,7 @@ class SimulationError(RuntimeError):
     """Raised on invalid engine usage (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
@@ -88,6 +104,16 @@ class Process:
         self.active = False
 
 
+class _ProcessGroup:
+    """Same-period processes fused into one batched dispatch (see module doc)."""
+
+    __slots__ = ("name", "members")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.members: List[Process] = []
+
+
 class Engine:
     """The simulation event loop.
 
@@ -112,12 +138,22 @@ class Engine:
 
     def __init__(self, start: float = 0.0, tracer=None, profiler=None):
         self.now: float = float(start)
-        self._heap: List[Event] = []
+        # heap entries are (time, priority, seq, Event): the hot-loop
+        # comparisons then run on plain tuples in C instead of dispatching
+        # Event.__lt__ per sift — seq is unique, so the Event never compares
+        self._heap: List[tuple] = []
         self._seq = itertools.count()
         self._processes: List[Process] = []
+        self._groups: dict = {}  # (group, period, offset) → _ProcessGroup
         self._events_executed = 0
         self.tracer = tracer
         self.profiler = profiler
+        #: vector-kernel switch, set *before* building the model: servers
+        #: bound to this engine adopt O(1) incremental bookkeeping (cached
+        #: busy-core counters) instead of the scalar reference's recompute-
+        #: on-read.  Results are byte-identical either way; only the work
+        #: per query changes (DESIGN.md §2.13).
+        self.incremental_accounting = False
 
     # ------------------------------------------------------------------ #
     # scheduling
@@ -140,13 +176,35 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event in the past: t={time} < now={self.now}"
             )
-        ev = Event(time=float(time), priority=priority, seq=next(self._seq),
-                   callback=callback, label=label)
-        heapq.heappush(self._heap, ev)
+        # direct slot stores: same object state as Event(...), minus the
+        # dataclass argument plumbing on the hottest allocation in the engine
+        ev = Event.__new__(Event)
+        ev.time = t = float(time)
+        ev.priority = priority
+        ev.seq = seq = next(self._seq)
+        ev.callback = callback
+        ev.cancelled = False
+        ev.label = label
+        heapq.heappush(self._heap, (t, priority, seq, ev))
         return ev
 
+    def reserve_seq(self, n: int = 1) -> None:
+        """Advance the insertion counter by ``n`` without scheduling anything.
+
+        Batched fast paths (e.g. :meth:`repro.hardware.server.ComputeServer.
+        submit_batch`) call this to consume exactly the sequence numbers their
+        scalar equivalents would have consumed on intermediate, immediately
+        cancelled events.  The surviving event then carries the same
+        ``(time, priority, seq)`` triple either way, which is what keeps the
+        vectorised kernel byte-identical to the scalar one.
+        """
+        if n < 0:
+            raise SimulationError(f"cannot reserve {n} sequence numbers")
+        for _ in range(n):
+            next(self._seq)
+
     def add_process(self, name: str, period: float, fn: Callable[[float, float], None],
-                    offset: float = 0.0) -> Process:
+                    offset: float = 0.0, group: Optional[str] = None) -> Process:
         """Register a periodic process; see :class:`Process`.
 
         ``offset`` shifts the process phase: the first invocation happens at
@@ -154,13 +212,30 @@ class Engine:
         distinct offsets to keep independent periodic activities (thermal
         tick, per-district checkpointers, ...) from piling onto the same
         event timestamps.
+
+        ``group`` fuses same-cadence processes: all processes registered with
+        the same ``(group, period, offset)`` share **one** heap event per
+        tick, and their callbacks run back-to-back in registration order when
+        it fires.  A fused tick is one dispatched event (one sequence number,
+        one ``events_executed`` increment) regardless of the member count.
+        Members registered after the group's first tick join the shared
+        cadence: their first ``dt`` is the time since their registration.
         """
         if offset < 0:
             raise SimulationError(f"process {name!r}: offset must be >= 0, got {offset}")
         proc = Process(name, period, fn)
         proc._last = self.now
         self._processes.append(proc)
-        self._schedule_process(proc, extra_delay=offset)
+        if group is None:
+            self._schedule_process(proc, extra_delay=offset)
+            return proc
+        key = (group, proc.period, float(offset))
+        grp = self._groups.get(key)
+        if grp is None:
+            grp = _ProcessGroup(group)
+            self._groups[key] = grp
+            self._schedule_group(key, grp, proc.period, extra_delay=offset)
+        grp.members.append(proc)
         return proc
 
     def _schedule_process(self, proc: Process, extra_delay: float = 0.0) -> None:
@@ -176,6 +251,27 @@ class Engine:
         self.schedule(proc.period + extra_delay, tick, priority=10,
                       label=f"process:{proc.name}")
 
+    def _schedule_group(self, key, grp: _ProcessGroup, period: float,
+                        extra_delay: float = 0.0) -> None:
+        def tick() -> None:
+            # the active check sits inside the loop on purpose: a member may
+            # stop a later member mid-tick, exactly as an unfused dispatch
+            # would observe (the later event pops, sees inactive, skips)
+            for proc in grp.members:
+                if not proc.active:
+                    continue
+                dt = self.now - proc._last
+                proc._last = self.now
+                proc.fn(self.now, dt)
+            if any(p.active for p in grp.members):
+                self._schedule_group(key, grp, period)
+            else:
+                # let a later add_process with the same key start fresh
+                self._groups.pop(key, None)
+
+        self.schedule(period + extra_delay, tick, priority=10,
+                      label=f"process:{grp.name}")
+
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
@@ -184,8 +280,8 @@ class Engine:
         if horizon < self.now:
             raise SimulationError(f"horizon {horizon} is before now={self.now}")
         instrumented = self.tracer is not None or self.profiler is not None
-        while self._heap and self._heap[0].time <= horizon:
-            ev = heapq.heappop(self._heap)
+        while self._heap and self._heap[0][0] <= horizon:
+            ev = heapq.heappop(self._heap)[3]
             if ev.cancelled:
                 continue
             self.now = ev.time
@@ -199,7 +295,7 @@ class Engine:
     def step(self) -> bool:
         """Execute the single next event.  Returns False if the queue is empty."""
         while self._heap:
-            ev = heapq.heappop(self._heap)
+            ev = heapq.heappop(self._heap)[3]
             if ev.cancelled:
                 continue
             self.now = ev.time
@@ -238,6 +334,6 @@ class Engine:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None when the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None

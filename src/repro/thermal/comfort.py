@@ -95,6 +95,41 @@ class ComfortTracker:
         if month is not None:
             self._monthly_temp.setdefault(month, []).append(float(np.mean(temps)))
 
+    def add_rows(self, dt: float, temps, setpoints, month: int | None = None) -> None:
+        """Record one sample *per row*, exactly as sequential :meth:`add` calls.
+
+        ``temps``/``setpoints`` are 2-D (rows × rooms).  The per-row means are
+        computed in one vectorised pass — an axis reduction over a row is the
+        same pairwise summation :meth:`add` performs on that row alone, so
+        every accumulator receives bit-identical increments — and then folded
+        into the accumulators row by row in order.  This is the vectorised
+        kernel's batched entry point (one call per tick for a whole city
+        instead of one per building); the scalar per-building path remains
+        the reference.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be > 0, got {dt}")
+        temps = np.atleast_2d(np.asarray(temps, dtype=float))
+        setpoints = np.broadcast_to(np.asarray(setpoints, dtype=float), temps.shape)
+        err = temps - setpoints
+        hours = dt / 3600.0
+        in_band = (np.abs(err) <= self.band_c).mean(axis=1)
+        sq_err = (err**2).mean(axis=1)
+        mean_t = temps.mean(axis=1)
+        cold = np.maximum(-err, 0.0).mean(axis=1)
+        hot = np.maximum(err - self.band_c, 0.0).mean(axis=1)
+        monthly = self._monthly_temp.setdefault(month, []) if month is not None else None
+        for i in range(temps.shape[0]):
+            self._seconds += dt
+            self._n_samples += 1
+            self._in_band_weight += dt * float(in_band[i])
+            self._sq_err_weight += dt * float(sq_err[i])
+            self._temp_weight += dt * float(mean_t[i])
+            self._cold_dh += hours * float(cold[i])
+            self._hot_dh += hours * float(hot[i])
+            if monthly is not None:
+                monthly.append(float(mean_t[i]))
+
     def result(self) -> ComfortStats:
         """Reduce to :class:`ComfortStats`; raises if nothing was recorded."""
         if self._seconds == 0:
