@@ -34,6 +34,21 @@ Observability (see DESIGN.md, "Observability") — any combination of::
     python -m repro run F3 --metrics-out m.json    # metrics registry snapshot
     python -m repro run F3 --json result.json      # ExperimentResult as JSON
 
+Observability v2 (DESIGN.md, "Observability v2")::
+
+    python -m repro run F3 --trace t.jsonl --trace-kinds request,sample
+    python -m repro run F3 --trace t.jsonl --trace-stream   # O(buffer) memory
+    python -m repro run F3 --trace t.jsonl --flight-recorder 50000
+    python -m repro run F3 --trace t.jsonl --slo   # SLO compliance table
+    python -m repro report t.jsonl -o report.html  # self-contained HTML
+
+``--trace-kinds`` keeps only the named record kinds; ``--trace-stream``
+spills the trace to its JSONL file incrementally instead of holding it in
+memory; ``--flight-recorder N`` keeps only the last N records (a ring
+buffer); ``--slo`` evaluates the default service-level objectives over the
+trace and prints the compliance table (breach/burn-rate records are
+appended to the trace first, so reports see them).
+
 With several experiments (``run all``), per-experiment output files get the
 experiment id injected before the suffix (``t-F3.jsonl``).
 
@@ -122,13 +137,34 @@ def _out_path(base: str, eid: str, multi: bool) -> Path:
     return p
 
 
-def _build_obs(args) -> Optional[obs_mod.Observability]:
+def _parse_kinds(spec: Optional[str]):
+    """``--trace-kinds request,sample`` → frozenset, or None when unset."""
+    if not spec:
+        return None
+    kinds = frozenset(k.strip() for k in spec.split(",") if k.strip())
+    return kinds or None
+
+
+def _build_obs(args, eid: str, multi: bool) -> Optional[obs_mod.Observability]:
     """Observability bundle for one experiment run, or None when all flags off."""
-    want_trace = args.trace or args.chrome_trace
+    want_trace = args.trace or args.chrome_trace or args.slo
     if not (want_trace or args.profile or args.metrics_out):
         return None
+    tracer = None
+    if want_trace:
+        kinds = _parse_kinds(args.trace_kinds)
+        if args.trace_stream:
+            # stream straight into the final per-experiment path: bounded
+            # memory, and write_jsonl() later is just a flush
+            tracer = obs_mod.JsonlTracer(_out_path(args.trace, eid, multi),
+                                         kinds=kinds)
+        elif args.flight_recorder:
+            tracer = obs_mod.RingTracer(capacity=args.flight_recorder,
+                                        kinds=kinds)
+        else:
+            tracer = obs_mod.Tracer(kinds=kinds)
     return obs_mod.Observability(
-        tracer=obs_mod.Tracer() if want_trace else None,
+        tracer=tracer,
         registry=obs_mod.MetricsRegistry() if args.metrics_out else None,
         profiler=obs_mod.Profiler() if args.profile else None,
     )
@@ -144,6 +180,15 @@ def _write_artefacts(args, obs: Optional[obs_mod.Observability],
         print(f"  result json → {p}")
     if obs is None:
         return
+    if args.slo:
+        from repro.obs.slo import SLOEngine
+
+        # evaluate BEFORE exporting so slo.breach / slo.burn_rate records
+        # land in the written trace
+        slo_report = SLOEngine().evaluate(obs.tracer.iter_records(),
+                                          tracer=obs.tracer)
+        print(slo_report.render())
+        print(f"  slo: {'all objectives met' if slo_report.ok else 'FAIL'}")
     if args.trace is not None:
         p = obs.tracer.write_jsonl(_out_path(args.trace, eid, multi))
         print(f"  trace → {p} ({len(obs.tracer)} records)")
@@ -172,6 +217,17 @@ def main(argv=None) -> int:
                       help="write the ExperimentResult as JSON")
     runp.add_argument("--trace", metavar="PATH", default=None,
                       help="capture a structured trace as JSONL")
+    runp.add_argument("--trace-kinds", metavar="K1,K2", default=None,
+                      help="keep only these record kinds (comma-separated, "
+                           "e.g. request,sample,slo; default all)")
+    runp.add_argument("--trace-stream", action="store_true",
+                      help="stream the trace to --trace incrementally "
+                           "(bounded memory; requires --trace)")
+    runp.add_argument("--flight-recorder", type=int, metavar="N", default=None,
+                      help="keep only the last N trace records (ring buffer)")
+    runp.add_argument("--slo", action="store_true",
+                      help="evaluate default SLOs over the trace and print "
+                           "the compliance table")
     runp.add_argument("--chrome-trace", metavar="PATH", default=None,
                       help="capture a trace in Chrome trace-event format")
     runp.add_argument("--profile", action="store_true",
@@ -189,7 +245,29 @@ def main(argv=None) -> int:
                       default=os.environ.get("REPRO_CACHE_DIR", ".repro_cache"),
                       help="result cache directory (default .repro_cache, "
                            "or $REPRO_CACHE_DIR when set)")
+    repp = sub.add_parser("report",
+                          help="render a trace into a self-contained HTML report")
+    repp.add_argument("trace", help="JSONL trace file (from run --trace)")
+    repp.add_argument("-o", "--out", metavar="PATH", default="report.html",
+                      help="output HTML file (default report.html)")
+    repp.add_argument("--title", default=None,
+                      help="report title (default: derived from the trace name)")
+    repp.add_argument("--slowest", type=int, default=5, metavar="N",
+                      help="span waterfalls for the N slowest requests")
     args = parser.parse_args(argv)
+
+    if args.command == "report":
+        from repro.obs.report import report_from_jsonl
+
+        trace = Path(args.trace)
+        if not trace.exists():
+            print(f"no such trace file: {trace}", file=sys.stderr)
+            return 2
+        title = args.title or f"DF3 run report — {trace.stem}"
+        p = report_from_jsonl(trace, args.out, title=title,
+                              slowest_n=args.slowest)
+        print(f"report → {p} ({p.stat().st_size / 1024:.0f} KiB)")
+        return 0
 
     if args.command == "list":
         width = max(len(k) for k in EXPERIMENTS)
@@ -199,6 +277,17 @@ def main(argv=None) -> int:
 
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.trace_stream and not args.trace:
+        print("--trace-stream needs --trace PATH", file=sys.stderr)
+        return 2
+    if args.trace_stream and args.flight_recorder:
+        print("--trace-stream and --flight-recorder are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.flight_recorder is not None and args.flight_recorder < 1:
+        print(f"--flight-recorder must be >= 1, got {args.flight_recorder}",
+              file=sys.stderr)
         return 2
     if args.kernel is not None:
         # via the environment so sweep worker processes inherit the choice
@@ -218,7 +307,7 @@ def main(argv=None) -> int:
         kwargs = {}
         if args.seed is not None:
             kwargs["seed"] = args.seed
-        obs = _build_obs(args)  # fresh bundle per experiment
+        obs = _build_obs(args, eid, multi)  # fresh bundle per experiment
         # an instrumented run must execute to have something to observe
         runner = SweepRunner(jobs=args.jobs,
                              cache=None if obs is not None else cache)

@@ -134,6 +134,7 @@ class FaultInjector:
             raise ValueError(f"unknown progress mode {progress!r}")
         sched = self.mw.schedulers[district]
         gateway = self.mw.edge_gateways[district]
+        obs = getattr(self.mw, "obs", None)
         wasted = 0.0
         for task in killed:
             kind = task.metadata.get("kind")
@@ -150,6 +151,11 @@ class FaultInjector:
                 wasted += max(0.0, restart_from - task.remaining_cycles)
                 req.cycles = max(restart_from, 1.0)
                 req.status = RequestStatus.QUEUED
+                if obs is not None and obs.active:
+                    obs.emit_span("resilience", "cloud.salvaged",
+                                  self.mw.engine.now, ctx=req,
+                                  id=req.request_id, server=req.executed_on,
+                                  progress=progress)
                 sched.cloud_queue.push_front(req)
                 self.log.tasks_salvaged += 1
             elif kind == "edge":
@@ -160,6 +166,11 @@ class FaultInjector:
                     req.cycles = max(task.remaining_cycles, 1.0)
                 else:
                     wasted += max(0.0, req.cycles - task.remaining_cycles)
+                if obs is not None and obs.active:
+                    obs.emit_span("resilience", "edge.salvaged",
+                                  self.mw.engine.now, ctx=req,
+                                  id=req.request_id, server=req.executed_on,
+                                  progress=progress)
                 req.status = RequestStatus.QUEUED
                 req.started_at = -1.0
                 req.executed_on = ""

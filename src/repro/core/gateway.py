@@ -82,9 +82,9 @@ class EdgeGateway:
         """
         self.received += 1
         if self.obs.active:
-            self.obs.emit("request", "edge.received", self.engine.now,
-                          id=req.request_id, mode=req.mode.value,
-                          cluster=self.scheduler.cluster.name)
+            self.obs.emit_span("request", "edge.received", self.engine.now,
+                               ctx=req, id=req.request_id, mode=req.mode.value,
+                               cluster=self.scheduler.cluster.name)
             self.obs.counter("gateway_received", flow="edge",
                              cluster=self.scheduler.cluster.name).inc()
         if req.mode is not EdgeMode.DIRECT and not self.master_up:
@@ -137,9 +137,10 @@ class EdgeGateway:
                 req.__dict__["_retry_attempts"] = attempt + 1
                 self.retries += 1
                 if self.obs.active:
-                    self.obs.emit("request", "edge.retry", self.engine.now,
-                                  id=req.request_id, attempt=attempt + 1,
-                                  backoff_s=round(delay, 6))
+                    self.obs.emit_span("request", "edge.retry", self.engine.now,
+                                       ctx=req, id=req.request_id,
+                                       attempt=attempt + 1,
+                                       backoff_s=round(delay, 6))
                     self.obs.counter("edge_retries",
                                      cluster=self.scheduler.cluster.name).inc()
                 resub = self.resubmit if via_resubmit else self.submit
@@ -160,6 +161,15 @@ class EdgeGateway:
             req.status = RequestStatus.RUNNING
             req.started_at = self.engine.now
             req.executed_on = server.name
+            if self.obs.active:
+                self.obs.emit_span("request", "edge.scheduled", self.engine.now,
+                                   ctx=req, id=req.request_id,
+                                   worker=server.name,
+                                   cluster=self.scheduler.cluster.name)
+                self.obs.counter("requests_scheduled", flow="edge",
+                                 cluster=self.scheduler.cluster.name).inc()
+                self.obs.histogram("placement_wait_s", flow="edge").observe(
+                    self.engine.now - req.time)
         else:
             self.direct_rejections += 1
             self.scheduler.reject_edge(req, reason="direct_full")
@@ -167,6 +177,17 @@ class EdgeGateway:
     def _direct_done(self, req: EdgeRequest, now: float) -> None:
         req.mark_completed(now + _DIRECT_LAN_S)
         self.scheduler.completed_edge.append(req)
+        obs = self.obs
+        if obs.active:
+            service = now - req.started_at if req.started_at >= 0 else 0.0
+            obs.emit_span("request", "edge.completed", now, ctx=req, dur=service,
+                          id=req.request_id, worker=req.executed_on,
+                          cluster=self.scheduler.cluster.name,
+                          resp_s=req.completed_at - req.time,
+                          ok=req.deadline_met())
+            obs.counter("requests_completed", flow="edge",
+                        cluster=self.scheduler.cluster.name).inc()
+            obs.histogram("service_time_s", flow="edge").observe(service)
         self.scheduler.drain()
 
 
@@ -184,9 +205,9 @@ class DCCGateway:
         """Accept a cloud request from the Internet (uplink delay applies)."""
         self.received += 1
         if self.obs.active:
-            self.obs.emit("request", "cloud.received", self.engine.now,
-                          id=req.request_id,
-                          cluster=self.scheduler.cluster.name)
+            self.obs.emit_span("request", "cloud.received", self.engine.now,
+                               ctx=req, id=req.request_id,
+                               cluster=self.scheduler.cluster.name)
             self.obs.counter("gateway_received", flow="cloud",
                              cluster=self.scheduler.cluster.name).inc()
         delay = self.wan.delay(req.input_bytes)

@@ -363,8 +363,13 @@ class DF3Middleware:
 
         return observe
 
-    def _tick_metrics(self) -> None:
-        """Fleet-level gauges sampled once per thermal tick."""
+    def _tick_metrics(self, now: float) -> None:
+        """Fleet-level gauges + sample records, once per thermal tick.
+
+        The ``sample`` records give the SLO engine and run reports a time
+        series of the paper's two service-level quantities (comfort in-band
+        fraction, fleet availability) that no request record carries.
+        """
         obs = self.obs
         for d, cluster in self.clusters.items():
             obs.gauge("cluster_free_cores", district=d).set(cluster.free_cores())
@@ -373,6 +378,36 @@ class DF3Middleware:
             obs.gauge("building_mean_temp_c", building=bname).set(
                 float(sum(temps)) / len(temps))
         obs.gauge("filler_completed").set(self.filler_completed)
+        if not (obs.tracer.enabled and obs.tracer.wants("sample")):
+            return
+        band = self.comfort.band_c
+        in_band = total_rooms = 0
+        for bname, building in self.buildings.items():
+            temps = building.temperatures
+            for room in building.rooms:
+                sp = self.regulators[room.name].setpoint_c
+                if abs(float(temps[room.index]) - sp) <= band:
+                    in_band += 1
+                total_rooms += 1
+        if total_rooms:
+            obs.emit("sample", "comfort.sample", now,
+                     in_band=in_band / total_rooms, rooms=total_rooms)
+        up = free = cores = 0
+        for w in self._all_servers:
+            cores += w.n_cores
+            if w.enabled and not w.failed:
+                up += 1
+                free += w.free_cores
+        n = len(self._all_servers)
+        if n:
+            util = {}
+            for d in sorted(self.clusters):
+                cluster = self.clusters[d]
+                total = cluster.total_cores()
+                if total:
+                    util[cluster.name] = 1.0 - cluster.free_cores() / total
+            obs.emit("sample", "fleet.sample", now, up=up / n,
+                     free_cores=free, total_cores=cores, util=util)
 
     # ------------------------------------------------------------------ #
     # placement priority: servers whose room wants heat go first
@@ -488,7 +523,7 @@ class DF3Middleware:
         if self.datacenter is not None:
             self.datacenter.account_heat(dt)
         if self.obs.active:
-            self._tick_metrics()
+            self._tick_metrics(now)
 
     def _tick_thermal_vec(self, now: float, dt: float) -> None:
         """Vector kernel stage 5+6: one fused RC step for the whole city.
@@ -519,7 +554,7 @@ class DF3Middleware:
         if self.datacenter is not None:
             self.datacenter.account_heat(dt)
         if self.obs.active:
-            self._tick_metrics()
+            self._tick_metrics(now)
 
     def _migrate_cold_servers(self) -> None:
         """Move preemptible cloud work off servers whose room rejects heat.

@@ -166,8 +166,9 @@ class Offloader:
             self._sf_buffer.append((req, from_scheduler))
             self.sf_buffered += 1
             if self.obs.active:
-                self.obs.emit("request", "offload.buffered", self.engine.now,
-                              id=req.request_id, src=from_scheduler.cluster.name)
+                self.obs.emit_span("request", "offload.buffered", self.engine.now,
+                                   ctx=req, id=req.request_id,
+                                   src=from_scheduler.cluster.name)
                 self.obs.counter("offloads", direction="buffered",
                                  flow="edge" if isinstance(req, EdgeRequest) else "cloud").inc()
             return
@@ -178,9 +179,11 @@ class Offloader:
         is_edge = isinstance(req, EdgeRequest)
         if self.obs.active:
             flow = "edge" if is_edge else "cloud"
-            self.obs.emit("request", f"{flow}.offloaded", self.engine.now,
-                          id=req.request_id, direction=OffloadDirection.VERTICAL.value,
-                          src=from_scheduler.cluster.name, dst=self.datacenter.name)
+            self.obs.emit_span("request", f"{flow}.offloaded", self.engine.now,
+                               ctx=req, id=req.request_id,
+                               direction=OffloadDirection.VERTICAL.value,
+                               src=from_scheduler.cluster.name,
+                               dst=self.datacenter.name)
             self.obs.counter("offloads", direction="vertical", flow=flow).inc()
 
         def arrive() -> None:
@@ -203,6 +206,24 @@ class Offloader:
                     from_scheduler.completed_edge.append(result)
                 else:
                     from_scheduler.completed_cloud.append(result)
+                if self.obs.active:
+                    flow = "edge" if is_edge else "cloud"
+                    service = (now - result.started_at
+                               if result.started_at >= 0 else 0.0)
+                    done_at = now + ret
+                    extra = {}
+                    if is_edge:
+                        extra = {"resp_s": done_at - result.time,
+                                 "ok": (done_at - result.time
+                                        <= result.deadline_s + 1e-12)}
+                    self.obs.emit_span(
+                        "request", f"{flow}.completed", now, ctx=result,
+                        dur=service, id=result.request_id,
+                        worker=result.executed_on,
+                        cluster=from_scheduler.cluster.name, **extra)
+                    self.obs.counter("requests_completed", flow=flow,
+                                     cluster=from_scheduler.cluster.name).inc()
+                    self.obs.histogram("service_time_s", flow=flow).observe(service)
 
             req.status = RequestStatus.RUNNING
             req.started_at = self.engine.now
@@ -245,9 +266,10 @@ class Offloader:
         req.__dict__["_offloaded_once"] = True
         req.status = RequestStatus.OFFLOADED
         if self.obs.active:
-            self.obs.emit("request", "edge.offloaded", self.engine.now,
-                          id=req.request_id, direction=OffloadDirection.HORIZONTAL.value,
-                          src=me, dst=peer_name)
+            self.obs.emit_span("request", "edge.offloaded", self.engine.now,
+                               ctx=req, id=req.request_id,
+                               direction=OffloadDirection.HORIZONTAL.value,
+                               src=me, dst=peer_name)
             self.obs.counter("offloads", direction="horizontal", flow="edge").inc()
         hop = link.delay(req.input_bytes)
         req.network_delay_s += hop

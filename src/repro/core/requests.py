@@ -27,6 +27,7 @@ __all__ = [
     "HeatingRequest",
     "CloudRequest",
     "EdgeRequest",
+    "reset_ids",
 ]
 
 _ids = itertools.count()
@@ -34,6 +35,18 @@ _ids = itertools.count()
 
 def _next_id(prefix: str) -> str:
     return f"{prefix}-{next(_ids)}"
+
+
+def reset_ids(start: int = 0) -> None:
+    """Restart the request-id counter (trace determinism in sweep workers).
+
+    Request ids are process-global, so a forked worker inherits whatever
+    count its parent had reached and a traced parallel sweep would name the
+    same request differently from run to run.  Sweep workers call this
+    before each traced point so its ids are a pure function of the point.
+    """
+    global _ids
+    _ids = itertools.count(start)
 
 
 class Flow(str, Enum):

@@ -45,6 +45,7 @@ from repro.core.requests import EdgeMode, EdgeRequest, RequestStatus
 from repro.core.resilience.churn import ChurnModel
 from repro.core.resilience.config import ResilienceConfig
 from repro.core.resilience.detector import HeartbeatFailureDetector
+from repro.obs import adopt_chain, link_spans
 
 __all__ = ["CloneGroup", "RecoveryRuntime", "ResilienceLog"]
 
@@ -118,6 +119,10 @@ class CloneGroup:
                 p.__dict__["_return_delay_s"] = c.__dict__["_return_delay_s"]
             else:
                 p.__dict__.pop("_return_delay_s", None)
+            if self.runtime.mw.obs.tracer.enabled:
+                # the completion record must parent to the clone's execution
+                # — the true cause — not the primary's abandoned attempt
+                adopt_chain(p, c)
             self.runtime.log.clone_wins += 1
         return self.primary
 
@@ -290,8 +295,13 @@ class RecoveryRuntime:
         clone.__dict__["_clone_group"] = group
         self.log.clones_spawned += 1
         if self.mw.obs.active:
-            self.mw.obs.emit("resilience", "edge.cloned", self.engine.now,
-                             id=req.request_id, home=district, peer=peer)
+            self.mw.obs.emit_span("resilience", "edge.cloned", self.engine.now,
+                                  ctx=req, id=req.request_id,
+                                  home=district, peer=peer)
+        if self.mw.obs.tracer.enabled:
+            # the clone's first span hangs off the primary's chain tip so
+            # both execution attempts live in one causal tree
+            link_spans(clone, req)
         self.mw.edge_gateways[district].submit(req)
         self.mw.edge_gateways[peer].submit(clone)
 

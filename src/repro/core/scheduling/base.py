@@ -169,9 +169,9 @@ class BaseScheduler(ABC):
         req.executed_on = worker_name
         obs = self.obs
         if obs.active:
-            obs.emit("request", f"{kind}.scheduled", self.engine.now,
-                     id=req.request_id, worker=worker_name,
-                     cluster=self.cluster.name)
+            obs.emit_span("request", f"{kind}.scheduled", self.engine.now,
+                          ctx=req, id=req.request_id, worker=worker_name,
+                          cluster=self.cluster.name)
             obs.counter("requests_scheduled", flow=kind,
                         cluster=self.cluster.name).inc()
             obs.histogram("placement_wait_s", flow=kind).observe(
@@ -231,9 +231,15 @@ class BaseScheduler(ABC):
         obs = self.obs
         if obs.active:
             service = now - req.started_at if req.started_at >= 0 else 0.0
-            obs.emit("request", f"{kind}.completed", now, dur=service,
-                     id=req.request_id, worker=req.executed_on,
-                     cluster=self.cluster.name)
+            done_at = now + ret  # == completed_at once any return delay lands
+            extra = {}
+            if kind == "edge":
+                extra = {"resp_s": done_at - req.time,
+                         "ok": done_at - req.time <= req.deadline_s + 1e-12}
+            obs.emit_span("request", f"{kind}.completed", now, ctx=req,
+                          dur=service, id=req.request_id,
+                          worker=req.executed_on, cluster=self.cluster.name,
+                          **extra)
             obs.counter("requests_completed", flow=kind,
                         cluster=self.cluster.name).inc()
             obs.histogram("service_time_s", flow=kind).observe(service)
@@ -245,8 +251,8 @@ class BaseScheduler(ABC):
     def _note_admitted(self, req, kind: str) -> None:
         obs = self.obs
         if obs.active:
-            obs.emit("request", f"{kind}.admitted", self.engine.now,
-                     id=req.request_id, cluster=self.cluster.name)
+            obs.emit_span("request", f"{kind}.admitted", self.engine.now,
+                          ctx=req, id=req.request_id, cluster=self.cluster.name)
             obs.counter("requests_admitted", flow=kind,
                         cluster=self.cluster.name).inc()
 
@@ -259,8 +265,9 @@ class BaseScheduler(ABC):
             self.cloud_queue.push(req)
             self.stats.cloud_queued += 1
             if self.obs.active:
-                self.obs.emit("request", "cloud.queued", self.engine.now,
-                              id=req.request_id, cluster=self.cluster.name)
+                self.obs.emit_span("request", "cloud.queued", self.engine.now,
+                                   ctx=req, id=req.request_id,
+                                   cluster=self.cluster.name)
                 self.obs.counter("requests_queued", flow="cloud",
                                  cluster=self.cluster.name).inc()
 
@@ -281,9 +288,9 @@ class BaseScheduler(ABC):
         self.stats.edge_expired += 1
         if self.obs.active:
             name = "edge.expired" if reason == "expired" else "edge.rejected"
-            self.obs.emit("request", name, self.engine.now,
-                          id=req.request_id, reason=reason,
-                          cluster=self.cluster.name)
+            self.obs.emit_span("request", name, self.engine.now,
+                               ctx=req, id=req.request_id, reason=reason,
+                               cluster=self.cluster.name)
             self.obs.counter("requests_expired", flow="edge",
                              cluster=self.cluster.name).inc()
 
@@ -319,8 +326,9 @@ class BaseScheduler(ABC):
         self.edge_queue.push(req)
         self.stats.edge_queued += 1
         if self.obs.active:
-            self.obs.emit("request", "edge.queued", self.engine.now,
-                          id=req.request_id, cluster=self.cluster.name)
+            self.obs.emit_span("request", "edge.queued", self.engine.now,
+                               ctx=req, id=req.request_id,
+                               cluster=self.cluster.name)
             self.obs.counter("requests_queued", flow="edge",
                              cluster=self.cluster.name).inc()
 
@@ -351,9 +359,10 @@ class BaseScheduler(ABC):
             self.cloud_queue.push_front(creq)
             self.stats.cloud_preempted += 1
             if self.obs.active:
-                self.obs.emit("request", "cloud.preempted", self.engine.now,
-                              id=creq.request_id, worker=worker.name,
-                              for_request=req.request_id)
+                self.obs.emit_span("request", "cloud.preempted", self.engine.now,
+                                   ctx=creq, id=creq.request_id,
+                                   worker=worker.name,
+                                   for_request=req.request_id)
                 self.obs.counter("requests_preempted", flow="cloud",
                                  cluster=self.cluster.name).inc()
         self.stats.edge_preemptions_triggered += 1

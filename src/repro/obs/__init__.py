@@ -33,9 +33,12 @@ from typing import Any, Iterator, Optional
 
 from repro.obs.profiler import Profiler
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.span import SpanIndex, adopt_chain, link_spans, next_span, span_context
 from repro.obs.trace import (
     NULL_TRACER,
+    JsonlTracer,
     NullTracer,
+    RingTracer,
     TraceRecord,
     Tracer,
     read_jsonl,
@@ -48,18 +51,24 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonlTracer",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "Observability",
     "OBS_OFF",
     "Profiler",
+    "RingTracer",
+    "SpanIndex",
     "TraceRecord",
     "Tracer",
+    "adopt_chain",
     "get_obs",
     "install",
+    "link_spans",
     "obs_session",
     "read_jsonl",
+    "span_context",
     "to_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",
@@ -95,6 +104,27 @@ class Observability:
              dur: Optional[float] = None, **args: Any) -> None:
         """Emit a trace record (no-op when tracing is off)."""
         self.tracer.emit(kind, name, ts, dur=dur, **args)
+
+    def emit_span(self, kind: str, name: str, ts: float, ctx: Any,
+                  dur: Optional[float] = None, **args: Any) -> None:
+        """Emit a causally-linked record on ``ctx``'s span chain.
+
+        ``ctx`` is the request (or any carrier with a ``request_id``) whose
+        story this event belongs to; the span's parent is the carrier's
+        previous span, so consecutive lifecycle events of one request form a
+        chain (cross-request links — clones, adoptions — are made explicitly
+        via :func:`repro.obs.span.link_spans` / :func:`~repro.obs.span.
+        adopt_chain`).  No-op, with no chain allocation, when tracing is off
+        or the tracer's kind filter drops ``kind`` — filtered kinds never
+        leave dangling parents.
+        """
+        tracer = self.tracer
+        if not tracer.enabled or not tracer.wants(kind):
+            return
+        c = span_context(ctx)
+        span_id, parent_id = next_span(c)
+        tracer.emit(kind, name, ts, dur=dur, trace_id=c["trace"],
+                    span_id=span_id, parent_id=parent_id, **args)
 
     def counter(self, name: str, **labels: Any) -> Counter:
         """Counter from this bundle's registry."""

@@ -1,0 +1,345 @@
+"""Self-contained HTML run reports from a trace.
+
+``repro report trace.jsonl`` turns one run's trace into a single HTML file
+with zero external dependencies — no scripts, no fonts, no CDN: every chart
+is inline SVG, hover detail rides native SVG ``<title>`` tooltips, and the
+file can be mailed, archived as a CI artifact, or opened from disk offline.
+
+Sections, top to bottom:
+
+* **SLO panel** — one card per objective (:mod:`repro.obs.slo`), verdict
+  spelled out as text (PASS/FAIL) beside the status colour, never colour
+  alone;
+* **metric time series** — comfort in-band fraction, fleet availability and
+  per-window edge deadline compliance as single-series line charts (one
+  y-axis each; a dashed, labelled target line marks the objective);
+* **span waterfalls** — the slowest end-to-end requests, their critical
+  path rendered as timed segments with a per-segment duration table;
+* **fleet utilisation heatmap** — district × time-of-run busy fraction on
+  a single-hue sequential ramp with a labelled scale.
+
+Colours are the repo's validated light-mode chart palette (see DESIGN.md,
+"Observability v2"): series blue ``#2a78d6``, sequential ramp ``#cde2fb`` →
+``#0d366b``, status green/red only ever next to a text verdict.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.slo import SLOEngine, SLOReport, SLOSpec
+from repro.obs.span import Segment, SpanIndex
+from repro.obs.trace import TraceRecord, read_jsonl
+
+__all__ = ["render_report", "write_report", "report_from_jsonl"]
+
+# validated light-mode palette (scripts/validate_palette.js, DESIGN.md)
+_SURFACE = "#fcfcfb"
+_INK = "#20201d"
+_MUTED = "#6f6c66"
+_GRID = "#e7e4df"
+_BLUE = "#2a78d6"
+_RAMP_LO = (0xCD, 0xE2, 0xFB)   # #cde2fb
+_RAMP_HI = (0x0D, 0x36, 0x6B)   # #0d366b
+_GOOD = "#008300"
+_BAD = "#e34948"
+
+_W = 860                        # chart width (px)
+
+
+def _esc(s: object) -> str:
+    return html.escape(str(s), quote=True)
+
+
+def _ramp(frac: float) -> str:
+    """Sequential blue ramp: 0 → lightest, 1 → darkest."""
+    f = min(1.0, max(0.0, frac))
+    rgb = [round(lo + (hi - lo) * f) for lo, hi in zip(_RAMP_LO, _RAMP_HI)]
+    return "#{:02x}{:02x}{:02x}".format(*rgb)
+
+
+def _fmt_s(seconds: float) -> str:
+    """Compact duration: 0.42s / 12.3s / 4.2min / 1.8h."""
+    s = abs(seconds)
+    if s < 60:
+        return f"{seconds:.2f}s" if s < 10 else f"{seconds:.1f}s"
+    if s < 3600:
+        return f"{seconds / 60:.1f}min"
+    return f"{seconds / 3600:.1f}h"
+
+
+# ---------------------------------------------------------------------- #
+# chart primitives (inline SVG)
+# ---------------------------------------------------------------------- #
+def _line_chart(points: Sequence[Tuple[float, float]], title: str,
+                target: Optional[float] = None,
+                target_label: str = "", height: int = 190) -> str:
+    """One single-series line chart; x = hours into the run, y = 0..100 %."""
+    if not points:
+        return ""
+    pad_l, pad_r, pad_t, pad_b = 46, 14, 30, 26
+    iw, ih = _W - pad_l - pad_r, height - pad_t - pad_b
+    x_max = max(t for t, _ in points) or 1.0
+
+    def sx(t: float) -> float:
+        return pad_l + iw * t / x_max
+
+    def sy(v: float) -> float:
+        return pad_t + ih * (1.0 - min(1.0, max(0.0, v)))
+
+    parts = [f'<svg viewBox="0 0 {_W} {height}" role="img" '
+             f'aria-label="{_esc(title)}">',
+             f'<text x="{pad_l}" y="18" class="ct">{_esc(title)}</text>']
+    for frac in (0.0, 0.5, 1.0):                       # y grid + labels
+        y = sy(frac)
+        parts.append(f'<line x1="{pad_l}" y1="{y:.1f}" x2="{_W - pad_r}" '
+                     f'y2="{y:.1f}" class="grid"/>')
+        parts.append(f'<text x="{pad_l - 6}" y="{y + 4:.1f}" '
+                     f'class="tick" text-anchor="end">{frac:.0%}</text>')
+    n_ticks = min(8, max(2, int(x_max // 4) or 2))     # x ticks
+    for i in range(n_ticks + 1):
+        t = x_max * i / n_ticks
+        parts.append(f'<text x="{sx(t):.1f}" y="{height - 8}" class="tick" '
+                     f'text-anchor="middle">{t:.0f}h</text>')
+    if target is not None:
+        y = sy(target)
+        parts.append(f'<line x1="{pad_l}" y1="{y:.1f}" x2="{_W - pad_r}" '
+                     f'y2="{y:.1f}" class="target"/>')
+        parts.append(f'<text x="{_W - pad_r}" y="{y - 5:.1f}" class="tgt" '
+                     f'text-anchor="end">{_esc(target_label)}</text>')
+    pts = " ".join(f"{sx(t):.1f},{sy(v):.1f}" for t, v in points)
+    parts.append(f'<polyline points="{pts}" class="series"/>')
+    for t, v in points:                                # hover markers
+        parts.append(f'<circle cx="{sx(t):.1f}" cy="{sy(v):.1f}" r="2.6" '
+                     f'class="dot"><title>{t:.1f}h — {v:.1%}</title></circle>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _waterfall(trace_id: str, segments: Sequence[Segment],
+               outcome: str) -> str:
+    """One request's critical path as a timed horizontal segment track."""
+    if not segments:
+        return ""
+    t0 = segments[0].start_ts
+    total = max(segments[-1].end_ts - t0, 1e-9)
+    pad_l, pad_r, bar_y, bar_h, height = 10, 10, 26, 24, 64
+    iw = _W - pad_l - pad_r
+    parts = [f'<svg viewBox="0 0 {_W} {height}" role="img" '
+             f'aria-label="critical path of {_esc(trace_id)}">',
+             f'<text x="{pad_l}" y="16" class="ct">{_esc(trace_id)} — '
+             f'{_fmt_s(total)} end to end — {_esc(outcome)}</text>']
+    for seg in segments:
+        x = pad_l + iw * (seg.start_ts - t0) / total
+        w = max(iw * seg.dur / total, 1.5)
+        shade = _ramp(0.35 + 0.5 * (seg.dur / total))
+        parts.append(
+            f'<rect x="{x:.1f}" y="{bar_y}" width="{w:.1f}" '
+            f'height="{bar_h}" rx="3" fill="{shade}" class="seg">'
+            f'<title>{_esc(seg.label)}: {_fmt_s(seg.dur)}</title></rect>')
+    parts.append(f'<text x="{pad_l}" y="{height - 2}" class="tick">0</text>')
+    parts.append(f'<text x="{_W - pad_r}" y="{height - 2}" class="tick" '
+                 f'text-anchor="end">{_fmt_s(total)}</text>')
+    parts.append("</svg>")
+    rows = "".join(
+        f"<tr><td>{_esc(s.label)}</td><td class='num'>{_fmt_s(s.dur)}</td>"
+        f"<td class='num'>{s.dur / total:.1%}</td></tr>"
+        for s in segments)
+    table = (f"<table class='segs'><thead><tr><th>segment</th><th>time</th>"
+             f"<th>share</th></tr></thead><tbody>{rows}</tbody></table>")
+    return f"<div class='wf'>{''.join(parts)}{table}</div>"
+
+
+def _heatmap(series: Dict[str, List[Tuple[float, float]]],
+             x_max_h: float, buckets: int = 48) -> str:
+    """District × time busy-fraction heatmap on the sequential ramp."""
+    rows = sorted(series)
+    if not rows or x_max_h <= 0:
+        return ""
+    cell_w = (_W - 140) / buckets
+    cell_h, pad_t = 24, 30
+    height = pad_t + len(rows) * (cell_h + 2) + 40
+    parts = [f'<svg viewBox="0 0 {_W} {height}" role="img" '
+             f'aria-label="fleet utilisation heatmap">',
+             f'<text x="10" y="18" class="ct">Fleet utilisation '
+             f'(busy core fraction)</text>']
+    for ri, name in enumerate(rows):
+        y = pad_t + ri * (cell_h + 2)
+        parts.append(f'<text x="126" y="{y + cell_h / 2 + 4}" class="tick" '
+                     f'text-anchor="end">{_esc(name)}</text>')
+        cells: List[List[float]] = [[] for _ in range(buckets)]
+        for t, v in series[name]:
+            b = min(buckets - 1, int(buckets * t / x_max_h))
+            cells[b].append(v)
+        for b, vals in enumerate(cells):
+            if not vals:
+                continue
+            v = sum(vals) / len(vals)
+            x = 134 + b * cell_w
+            lo, hi = x_max_h * b / buckets, x_max_h * (b + 1) / buckets
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{cell_w - 1:.1f}" '
+                f'height="{cell_h}" rx="2" fill="{_ramp(v)}">'
+                f'<title>{_esc(name)} {lo:.1f}–{hi:.1f}h: {v:.0%} busy'
+                f'</title></rect>')
+    ly = pad_t + len(rows) * (cell_h + 2) + 14      # labelled ramp legend
+    for i in range(24):
+        parts.append(f'<rect x="{134 + i * 6}" y="{ly}" width="6" height="10" '
+                     f'fill="{_ramp(i / 23)}"/>')
+    parts.append(f'<text x="128" y="{ly + 9}" class="tick" '
+                 f'text-anchor="end">0%</text>')
+    parts.append(f'<text x="{134 + 24 * 6 + 6}" y="{ly + 9}" '
+                 f'class="tick">100% busy</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# ---------------------------------------------------------------------- #
+# sections
+# ---------------------------------------------------------------------- #
+def _slo_panel(report: SLOReport) -> str:
+    cards = []
+    for r in report:
+        ok, color = ("PASS", _GOOD) if r.ok else ("FAIL", _BAD)
+        obs = "no data" if r.samples == 0 else f"{r.compliance:.2%}"
+        breaches = (f"{r.breaches} of {len(r.windows)} windows over budget"
+                    if r.windows else "whole-run objective")
+        cards.append(
+            f"<div class='card'>"
+            f"<div class='verdict' style='color:{color}'>"
+            f"{'✔' if r.ok else '✘'} {ok}</div>"
+            f"<div class='slo-name'>{_esc(r.spec.name)} "
+            f"<span class='flow'>[{_esc(r.spec.flow)}]</span></div>"
+            f"<div class='slo-desc'>{_esc(r.spec.description)}</div>"
+            f"<div class='slo-num'>{obs} <span class='muted'>vs target "
+            f"{r.spec.target:.0%}</span></div>"
+            f"<div class='muted'>{_esc(breaches)}</div></div>")
+    return f"<div class='cards'>{''.join(cards)}</div>"
+
+
+def _sample_series(records: Sequence[TraceRecord], name: str, key: str,
+                   t0: float) -> List[Tuple[float, float]]:
+    return [((r.ts - t0) / 3600.0, float(r.args[key]))
+            for r in records if r.name == name and key in r.args]
+
+
+def render_report(records: Iterable[TraceRecord],
+                  title: str = "DF3 run report",
+                  slos: Optional[Sequence[SLOSpec]] = None,
+                  slowest_n: int = 5) -> str:
+    """The whole report as one self-contained HTML string."""
+    recs = list(records)
+    report = SLOEngine(slos).evaluate(recs)
+    idx = SpanIndex(recs)
+    t0 = recs[0].ts if recs else 0.0
+    t_max = max((r.ts for r in recs), default=t0)
+    span_h = max((t_max - t0) / 3600.0, 1e-9)
+
+    comfort = _sample_series(recs, "comfort.sample", "in_band", t0)
+    fleet = _sample_series(recs, "fleet.sample", "up", t0)
+    util: Dict[str, List[Tuple[float, float]]] = {}
+    for r in recs:
+        if r.name == "fleet.sample":
+            for district, busy in r.args.get("util", {}).items():
+                util.setdefault(district, []).append(
+                    ((r.ts - t0) / 3600.0, float(busy)))
+
+    edge_windows: List[Tuple[float, float]] = []
+    for res in report:
+        if res.spec.name == "edge-deadline":
+            edge_windows = [((w.end_ts - t0) / 3600.0, w.compliance)
+                            for w in res.windows]
+
+    charts = []
+    if edge_windows:
+        charts.append(_line_chart(
+            edge_windows, "Edge deadline compliance per window",
+            target=0.90, target_label="target 90%"))
+    if comfort:
+        charts.append(_line_chart(
+            comfort, "Comfort: rooms inside the band",
+            target=0.90, target_label="target 90%"))
+    if fleet:
+        charts.append(_line_chart(
+            fleet, "Fleet availability: servers up",
+            target=0.95, target_label="target 95%"))
+
+    waterfalls = []
+    for tid in idx.slowest(slowest_n):
+        term = idx.terminal(tid)
+        outcome = term.name if term is not None else "?"
+        waterfalls.append(_waterfall(tid, idx.critical_path(tid), outcome))
+
+    n_traces = len(idx.trace_ids())
+    complete, total = idx.completeness("edge.")
+    stats = (f"{len(recs):,} records · {n_traces:,} traces · "
+             f"{span_h:.1f}h simulated")
+    if total:
+        stats += f" · {complete / total:.1%} of edge stories causally complete"
+
+    sections = [
+        f"<h1>{_esc(title)}</h1>",
+        f"<p class='muted'>{_esc(stats)}</p>",
+        "<h2>Service-level objectives</h2>", _slo_panel(report),
+    ]
+    if charts:
+        sections.append("<h2>Time series</h2>")
+        sections.extend(charts)
+    if waterfalls:
+        sections.append(f"<h2>Slowest requests (top {len(waterfalls)})</h2>")
+        sections.extend(waterfalls)
+    hm = _heatmap(util, span_h)
+    if hm:
+        sections.append("<h2>Fleet utilisation</h2>")
+        sections.append(hm)
+
+    css = f"""
+ body {{ background:{_SURFACE}; color:{_INK}; margin:2rem auto; max-width:{_W + 40}px;
+        font:15px/1.45 system-ui, sans-serif; padding:0 1rem; }}
+ h1 {{ font-size:1.5rem; margin-bottom:.2rem; }}
+ h2 {{ font-size:1.1rem; margin:1.6rem 0 .6rem; }}
+ svg {{ display:block; width:100%; height:auto; margin:.4rem 0 1rem; }}
+ .muted {{ color:{_MUTED}; }}
+ .ct {{ font-size:14px; fill:{_INK}; font-weight:600; }}
+ .tick {{ font-size:11px; fill:{_MUTED}; }}
+ .tgt {{ font-size:11px; fill:{_MUTED}; font-style:italic; }}
+ .grid {{ stroke:{_GRID}; stroke-width:1; }}
+ .target {{ stroke:{_MUTED}; stroke-width:1; stroke-dasharray:5 4; }}
+ .series {{ fill:none; stroke:{_BLUE}; stroke-width:2; }}
+ .dot {{ fill:{_BLUE}; stroke:{_SURFACE}; stroke-width:1.5; }}
+ .seg {{ stroke:{_SURFACE}; stroke-width:2; }}
+ .cards {{ display:grid; grid-template-columns:repeat(auto-fit,minmax(190px,1fr));
+          gap:12px; }}
+ .card {{ border:1px solid {_GRID}; border-radius:8px; padding:12px 14px; }}
+ .verdict {{ font-weight:700; font-size:1rem; }}
+ .slo-name {{ font-weight:600; margin-top:.2rem; }}
+ .flow {{ color:{_MUTED}; font-weight:400; }}
+ .slo-desc {{ color:{_MUTED}; font-size:.85rem; margin:.15rem 0; }}
+ .slo-num {{ font-size:1.25rem; font-weight:600; margin:.2rem 0; }}
+ .slo-num .muted {{ font-size:.8rem; font-weight:400; }}
+ .wf {{ margin-bottom:1.2rem; }}
+ table.segs {{ border-collapse:collapse; font-size:.85rem; margin:-.4rem 0 .8rem; }}
+ table.segs th, table.segs td {{ text-align:left; padding:2px 14px 2px 0;
+   border-bottom:1px solid {_GRID}; }}
+ table.segs td.num {{ font-variant-numeric:tabular-nums; }}
+"""
+    return ("<!DOCTYPE html><html lang='en'><head><meta charset='utf-8'>"
+            f"<title>{_esc(title)}</title><style>{css}</style></head>"
+            f"<body>{''.join(sections)}</body></html>")
+
+
+def write_report(records: Iterable[TraceRecord], path: str | Path,
+                 **kwargs) -> Path:
+    """Render and write the report; returns the path."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(render_report(records, **kwargs), encoding="utf-8")
+    return p
+
+
+def report_from_jsonl(trace_path: str | Path, out_path: str | Path,
+                      **kwargs) -> Path:
+    """``repro report``'s body: JSONL trace in, HTML file out."""
+    return write_report(read_jsonl(trace_path), out_path, **kwargs)

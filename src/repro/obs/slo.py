@@ -1,0 +1,301 @@
+"""Service-level objectives evaluated over trace records.
+
+The paper makes three service claims for a data-furnace city: edge requests
+meet their deadlines (F3/E11), rooms stay in their comfort band (F3/E2), and
+cloud batch work completes (F3).  This module turns those claims into
+declarative :class:`SLOSpec` objects and evaluates them over the trace a run
+emitted, SRE-style:
+
+* every spec reduces matching records to a stream of ``(ts, value)``
+  observations with ``value`` in ``[0, 1]`` (1 = the good outcome);
+* compliance over a **rolling window of simulated time** is the mean
+  observation value in that window; a window below target is a *breach* and
+  its **burn rate** is the fraction of error budget it consumed
+  (``(1 - compliance) / (1 - target)``, the Google SRE workbook definition);
+* the whole-run compliance against the target yields the final verdict.
+
+:meth:`SLOEngine.evaluate` optionally emits ``slo.burn_rate`` /
+``slo.breach`` records back into a tracer so breaches land in the same
+trace (and report) as the requests that caused them.
+
+:data:`DEFAULT_SLOS` encodes the paper-table claims with thresholds the F3
+reference run satisfies: edge deadline-miss ≤ 10 % (F3 observes 6.2 %),
+comfort in-band ≥ 90 % (F3: 97 %), cloud completion 100 % (F3: 348/348),
+fleet availability ≥ 95 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.obs.trace import TraceRecord, Tracer
+
+__all__ = ["SLOSpec", "SLOWindow", "SLOResult", "SLOReport", "SLOEngine",
+           "DEFAULT_SLOS", "default_slos"]
+
+#: burn rate reported when the target leaves zero error budget and a window
+#: still has failures (division by zero budget)
+_INF_BURN = float("inf")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective over trace records.
+
+    ``kind`` picks the reduction:
+
+    * ``"event_ratio"`` — records named in ``good`` count 1 (or the boolean
+      stored under their arg key), names in ``bad`` count 0; compliance is
+      the good fraction.  Deadline-style objectives.
+    * ``"sample_mean"`` — records named in ``good`` contribute the float in
+      their arg key directly.  Gauge-style objectives (comfort, availability).
+    * ``"completion"`` — names in ``good`` count completions, names in
+      ``bad`` count admissions; compliance is ``completed/admitted`` over the
+      whole run.  Windows are meaningless mid-run for this kind, so it is
+      terminal regardless of ``window_s``.
+    """
+
+    name: str
+    flow: str
+    description: str
+    target: float                       # required good-ratio, 0..1
+    window_s: Optional[float] = 3600.0  # rolling window; None = whole run only
+    kind: str = "event_ratio"
+    good: Mapping[str, Optional[str]] = field(default_factory=dict)
+    bad: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.target <= 1.0:
+            raise ValueError(f"target must be in [0, 1], got {self.target}")
+        if self.kind not in ("event_ratio", "sample_mean", "completion"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.window_s is not None and self.window_s <= 0:
+            raise ValueError("window_s must be positive or None")
+
+    # ------------------------------------------------------------------ #
+    def observe(self, record: TraceRecord) -> Optional[float]:
+        """This record's observation value, or None when it is irrelevant."""
+        name = record.name
+        if name in self.good:
+            key = self.good[name]
+            if key is None:
+                return 1.0
+            v = record.args.get(key)
+            if v is None:
+                return None
+            return float(v) if self.kind == "sample_mean" else (1.0 if v else 0.0)
+        if name in self.bad:
+            return 0.0
+        return None
+
+    def burn_rate(self, compliance: float) -> float:
+        """Error-budget burn of a window at ``compliance`` (1.0 = on budget)."""
+        budget = 1.0 - self.target
+        bad = 1.0 - compliance
+        if budget <= 0.0:
+            return 0.0 if bad <= 0.0 else _INF_BURN
+        return bad / budget
+
+
+@dataclass(frozen=True)
+class SLOWindow:
+    """Compliance of one rolling window of simulated time."""
+
+    start_ts: float
+    end_ts: float
+    compliance: float
+    burn_rate: float
+    samples: int
+
+    @property
+    def breached(self) -> bool:
+        """True when this window burned more than its share of budget."""
+        return self.burn_rate > 1.0
+
+
+@dataclass
+class SLOResult:
+    """One spec's verdict over a whole run."""
+
+    spec: SLOSpec
+    compliance: float          # whole-run good ratio (nan when no data)
+    samples: int
+    windows: List[SLOWindow] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whole-run verdict; vacuously true with no observations."""
+        if self.samples == 0:
+            return True
+        return self.compliance >= self.spec.target - 1e-12
+
+    @property
+    def breaches(self) -> int:
+        """Number of breached windows."""
+        return sum(1 for w in self.windows if w.breached)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (windows included)."""
+        return {
+            "name": self.spec.name,
+            "flow": self.spec.flow,
+            "description": self.spec.description,
+            "target": self.spec.target,
+            "compliance": self.compliance,
+            "samples": self.samples,
+            "ok": self.ok,
+            "breaches": self.breaches,
+            "windows": [
+                {"start": w.start_ts, "end": w.end_ts,
+                 "compliance": w.compliance, "burn_rate": w.burn_rate,
+                 "samples": w.samples, "breached": w.breached}
+                for w in self.windows
+            ],
+        }
+
+
+class SLOReport:
+    """All specs' verdicts; renders the final compliance table."""
+
+    def __init__(self, results: List[SLOResult]):
+        self.results = results
+
+    @property
+    def ok(self) -> bool:
+        """True when every objective holds."""
+        return all(r.ok for r in self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready report."""
+        return {"ok": self.ok, "slos": [r.to_dict() for r in self.results]}
+
+    def render(self) -> str:
+        """The final compliance table, one row per objective."""
+        headers = ("slo", "flow", "target", "observed", "windows", "breaches",
+                   "verdict")
+        rows = [headers]
+        for r in self.results:
+            obs = "-" if r.samples == 0 else f"{r.compliance:.2%}"
+            rows.append((r.spec.name, r.spec.flow, f"{r.spec.target:.0%}",
+                         obs, str(len(r.windows)), str(r.breaches),
+                         "PASS" if r.ok else "FAIL"))
+        widths = [max(len(row[i]) for row in rows) for i in range(len(headers))]
+        lines = ["  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+                 for row in rows]
+        lines.insert(1, "  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+
+class SLOEngine:
+    """Evaluates a set of :class:`SLOSpec` over a run's trace records."""
+
+    def __init__(self, specs: Optional[Iterable[SLOSpec]] = None):
+        self.specs = list(specs) if specs is not None else default_slos()
+        names = [s.name for s in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names in {names}")
+
+    def evaluate(self, records: Iterable[TraceRecord],
+                 tracer: Optional[Tracer] = None) -> SLOReport:
+        """Reduce ``records`` to per-spec verdicts.
+
+        With ``tracer``, every closed window appends one ``slo.burn_rate``
+        record (plus ``slo.breach`` when it overspent), timestamped at the
+        window's end in simulated time.
+        """
+        obs: Dict[str, List[Tuple[float, float]]] = {s.name: [] for s in self.specs}
+        for rec in records:
+            for spec in self.specs:
+                v = spec.observe(rec)
+                if v is not None:
+                    obs[spec.name].append((rec.ts, v))
+
+        results: List[SLOResult] = []
+        for spec in self.specs:
+            points = obs[spec.name]
+            points.sort(key=lambda p: p[0])
+            if spec.kind == "completion":
+                num = sum(1 for _, v in points if v > 0)   # completions
+                den = sum(1 for _, v in points if v <= 0)  # admissions
+                compliance = num / den if den else float("nan")
+                results.append(SLOResult(spec, compliance, den))
+                continue
+            compliance = (sum(v for _, v in points) / len(points)
+                          if points else float("nan"))
+            windows: List[SLOWindow] = []
+            if spec.window_s is not None and points:
+                w = spec.window_s
+                idx = None
+                acc: List[float] = []
+                lo = 0.0
+                for ts, v in points:
+                    i = int(ts // w)
+                    if i != idx:
+                        if idx is not None:
+                            windows.append(self._close(spec, lo, lo + w, acc))
+                        idx, lo, acc = i, i * w, []
+                    acc.append(v)
+                windows.append(self._close(spec, lo, lo + spec.window_s, acc))
+            results.append(SLOResult(spec, compliance, len(points), windows))
+
+        if tracer is not None and tracer.enabled:
+            for r in results:
+                for w in r.windows:
+                    tracer.emit("slo", "slo.burn_rate", w.end_ts,
+                                slo=r.spec.name, window_start=w.start_ts,
+                                compliance=w.compliance,
+                                burn_rate=w.burn_rate, samples=w.samples)
+                    if w.breached:
+                        tracer.emit("slo", "slo.breach", w.end_ts,
+                                    slo=r.spec.name, window_start=w.start_ts,
+                                    compliance=w.compliance,
+                                    burn_rate=w.burn_rate,
+                                    target=r.spec.target)
+        return SLOReport(results)
+
+    @staticmethod
+    def _close(spec: SLOSpec, lo: float, hi: float,
+               acc: List[float]) -> SLOWindow:
+        compliance = sum(acc) / len(acc)
+        return SLOWindow(lo, hi, compliance, spec.burn_rate(compliance),
+                         len(acc))
+
+
+def default_slos() -> List[SLOSpec]:
+    """The paper-table objectives (fresh instances; see module docstring)."""
+    return [
+        SLOSpec(
+            name="edge-deadline", flow="edge",
+            description="edge requests served within deadline",
+            target=0.90, window_s=3600.0, kind="event_ratio",
+            good={"edge.completed": "ok"},
+            bad=("edge.expired", "edge.rejected"),
+        ),
+        SLOSpec(
+            name="cloud-completion", flow="cloud",
+            description="accepted cloud jobs complete by end of run",
+            target=1.0, window_s=None, kind="completion",
+            good={"cloud.completed": None},
+            bad=("cloud.received",),
+        ),
+        SLOSpec(
+            name="comfort-band", flow="heating",
+            description="rooms within the comfort band of their setpoint",
+            target=0.90, window_s=3600.0, kind="sample_mean",
+            good={"comfort.sample": "in_band"},
+        ),
+        SLOSpec(
+            name="fleet-availability", flow="heating",
+            description="DF servers up (powered and unfailed)",
+            target=0.95, window_s=3600.0, kind="sample_mean",
+            good={"fleet.sample": "up"},
+        ),
+    ]
+
+
+#: evaluated lazily so tests mutating one spec never leak into another run
+DEFAULT_SLOS: Tuple[SLOSpec, ...] = tuple(default_slos())

@@ -150,7 +150,14 @@ class SweepRunner:
         outcomes: Dict[str, Any],
     ) -> None:
         if self.jobs == 1:
+            ambient = self.obs if self.obs is not None else obs_mod.get_obs()
+            tracing = ambient.tracer.enabled
             for point, key in pending:
+                if tracing:
+                    # same id hygiene as run_point_task: traced ids must be a
+                    # pure function of the point, not of prior points' counts
+                    from repro.core.requests import reset_ids
+                    reset_ids()
                 value = point.execute()
                 outcomes[point.point_id] = value
                 if key is not None and self.cache is not None:
@@ -160,30 +167,37 @@ class SweepRunner:
         bundle = self.obs if self.obs is not None else obs_mod.get_obs()
         want_metrics = bundle.metrics_enabled
         want_profile = bundle.profiler is not None
+        want_trace = bundle.tracer.enabled
+        trace_kinds = getattr(bundle.tracer, "kinds", None)
         merge_back: Dict[str, Tuple[Optional[obs_mod.MetricsRegistry],
-                                    Optional[obs_mod.Profiler]]] = {}
+                                    Optional[obs_mod.Profiler],
+                                    Optional[List[obs_mod.TraceRecord]]]] = {}
         with ProcessPoolExecutor(max_workers=self.jobs,
                                  initializer=init_worker) as pool:
             futures = {
-                pool.submit(run_point_task, point, want_metrics, want_profile):
+                pool.submit(run_point_task, point, want_metrics, want_profile,
+                            want_trace, trace_kinds):
                 (point, key)
                 for point, key in pending
             }
             # gather in submission order (workers still run concurrently);
             # reduce-order determinism is enforced again by reassemble()
             for future, (point, key) in futures.items():
-                point_id, value, registry, profiler = future.result()
+                point_id, value, registry, profiler, records = future.result()
                 outcomes[point_id] = value
-                merge_back[point_id] = (registry, profiler)
+                merge_back[point_id] = (registry, profiler, records)
                 if key is not None and self.cache is not None:
                     self.cache.put(key, value)
 
         for point, _ in pending:  # merge in points order, not completion order
-            registry, profiler = merge_back.get(point.point_id, (None, None))
+            registry, profiler, records = merge_back.get(
+                point.point_id, (None, None, None))
             if registry is not None:
                 bundle.registry.merge(registry)
             if profiler is not None and bundle.profiler is not None:
                 bundle.profiler.merge(profiler)
+            if records:
+                bundle.tracer.absorb(records)
 
 
 def run_sweep(spec: SweepSpec, jobs: int = 1,

@@ -6,16 +6,18 @@ default on startup, and each cell builds its own city from its point spec
 (``repro.experiments.common`` keeps no mutable module-level singletons — a
 property ``tests/test_runner_worker.py`` enforces).
 
-When the parent's bundle collects metrics or profiles, the worker builds a
-*fresh* bundle with the same pillars, runs the cell under it, and ships the
-registry/profiler back alongside the cell value; the parent merges them in
-deterministic points order.  Tracing stays parent-side only: a trace is an
-ordered narrative, and interleaving per-worker narratives would be noise.
+When the parent's bundle collects metrics, profiles or traces, the worker
+builds a *fresh* bundle with the same pillars, runs the cell under it, and
+ships the registry/profiler/trace records back alongside the cell value; the
+parent merges them in deterministic points order.  A parallel ``--trace``
+sweep therefore yields the concatenation of per-point narratives in points
+order — the same records a serial run emits, grouped by point rather than
+interleaved by wall clock.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro import obs as obs_mod
 from repro.runner.spec import SweepPoint
@@ -37,18 +39,30 @@ def init_worker() -> None:
 
 def run_point_task(
     point: SweepPoint, want_metrics: bool, want_profile: bool,
+    want_trace: bool = False, trace_kinds: Optional[frozenset] = None,
 ) -> Tuple[str, Any, Optional[obs_mod.MetricsRegistry],
-           Optional[obs_mod.Profiler]]:
+           Optional[obs_mod.Profiler],
+           Optional[List[obs_mod.TraceRecord]]]:
     """Execute one sweep point in a worker; returns merge-back material.
 
     The returned tuple is ``(point_id, cell value, registry | None,
-    profiler | None)`` — everything picklable, nothing process-global.
+    profiler | None, trace records | None)`` — everything picklable,
+    nothing process-global.
     """
-    if not (want_metrics or want_profile):
-        return point.point_id, point.execute(), None, None
+    if not (want_metrics or want_profile or want_trace):
+        return point.point_id, point.execute(), None, None, None
     registry = obs_mod.MetricsRegistry() if want_metrics else None
     profiler = obs_mod.Profiler() if want_profile else None
-    bundle = obs_mod.Observability(registry=registry, profiler=profiler)
+    tracer = obs_mod.Tracer(kinds=trace_kinds) if want_trace else None
+    if want_trace:
+        # request ids appear in trace records; restart the process-global
+        # counter so a point's ids don't depend on which worker ran it (or
+        # on the count the parent had reached before forking)
+        from repro.core.requests import reset_ids
+        reset_ids()
+    bundle = obs_mod.Observability(tracer=tracer, registry=registry,
+                                   profiler=profiler)
     with obs_mod.obs_session(bundle):
         value = point.execute()
-    return point.point_id, value, registry, profiler
+    records = tracer.records if tracer is not None else None
+    return point.point_id, value, registry, profiler, records

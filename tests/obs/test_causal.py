@@ -1,0 +1,131 @@
+"""End-to-end causality: a traced F3 run reconstructs a complete span tree
+for (essentially all, and at least 99% of) completed requests, the SLO
+verdicts match the experiment's own table, and the same holds under A6
+churn where stories weave through retries, clones and salvage."""
+
+import re
+
+import pytest
+
+from repro.obs import Observability, SpanIndex, Tracer, obs_session
+from repro.obs.report import render_report
+from repro.obs.slo import SLOEngine
+
+
+@pytest.fixture(scope="module")
+def traced_f3():
+    """One fully traced paper-scale F3 run: (records, ExperimentResult)."""
+    from repro.experiments import f3_three_flows
+
+    tracer = Tracer()
+    with obs_session(Observability(tracer=tracer)):
+        result = f3_three_flows.run()
+    return list(tracer.iter_records()), result
+
+
+def test_f3_edge_span_trees_complete(traced_f3):
+    records, result = traced_f3
+    idx = SpanIndex(records)
+    complete, total = idx.completeness("edge.")
+    assert total >= result.data["edge_completed"]     # every completion traced
+    assert complete / total >= 0.99                   # the acceptance bar
+    complete_c, total_c = idx.completeness("cloud.")
+    assert total_c == result.data["cloud_submitted"]
+    assert complete_c == total_c
+
+
+def test_f3_every_completion_reachable_from_admit(traced_f3):
+    records, _ = traced_f3
+    idx = SpanIndex(records)
+    checked = 0
+    for tid in idx.trace_ids():
+        term = idx.terminal(tid)
+        if term is None or not term.name.endswith(".completed"):
+            continue
+        chain = idx.path_to_root(term.span_id)
+        names = [r.name for r in chain]
+        assert chain[0].parent_id is None, f"{tid}: root has a parent"
+        assert any(n.endswith(".received") or n.endswith(".admitted")
+                   for n in names), f"{tid}: no admit in {names}"
+        checked += 1
+    assert checked > 1000  # a real run, not a vacuous pass
+
+
+def test_f3_critical_path_accounts_for_latency(traced_f3):
+    records, _ = traced_f3
+    idx = SpanIndex(records)
+    # the slowest story's segments tile root→terminal exactly
+    tid = idx.slowest(1)[0]
+    segs = idx.critical_path(tid)
+    assert segs
+    chain_span = segs[-1].end_ts - segs[0].start_ts
+    assert sum(s.dur for s in segs) == pytest.approx(chain_span)
+    # fleet-wide, execution time is a named, non-trivial bucket
+    agg = idx.aggregate_breakdown("edge.")
+    assert agg.get("scheduled→completed", 0.0) > 0.0
+
+
+def test_f3_slo_verdicts_match_experiment_table(traced_f3):
+    records, result = traced_f3
+    report = SLOEngine().evaluate(records)
+    by_name = {r.spec.name: r for r in report}
+    d = result.data
+
+    edge = by_name["edge-deadline"]
+    assert edge.compliance == pytest.approx(1.0 - d["edge_miss_rate"], abs=1e-12)
+    assert edge.samples == d["edge_submitted"]
+
+    comfort = by_name["comfort-band"]
+    assert comfort.compliance == pytest.approx(d["comfort_in_band"], abs=1e-12)
+
+    cloud = by_name["cloud-completion"]
+    assert cloud.compliance == 1.0
+    assert cloud.samples == d["cloud_submitted"] == d["cloud_completed"]
+
+    # the F3 table passes its own paper claims
+    assert report.ok
+    rendered = report.render()
+    assert rendered.count("PASS") == len(report.results)
+
+
+def test_f3_report_shows_matching_verdicts(traced_f3):
+    records, result = traced_f3
+    html = render_report(records, title="F3")
+    for name in ("edge-deadline", "cloud-completion", "comfort-band",
+                 "fleet-availability"):
+        assert name in html
+    # per-flow verdict text matches the SLO engine, not just colour
+    assert html.count("PASS") >= 4 and "FAIL" not in html
+    # the observed edge compliance (to report precision) appears in the panel
+    pct = f"{1.0 - result.data['edge_miss_rate']:.2%}"
+    assert pct in html
+    # causal completeness is surfaced as a stat
+    m = re.search(r"(\d+\.?\d*)% of edge stories causally complete", html)
+    assert m and float(m.group(1)) >= 99.0
+
+
+@pytest.mark.slow
+def test_a6_churn_cell_spans_complete_through_resilience():
+    """Retried/cloned/salvaged requests under churn still form full trees."""
+    from repro.experiments.a6_churn import BUNDLES, MTBF_LEVELS_S, _run_cell
+
+    tracer = Tracer()
+    with obs_session(Observability(tracer=tracer)):
+        cell = _run_cell(seed=101, mtbf_s=MTBF_LEVELS_S["mtbf=2h"],
+                         recovery=BUNDLES["all"])
+    # the run actually exercised the resilience paths
+    assert cell["clones"] > 0 and cell["salvaged"] > 0
+
+    idx = SpanIndex(tracer.iter_records())
+    complete, total = idx.completeness("edge.")
+    assert total > 1000
+    assert complete / total >= 0.99
+    complete_c, total_c = idx.completeness("cloud.")
+    assert total_c > 0 and complete_c == total_c
+
+    # clone stories exist and are grafted into their primary's tree
+    names = {r.name for r in idx.spans.values()}
+    assert "edge.cloned" in names
+    cloned = [r for r in idx.spans.values() if r.name == "edge.cloned"]
+    grafted = [r for r in cloned if idx.children.get(r.span_id)]
+    assert grafted, "no clone span ever became a parent"

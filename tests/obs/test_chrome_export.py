@@ -1,0 +1,79 @@
+"""Chrome trace-event exporter: metadata threads, phases, time scaling."""
+
+import json
+
+from repro.obs import TraceRecord, Tracer, to_chrome_trace
+from repro.obs.trace import write_chrome_trace
+
+
+def _records():
+    tr = Tracer()
+    tr.emit("request", "edge.received", 1.5, id="edge-1")
+    tr.emit("request", "edge.completed", 2.5, dur=0.25, id="edge-1")
+    tr.emit("engine", "engine.dispatch", 3.0)
+    return list(tr.iter_records())
+
+
+def test_thread_metadata_one_per_kind_in_first_seen_order():
+    doc = to_chrome_trace(_records())
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert [m["name"] for m in meta] == ["thread_name", "thread_name"]
+    assert [(m["tid"], m["args"]["name"]) for m in meta] == [
+        (1, "request"), (2, "engine")]
+    assert all(m["pid"] == 1 for m in meta)
+    # metadata precedes the first event of its thread
+    names = [e.get("args", {}).get("name", e["name"])
+             for e in doc["traceEvents"]]
+    assert names.index("request") < names.index("edge.received")
+
+
+def test_events_land_on_their_kind_thread():
+    doc = to_chrome_trace(_records())
+    by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] != "M"}
+    assert by_name["edge.received"]["tid"] == 1
+    assert by_name["edge.completed"]["tid"] == 1
+    assert by_name["engine.dispatch"]["tid"] == 2
+    assert by_name["edge.received"]["cat"] == "request"
+
+
+def test_duration_vs_instant_phases():
+    doc = to_chrome_trace(_records())
+    by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] != "M"}
+    dur_ev = by_name["edge.completed"]
+    assert dur_ev["ph"] == "X" and "s" not in dur_ev
+    inst = by_name["edge.received"]
+    assert inst["ph"] == "i" and inst["s"] == "t" and "dur" not in inst
+
+
+def test_microsecond_scaling():
+    doc = to_chrome_trace(_records())
+    by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] != "M"}
+    assert by_name["edge.received"]["ts"] == 1.5e6
+    assert by_name["edge.completed"]["dur"] == 0.25e6
+    assert doc["displayTimeUnit"] == "ms"
+
+
+def test_span_identity_rides_in_args_without_mutating_record():
+    rec = TraceRecord(1.0, "request", "edge.scheduled", {"id": "edge-1"},
+                      trace_id="edge-1", span_id="edge-1/2",
+                      parent_id="edge-1/1")
+    doc = to_chrome_trace([rec])
+    (ev,) = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert ev["args"]["trace_id"] == "edge-1"
+    assert ev["args"]["span_id"] == "edge-1/2"
+    assert ev["args"]["parent_id"] == "edge-1/1"
+    assert "trace_id" not in rec.args         # exporter copied, didn't mutate
+
+
+def test_spanless_records_keep_plain_args():
+    rec = TraceRecord(1.0, "engine", "engine.dispatch", {"n": 3})
+    doc = to_chrome_trace([rec])
+    (ev,) = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert ev["args"] == {"n": 3}
+    assert "trace_id" not in ev["args"]
+
+
+def test_write_chrome_trace_is_strict_json(tmp_path):
+    path = write_chrome_trace(_records(), tmp_path / "t.json")
+    doc = json.loads(path.read_text())
+    assert len(doc["traceEvents"]) == 5       # 2 metadata + 3 events

@@ -1,0 +1,136 @@
+"""SLO engine: spec validation, window mechanics, burn rates, verdicts."""
+
+import math
+
+import pytest
+
+from repro.obs import TraceRecord, Tracer
+from repro.obs.slo import DEFAULT_SLOS, SLOEngine, SLOSpec, default_slos
+
+
+def _rec(name, ts, **args):
+    return TraceRecord(ts, "request", name, args)
+
+
+EDGE = SLOSpec(name="edge", flow="edge", description="d", target=0.8,
+               window_s=10.0, kind="event_ratio",
+               good={"edge.completed": "ok"},
+               bad=("edge.expired", "edge.rejected"))
+
+
+# --------------------------------------------------------------------------- #
+# spec validation + observation extraction
+# --------------------------------------------------------------------------- #
+def test_spec_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        SLOSpec(name="x", flow="f", description="d", target=1.5)
+    with pytest.raises(ValueError):
+        SLOSpec(name="x", flow="f", description="d", target=0.5, kind="nope")
+    with pytest.raises(ValueError):
+        SLOSpec(name="x", flow="f", description="d", target=0.5, window_s=0.0)
+    with pytest.raises(ValueError):
+        SLOEngine([EDGE, EDGE])  # duplicate names
+
+
+def test_event_ratio_observation():
+    assert EDGE.observe(_rec("edge.completed", 1.0, ok=True)) == 1.0
+    assert EDGE.observe(_rec("edge.completed", 1.0, ok=False)) == 0.0
+    assert EDGE.observe(_rec("edge.expired", 1.0)) == 0.0
+    assert EDGE.observe(_rec("edge.rejected", 1.0)) == 0.0
+    assert EDGE.observe(_rec("edge.received", 1.0)) is None
+    assert EDGE.observe(_rec("edge.completed", 1.0)) is None  # no ok arg
+
+
+def test_sample_mean_observation_uses_float_value():
+    spec = SLOSpec(name="c", flow="heating", description="d", target=0.9,
+                   kind="sample_mean", good={"comfort.sample": "in_band"})
+    assert spec.observe(_rec("comfort.sample", 0.0, in_band=0.97)) == 0.97
+
+
+def test_burn_rate_definition():
+    assert EDGE.burn_rate(1.0) == 0.0
+    assert EDGE.burn_rate(0.8) == pytest.approx(1.0)   # exactly on budget
+    assert EDGE.burn_rate(0.6) == pytest.approx(2.0)   # 2x over
+    tight = SLOSpec(name="t", flow="f", description="d", target=1.0,
+                    kind="event_ratio", good={"x": None})
+    assert tight.burn_rate(1.0) == 0.0
+    assert math.isinf(tight.burn_rate(0.99))           # zero budget
+
+
+# --------------------------------------------------------------------------- #
+# evaluation: windows, verdicts, completion kind
+# --------------------------------------------------------------------------- #
+def test_rolling_windows_and_breach():
+    recs = (
+        [_rec("edge.completed", t, ok=True) for t in (1.0, 2.0, 3.0, 4.0)]
+        # second window: 1 ok, 3 bad -> 25% < 80% target: breached
+        + [_rec("edge.completed", 11.0, ok=True)]
+        + [_rec("edge.expired", t) for t in (12.0, 13.0, 14.0)]
+    )
+    report = SLOEngine([EDGE]).evaluate(recs)
+    (res,) = list(report)
+    assert len(res.windows) == 2
+    w0, w1 = res.windows
+    assert (w0.start_ts, w0.end_ts, w0.compliance) == (0.0, 10.0, 1.0)
+    assert not w0.breached
+    assert w1.compliance == pytest.approx(0.25)
+    assert w1.breached and w1.burn_rate == pytest.approx(0.75 / 0.2)
+    assert res.breaches == 1
+    assert res.compliance == pytest.approx(5 / 8)
+    assert not res.ok and not report.ok
+
+
+def test_breach_records_emitted_into_tracer():
+    recs = [_rec("edge.expired", t) for t in (1.0, 2.0)]
+    tr = Tracer()
+    SLOEngine([EDGE]).evaluate(recs, tracer=tr)
+    names = [r.name for r in tr.records]
+    assert names == ["slo.burn_rate", "slo.breach"]
+    breach = tr.records[1]
+    assert breach.kind == "slo"
+    assert breach.ts == 10.0                     # window end, simulated time
+    assert breach.args["slo"] == "edge"
+    assert breach.args["compliance"] == 0.0
+
+
+def test_completion_kind_is_terminal():
+    spec = SLOSpec(name="cloud", flow="cloud", description="d", target=1.0,
+                   kind="completion", good={"cloud.completed": None},
+                   bad=("cloud.received",))
+    recs = ([_rec("cloud.received", t) for t in (0.0, 1.0, 2.0)]
+            + [_rec("cloud.completed", t) for t in (5.0, 6.0, 7.0)])
+    (res,) = list(SLOEngine([spec]).evaluate(recs))
+    assert res.compliance == 1.0 and res.ok
+    assert res.windows == []                     # whole-run objective
+    # one lost job fails the 100% target
+    (res2,) = list(SLOEngine([spec]).evaluate(recs[:-1]))
+    assert res2.compliance == pytest.approx(2 / 3)
+    assert not res2.ok
+
+
+def test_no_data_is_vacuously_ok():
+    (res,) = list(SLOEngine([EDGE]).evaluate([]))
+    assert res.samples == 0 and res.ok
+    assert math.isnan(res.compliance)
+
+
+def test_render_and_to_dict():
+    recs = [_rec("edge.completed", 1.0, ok=True)]
+    report = SLOEngine([EDGE]).evaluate(recs)
+    text = report.render()
+    assert "edge" in text and "PASS" in text and "100.00%" in text
+    d = report.to_dict()
+    assert d["ok"] is True
+    assert d["slos"][0]["windows"][0]["compliance"] == 1.0
+
+
+def test_default_slos_cover_paper_claims():
+    names = {s.name for s in DEFAULT_SLOS}
+    assert names == {"edge-deadline", "cloud-completion", "comfort-band",
+                     "fleet-availability"}
+    # fresh copies every call: engines can't contaminate each other
+    assert default_slos() is not default_slos()
+    edge = next(s for s in DEFAULT_SLOS if s.name == "edge-deadline")
+    assert edge.target == 0.90        # miss <= 10% (F3 observes 6.2%)
+    cloud = next(s for s in DEFAULT_SLOS if s.name == "cloud-completion")
+    assert cloud.target == 1.0 and cloud.kind == "completion"

@@ -1,0 +1,159 @@
+"""Span chains and the SpanIndex: allocation, linking, trees, critical paths."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.obs import (
+    Observability,
+    SpanIndex,
+    TraceRecord,
+    Tracer,
+    adopt_chain,
+    link_spans,
+    span_context,
+)
+from repro.obs.span import next_span
+
+
+@dataclass
+class Carrier:
+    request_id: str = "edge-1"
+
+
+# --------------------------------------------------------------------------- #
+# span allocation
+# --------------------------------------------------------------------------- #
+def test_span_ids_chain_per_carrier():
+    c = Carrier()
+    ctx = span_context(c)
+    assert (ctx["trace"], ctx["base"]) == ("edge-1", "edge-1")
+    assert next_span(ctx) == ("edge-1/0", None)
+    assert next_span(ctx) == ("edge-1/1", "edge-1/0")
+    assert next_span(ctx) == ("edge-1/2", "edge-1/1")
+
+
+def test_clone_suffix_shares_trace_id_but_not_span_base():
+    clone = Carrier("edge-7#clone")
+    ctx = span_context(clone)
+    assert ctx["trace"] == "edge-7"       # the primary's story
+    assert ctx["base"] == "edge-7#clone"  # but its own span namespace
+    sid, parent = next_span(ctx)
+    assert sid == "edge-7#clone/0" and parent is None
+
+
+def test_link_spans_seeds_child_chain():
+    primary, clone = Carrier("edge-1"), Carrier("edge-1#clone")
+    next_span(span_context(primary))          # edge-1/0
+    link_spans(clone, primary)
+    sid, parent = next_span(span_context(clone))
+    assert sid == "edge-1#clone/0"
+    assert parent == "edge-1/0"               # hangs off the primary's tip
+
+
+def test_adopt_chain_grafts_winner_tip():
+    primary, clone = Carrier("edge-1"), Carrier("edge-1#clone")
+    next_span(span_context(primary))              # edge-1/0
+    link_spans(clone, primary)
+    next_span(span_context(clone))                # edge-1#clone/0
+    adopt_chain(primary, clone)
+    sid, parent = next_span(span_context(primary))
+    assert sid == "edge-1/1"
+    assert parent == "edge-1#clone/0"             # completion blames the clone
+
+
+def test_adopt_chain_is_noop_without_source_spans():
+    primary, clone = Carrier("a"), Carrier("b")
+    next_span(span_context(primary))
+    adopt_chain(primary, clone)                   # clone never emitted
+    _, parent = next_span(span_context(primary))
+    assert parent == "a/0"                        # chain undisturbed
+
+
+def test_emit_span_skips_filtered_kinds_without_allocating():
+    tr = Tracer(kinds={"request"})
+    obs = Observability(tracer=tr)
+    c = Carrier()
+    obs.emit_span("resilience", "edge.cloned", 1.0, ctx=c)  # filtered kind
+    assert len(tr) == 0
+    assert "_trace_ctx" not in c.__dict__   # no dangling chain state
+    obs.emit_span("request", "edge.received", 2.0, ctx=c)
+    assert tr.records[0].span_id == "edge-1/0"
+    assert tr.records[0].parent_id is None  # filtered emit left no hole
+
+
+# --------------------------------------------------------------------------- #
+# SpanIndex
+# --------------------------------------------------------------------------- #
+def _emit_story(tr: Tracer, rid: str = "edge-1"):
+    obs = Observability(tracer=tr)
+    c = Carrier(rid)
+    obs.emit_span("request", "edge.received", 0.0, ctx=c, id=rid)
+    obs.emit_span("request", "edge.admitted", 0.1, ctx=c, id=rid)
+    obs.emit_span("request", "edge.scheduled", 0.4, ctx=c, id=rid)
+    obs.emit_span("request", "edge.completed", 1.4, ctx=c, dur=1.0, id=rid,
+                  ok=True)
+    return c
+
+
+def test_index_builds_complete_tree():
+    tr = Tracer()
+    _emit_story(tr)
+    idx = SpanIndex(tr.iter_records())
+    assert idx.trace_ids() == ["edge-1"]
+    assert idx.root("edge-1").name == "edge.received"
+    assert idx.terminal("edge-1").name == "edge.completed"
+    assert idx.is_complete("edge-1")
+    assert idx.completeness("edge.") == (1, 1)
+
+
+def test_critical_path_segments_and_breakdown():
+    tr = Tracer()
+    _emit_story(tr)
+    idx = SpanIndex(tr.iter_records())
+    segs = idx.critical_path("edge-1")
+    assert [s.label for s in segs] == [
+        "received→admitted", "admitted→scheduled", "scheduled→completed"]
+    assert segs[0].dur == pytest.approx(0.1)
+    assert sum(idx.breakdown("edge-1").values()) == pytest.approx(1.4)
+    agg = idx.aggregate_breakdown("edge.")
+    assert agg["scheduled→completed"] == pytest.approx(1.0)
+
+
+def test_incomplete_when_root_evicted():
+    tr = Tracer()
+    _emit_story(tr)
+    records = list(tr.iter_records())[1:]   # ring evicted the root
+    idx = SpanIndex(records)
+    assert not idx.is_complete("edge-1")
+    assert idx.completeness("edge.") == (0, 1)
+
+
+def test_records_without_spans_are_ignored():
+    idx = SpanIndex([TraceRecord(0.0, "engine", "engine.dispatch", {})])
+    assert idx.trace_ids() == []
+
+
+def test_slowest_orders_by_end_to_end_duration():
+    tr = Tracer()
+    obs = Observability(tracer=tr)
+    for rid, span in (("edge-a", 5.0), ("edge-b", 50.0), ("edge-c", 0.5)):
+        c = Carrier(rid)
+        obs.emit_span("request", "edge.received", 0.0, ctx=c)
+        obs.emit_span("request", "edge.completed", span, ctx=c)
+    idx = SpanIndex(tr.iter_records())
+    assert idx.slowest(2) == ["edge-b", "edge-a"]
+
+
+def test_path_to_root_is_cycle_safe():
+    # hand-built malformed trace: span is its own ancestor
+    recs = [
+        TraceRecord(0.0, "request", "edge.received", {}, trace_id="t",
+                    span_id="a", parent_id="b"),
+        TraceRecord(1.0, "request", "edge.completed", {}, trace_id="t",
+                    span_id="b", parent_id="a"),
+    ]
+    idx = SpanIndex(recs)
+    chain = idx.path_to_root("b")
+    assert len(chain) == 2          # visits each span once, terminates
+    assert not idx.is_complete("t")

@@ -71,6 +71,25 @@ def test_cli_jobs_byte_identical(tmp_path, capsys):
     assert parallel == serial
 
 
+def test_parallel_trace_merge_byte_identical():
+    """--trace with --jobs N loses nothing: worker records merge back into
+    the parent tracer deterministically, so the trace is record-for-record
+    identical to a serial run (satellite of the causal-tracing PR)."""
+    from repro import obs as O
+
+    def traced_run(jobs):
+        tracer = O.Tracer()
+        with O.obs_session(O.Observability(tracer=tracer)) as obs:
+            report = SweepRunner(jobs=jobs, obs=obs).run_spec(e14_scale.SWEEP)
+        return report.result.text, [r.to_dict() for r in tracer.iter_records()]
+
+    text1, trace1 = traced_run(1)
+    text2, trace2 = traced_run(2)
+    assert trace1, "traced sweep produced no records"
+    assert text2 == text1
+    assert trace2 == trace1          # same records, same order — nothing lost
+
+
 def test_cli_warm_cache_skips_all_points(tmp_path, capsys):
     """A warm re-run recomputes nothing, sweep and non-sweep alike."""
     ids = ["E14", "E4", "A4", "E2"]

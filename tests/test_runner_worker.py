@@ -73,18 +73,19 @@ def test_common_module_keeps_no_singletons():
 def test_run_point_task_without_obs_returns_no_merge_material():
     point = SweepPoint("WX", "p", "tests.test_runner_worker:_plain_cell",
                        params=(("x", 7),))
-    point_id, value, registry, profiler = run_point_task(
+    point_id, value, registry, profiler, records = run_point_task(
         point, want_metrics=False, want_profile=False)
-    assert (point_id, value, registry, profiler) == ("p", 49, None, None)
+    assert (point_id, value, registry, profiler, records) == (
+        "p", 49, None, None, None)
 
 
 def test_run_point_task_collects_fresh_bundle():
     point = SweepPoint("WX", "p", "tests.test_runner_worker:_obs_probe_cell",
                        params=(("tag", "abc"),))
-    point_id, value, registry, profiler = run_point_task(
+    point_id, value, registry, profiler, records = run_point_task(
         point, want_metrics=True, want_profile=False)
     assert value["parent_obs_active"] is True  # the cell saw the task bundle
-    assert registry is not None and profiler is None
+    assert registry is not None and profiler is None and records is None
     assert registry.counter("probe_cells").value == 1
     # and the task bundle was uninstalled afterwards
     assert not obs_mod.get_obs().active
