@@ -245,6 +245,42 @@ def main(argv=None) -> int:
                       default=os.environ.get("REPRO_CACHE_DIR", ".repro_cache"),
                       help="result cache directory (default .repro_cache, "
                            "or $REPRO_CACHE_DIR when set)")
+    srvp = sub.add_parser("serve",
+                          help="serve a live digital twin over HTTP (REST + SSE)")
+    srvp.add_argument("--host", default="127.0.0.1",
+                      help="bind address (default 127.0.0.1)")
+    srvp.add_argument("--port", type=int, default=8008,
+                      help="bind port (default 8008; 0 picks a free port)")
+    srvp.add_argument("--seed", type=int, default=17,
+                      help="scenario seed (default 17 — the F3 reference run)")
+    srvp.add_argument("--days", type=float, default=1.0,
+                      help="simulated days of workload (default 1.0)")
+    srvp.add_argument("--month", type=int, default=1,
+                      help="start month, 1-12 (default 1: winter)")
+    srvp.add_argument("--districts", type=int, default=2,
+                      help="city size: number of districts (default 2)")
+    srvp.add_argument("--buildings", type=int, default=2,
+                      help="buildings per district (default 2)")
+    srvp.add_argument("--dc-nodes", type=int, default=8,
+                      help="datacenter nodes (default 8)")
+    srvp.add_argument("--pace", type=float, default=0.0, metavar="X",
+                      help="real seconds per simulated second (default 0: "
+                           "free-run as fast as the engine goes)")
+    srvp.add_argument("--slice-s", type=float, default=300.0,
+                      help="max simulated seconds per engine slice "
+                           "(command/pause granularity; default 300)")
+    srvp.add_argument("--telemetry-every-s", type=float, default=900.0,
+                      help="simulated seconds between SSE telemetry "
+                           "publishes (default 900)")
+    srvp.add_argument("--flight-recorder", type=int, default=65536, metavar="N",
+                      help="trace ring-buffer capacity (default 65536)")
+    srvp.add_argument("--start-paused", action="store_true",
+                      help="boot holding at t0; resume via POST /api/control")
+    srvp.add_argument("--kernel", choices=("scalar", "vector"), default=None,
+                      help="simulation kernel (default: $REPRO_KERNEL or "
+                           "'vector')")
+    srvp.add_argument("--verbose", action="store_true",
+                      help="log one line per HTTP request")
     repp = sub.add_parser("report",
                           help="render a trace into a self-contained HTML report")
     repp.add_argument("trace", help="JSONL trace file (from run --trace)")
@@ -255,6 +291,43 @@ def main(argv=None) -> int:
     repp.add_argument("--slowest", type=int, default=5, metavar="N",
                       help="span waterfalls for the N slowest requests")
     args = parser.parse_args(argv)
+
+    if args.command == "serve":
+        if args.kernel is not None:
+            os.environ["REPRO_KERNEL"] = args.kernel
+        from repro.service import ScenarioConfig, TwinConfig, build_twin, serve
+
+        try:
+            twin = build_twin(
+                ScenarioConfig(seed=args.seed, month=args.month,
+                               duration_days=args.days,
+                               n_districts=args.districts,
+                               buildings_per_district=args.buildings,
+                               dc_nodes=args.dc_nodes),
+                TwinConfig(slice_s=args.slice_s,
+                           telemetry_every_s=args.telemetry_every_s,
+                           pace=args.pace,
+                           ring_capacity=args.flight_recorder,
+                           start_paused=args.start_paused),
+            )
+        except ValueError as exc:
+            print(f"bad scenario: {exc}", file=sys.stderr)
+            return 2
+        scen = twin.scenario
+        print(f"serving DF3 twin on http://{args.host}:{args.port or '?'} — "
+              f"{scen.config.n_districts} districts, "
+              f"{sum(scen.submitted.values())} requests over "
+              f"{args.days:g} sim-days")
+        print("  dashboard: /   health: /healthz   stream: /events   "
+              "state: /api/state")
+        try:
+            serve(twin, host=args.host, port=args.port, verbose=args.verbose)
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        except OSError as exc:
+            print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+            return 2
+        return 0
 
     if args.command == "report":
         from repro.obs.report import report_from_jsonl

@@ -88,8 +88,14 @@ def _resilience(mtbf_s: float, recovery: RecoveryConfig) -> ResilienceConfig:
     )
 
 
-def _run_cell(seed: int, mtbf_s: float, recovery: RecoveryConfig) -> Dict[str, float]:
-    """One (MTBF level, bundle) city-day; returns its metrics row."""
+def _build_cell(seed: int, mtbf_s: float, recovery: RecoveryConfig):
+    """Build one (MTBF level, bundle) cell: city + injected workloads.
+
+    Split from :func:`_run_cell` so step-wise drivers (the service layer's
+    determinism tests) can advance the identical simulation in slices.
+    Returns ``(mw, t0, edge, cloud)``; the cell's horizon is
+    ``t0 + DAY + 2 * HOUR``.
+    """
     t0 = mid_month_start(1)
     mw = small_city(seed=seed, start_time=t0,
                     saturation_policy=SaturationPolicy.QUEUE,
@@ -114,9 +120,11 @@ def _run_cell(seed: int, mtbf_s: float, recovery: RecoveryConfig) -> Dict[str, f
     cloud = [CloudRequest(cycles=5e14, time=t0 + 0.5 * HOUR + i * 600.0,
                           cores=16, preemptible=False) for i in range(10)]
     mw.inject(cloud)
+    return mw, t0, edge, cloud
 
-    mw.run_until(t0 + DAY + 2 * HOUR)
 
+def _finish_cell(mw, edge, cloud) -> Dict[str, float]:
+    """Reduce a fully-run cell to its metrics row."""
     served = sum(1 for r in edge
                  if r.status.value == "completed" and r.deadline_met())
     log = mw.resilience.log
@@ -133,6 +141,13 @@ def _run_cell(seed: int, mtbf_s: float, recovery: RecoveryConfig) -> Dict[str, f
         "salvaged": log.tasks_salvaged,
         "checkpoints": log.checkpoints_taken,
     }
+
+
+def _run_cell(seed: int, mtbf_s: float, recovery: RecoveryConfig) -> Dict[str, float]:
+    """One (MTBF level, bundle) city-day; returns its metrics row."""
+    mw, t0, edge, cloud = _build_cell(seed, mtbf_s, recovery)
+    mw.run_until(t0 + DAY + 2 * HOUR)
+    return _finish_cell(mw, edge, cloud)
 
 
 def sweep_points(seed: int = 101) -> List[SweepPoint]:

@@ -19,15 +19,24 @@ from repro.workloads.cloud import CloudJobConfig, CloudJobGenerator
 from repro.workloads.edge import EdgeWorkloadConfig, EdgeWorkloadGenerator
 from repro.workloads.heating import HeatingBehavior, HeatingRequestGenerator
 
-__all__ = ["run"]
+__all__ = ["build", "finish", "run"]
 
 
-def run(duration_days: float = 1.0, seed: int = 17) -> ExperimentResult:
-    """One winter day, all three flows live on the same fleet."""
+def build(duration_days: float = 1.0, seed: int = 17, obs=None):
+    """Build the F3 city with all three flows injected, ready to run.
+
+    Split out of :func:`run` so step-wise drivers (the service layer, the
+    determinism tests) can advance the very same simulation in slices.  The
+    construction order here is load-bearing: RNG streams are created and
+    consumed in exactly the sequence the golden fixtures were recorded with.
+
+    Returns ``(mw, t0, t1, workloads)`` where ``workloads`` maps flow name to
+    the injected request list.
+    """
     t0 = mid_month_start(1)
     t1 = t0 + duration_days * DAY
     mw = small_city(seed=seed, start_time=t0,
-                    saturation_policy=SaturationPolicy.PREEMPT)
+                    saturation_policy=SaturationPolicy.PREEMPT, obs=obs)
     rngs = RngRegistry(seed)
 
     heating = []
@@ -49,8 +58,14 @@ def run(duration_days: float = 1.0, seed: int = 17) -> ExperimentResult:
     mw.inject(heating)
     mw.inject(edge)
     mw.inject(cloud)
-    mw.run_until(t1 + 0.2 * DAY)
+    return mw, t0, t1, {"heating": heating, "edge": edge, "cloud": cloud}
 
+
+def finish(mw, workloads) -> ExperimentResult:
+    """Reduce a fully-run F3 simulation to its :class:`ExperimentResult`."""
+    heating = workloads["heating"]
+    edge = workloads["edge"]
+    cloud = workloads["cloud"]
     edge_stats = LatencyStats.from_requests(mw.completed_edge(), mw.expired_edge())
     cloud_stats = LatencyStats.from_requests(mw.completed_cloud())
     comfort = mw.comfort.result()
@@ -81,3 +96,10 @@ def run(duration_days: float = 1.0, seed: int = 17) -> ExperimentResult:
             "cloud_submitted": len(cloud),
         },
     )
+
+
+def run(duration_days: float = 1.0, seed: int = 17) -> ExperimentResult:
+    """One winter day, all three flows live on the same fleet."""
+    mw, t0, t1, workloads = build(duration_days, seed)
+    mw.run_until(t1 + 0.2 * DAY)
+    return finish(mw, workloads)

@@ -14,6 +14,7 @@ diffable with :meth:`MetricsRegistry.diff`.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
@@ -109,18 +110,35 @@ class Histogram:
         return vs[lo] + (vs[hi] - vs[lo]) * (pos - lo)
 
     def snapshot(self) -> Dict[str, float]:
-        """Reduced view of the distribution."""
-        if not self._values:
+        """Reduced view of the distribution.
+
+        Computed over one atomic copy of the observations, so a snapshot
+        taken while another thread keeps observing (the service layer's
+        telemetry loop vs. the engine thread) is internally consistent —
+        ``count``, ``sum`` and the percentiles all describe the same set.
+        """
+        vs = self._values[:]  # list copy is atomic under the GIL
+        if not vs:
             return {"count": 0, "sum": 0.0}
+        n = len(vs)
+        total = sum(vs)       # emit order, as the percentile-free fields always were
+        ordered = sorted(vs)
+
+        def pct(q: float) -> float:
+            pos = (n - 1) * q / 100.0
+            lo = int(pos)
+            hi = min(lo + 1, n - 1)
+            return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
         return {
-            "count": len(self._values),
-            "sum": sum(self._values),
-            "min": min(self._values),
-            "max": max(self._values),
-            "mean": sum(self._values) / len(self._values),
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+            "count": n,
+            "sum": total,
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": total / n,
+            "p50": pct(50),
+            "p95": pct(95),
+            "p99": pct(99),
         }
 
 
@@ -133,14 +151,28 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[LabelKey, object] = {}
+        # guards the series *dict* against concurrent registration vs.
+        # snapshot iteration (engine thread vs. service telemetry thread);
+        # individual metric mutations stay lock-free — they are single
+        # attribute/list operations, atomic under the GIL
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # registries cross process boundaries (sweep-worker merge-back);
+        # locks don't pickle and each process wants its own anyway
+        return {"_metrics": self._metrics}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self._metrics = state["_metrics"]
+        self._lock = threading.Lock()
 
     def _get(self, cls, name: str, labels: Dict[str, Any]):
         key: LabelKey = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
         metric = self._metrics.get(key)
         if metric is None:
-            metric = cls(name, key[1])
-            self._metrics[key] = metric
-        elif not isinstance(metric, cls):
+            with self._lock:
+                metric = self._metrics.setdefault(key, cls(name, key[1]))
+        if not isinstance(metric, cls):
             raise TypeError(
                 f"metric {name!r} already registered as {type(metric).__name__}, "
                 f"not {cls.__name__}"
@@ -170,7 +202,9 @@ class MetricsRegistry:
         observation of the same instrument).  Series are merged in sorted
         key order so repeated merges are deterministic.
         """
-        for (name, labels), metric in sorted(other._metrics.items()):
+        with other._lock:
+            items = list(other._metrics.items())
+        for (name, labels), metric in sorted(items):
             kwargs = dict(labels)
             if isinstance(metric, Counter):
                 self.counter(name, **kwargs).inc(metric.value)
@@ -182,13 +216,22 @@ class MetricsRegistry:
 
     def clear(self) -> None:
         """Drop every registered series."""
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
     def snapshot(self) -> Dict[str, Any]:
-        """Rendered-name → value (scalar, or dict for histograms)."""
+        """Rendered-name → value (scalar, or dict for histograms).
+
+        Copy-on-snapshot: the series list is copied under the registry lock,
+        so a snapshot taken from the service thread never races a
+        registration on the engine thread (dict-changed-size errors), and
+        each metric reduces over its own atomic copy.
+        """
+        with self._lock:
+            items = list(self._metrics.items())
         return {
             _series_name(name, labels): metric.snapshot()
-            for (name, labels), metric in sorted(self._metrics.items())
+            for (name, labels), metric in sorted(items)
         }
 
     @staticmethod

@@ -33,7 +33,8 @@ from repro.obs.slo import SLOEngine, SLOReport, SLOSpec
 from repro.obs.span import Segment, SpanIndex
 from repro.obs.trace import TraceRecord, read_jsonl
 
-__all__ = ["render_report", "write_report", "report_from_jsonl"]
+__all__ = ["render_live_dashboard", "render_report", "write_report",
+           "report_from_jsonl"]
 
 # validated light-mode palette (scripts/validate_palette.js, DESIGN.md)
 _SURFACE = "#fcfcfb"
@@ -328,6 +329,118 @@ def render_report(records: Iterable[TraceRecord],
     return ("<!DOCTYPE html><html lang='en'><head><meta charset='utf-8'>"
             f"<title>{_esc(title)}</title><style>{css}</style></head>"
             f"<body>{''.join(sections)}</body></html>")
+
+
+def render_live_dashboard(title: str = "DF3 live twin") -> str:
+    """The served dashboard: the report's look, fed by SSE instead of files.
+
+    Where :func:`render_report` renders a finished run from its trace, this
+    page subscribes to the service's ``/events`` stream with ``EventSource``
+    and repaints its panels as ``state`` / ``metrics`` / ``slo.burn_rate`` /
+    ``trace`` events arrive — same palette, zero dependencies, one file.
+    """
+    css = f"""
+ body {{ background:{_SURFACE}; color:{_INK}; margin:2rem auto; max-width:{_W + 40}px;
+        font:15px/1.45 system-ui, sans-serif; padding:0 1rem; }}
+ h1 {{ font-size:1.5rem; margin-bottom:.2rem; }}
+ h2 {{ font-size:1.1rem; margin:1.6rem 0 .6rem; }}
+ .muted {{ color:{_MUTED}; }}
+ .cards {{ display:grid; grid-template-columns:repeat(auto-fit,minmax(190px,1fr));
+          gap:12px; }}
+ .card {{ border:1px solid {_GRID}; border-radius:8px; padding:12px 14px; }}
+ .num {{ font-size:1.25rem; font-weight:600; margin:.2rem 0;
+         font-variant-numeric:tabular-nums; }}
+ .lab {{ color:{_MUTED}; font-size:.85rem; }}
+ .bar {{ height:8px; background:{_GRID}; border-radius:4px; overflow:hidden;
+         margin:.6rem 0; }}
+ .bar > div {{ height:100%; background:{_BLUE}; width:0%; }}
+ .ok {{ color:{_GOOD}; }} .bad {{ color:{_BAD}; }}
+ table {{ border-collapse:collapse; font-size:.85rem; width:100%; }}
+ th, td {{ text-align:left; padding:3px 14px 3px 0;
+           border-bottom:1px solid {_GRID}; }}
+ td.n {{ font-variant-numeric:tabular-nums; }}
+ #log {{ font:12px/1.5 ui-monospace, monospace; white-space:pre-wrap;
+         border:1px solid {_GRID}; border-radius:8px; padding:10px 12px;
+         max-height:16rem; overflow-y:auto; }}
+"""
+    js = """
+var $ = function (id) { return document.getElementById(id); };
+var sloRows = {}, traceLines = [], evCount = 0;
+function fmtH(s) { return (s / 3600).toFixed(2) + ' h'; }
+function paint(st) {
+  $('now').textContent = fmtH(st.now - st.t_start);
+  $('progress').textContent = (100 * st.progress).toFixed(1) + '%';
+  $('fill').style.width = (100 * st.progress) + '%';
+  $('events').textContent = st.events_executed.toLocaleString();
+  $('phase').textContent = st.finished ? 'finished'
+                         : (st.paused ? 'paused' : 'running');
+  $('phase').className = 'num ' + (st.finished ? 'ok' : '');
+}
+function paintSlo() {
+  var keys = Object.keys(sloRows).sort();
+  var html = '<tr><th>SLO</th><th>window end</th><th>compliance</th>' +
+             '<th>burn rate</th><th></th></tr>';
+  keys.forEach(function (k) {
+    var w = sloRows[k];
+    html += '<tr><td>' + k + '</td><td class=n>' + fmtH(w.end) +
+            '</td><td class=n>' + (100 * w.compliance).toFixed(1) +
+            '%</td><td class=n>' + w.burn_rate.toFixed(2) + '</td><td>' +
+            (w.breached ? '<span class=bad>breach</span>'
+                        : '<span class=ok>ok</span>') + '</td></tr>';
+  });
+  $('slo').innerHTML = html;
+}
+var es = new EventSource('/events');
+['run.started', 'run.paused', 'run.finished', 'run.error', 'state', 'metrics',
+ 'slo.burn_rate', 'slo.breach', 'trace', 'command.applied', 'command.failed'
+].forEach(function (kind) {
+  es.addEventListener(kind, function (e) {
+    evCount += 1;
+    $('evcount').textContent = evCount;
+    var d = JSON.parse(e.data);
+    if (kind === 'state' || kind === 'run.finished') { if (d.t_start !== undefined) paint(d); }
+    if (kind === 'slo.burn_rate') { sloRows[d.slo] = d; paintSlo(); }
+    if (kind === 'trace') {
+      d.records.forEach(function (r) {
+        traceLines.push(fmtH(r.ts) + '  ' + r.name);
+      });
+      traceLines = traceLines.slice(-60);
+      $('log').textContent = traceLines.join('\\n');
+    }
+    if (kind === 'command.applied') {
+      traceLines.push('command applied: ' + d.label);
+      $('log').textContent = traceLines.join('\\n');
+    }
+  });
+});
+es.onerror = function () { $('phase').textContent = 'disconnected'; };
+fetch('/api/state').then(function (r) { return r.json(); }).then(paint);
+"""
+    body = (
+        f"<h1>{_esc(title)}</h1>"
+        "<p class='muted'>Live digital twin — this page updates from the "
+        "<code>/events</code> SSE stream.</p>"
+        "<div class='bar'><div id='fill'></div></div>"
+        "<div class='cards'>"
+        "<div class='card'><div class='lab'>sim time into run</div>"
+        "<div class='num' id='now'>–</div></div>"
+        "<div class='card'><div class='lab'>progress</div>"
+        "<div class='num' id='progress'>–</div></div>"
+        "<div class='card'><div class='lab'>status</div>"
+        "<div class='num' id='phase'>connecting…</div></div>"
+        "<div class='card'><div class='lab'>engine events</div>"
+        "<div class='num' id='events'>–</div></div>"
+        "<div class='card'><div class='lab'>SSE events received</div>"
+        "<div class='num' id='evcount'>0</div></div>"
+        "</div>"
+        "<h2>SLO burn rates</h2><table id='slo'>"
+        "<tr><td class='muted'>waiting for the first closed window…</td></tr>"
+        "</table>"
+        "<h2>Trace tail</h2><div id='log'>waiting for events…</div>"
+    )
+    return ("<!DOCTYPE html><html lang='en'><head><meta charset='utf-8'>"
+            f"<title>{_esc(title)}</title><style>{css}</style></head>"
+            f"<body>{body}<script>{js}</script></body></html>")
 
 
 def write_report(records: Iterable[TraceRecord], path: str | Path,

@@ -97,6 +97,34 @@ class SLOSpec:
             return 0.0 if bad <= 0.0 else _INF_BURN
         return bad / budget
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready spec: a client can display *and* re-evaluate it."""
+        return {
+            "name": self.name,
+            "flow": self.flow,
+            "description": self.description,
+            "target": self.target,
+            "window_s": self.window_s,
+            "kind": self.kind,
+            "good": dict(self.good),
+            "bad": list(self.bad),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, object]) -> "SLOSpec":
+        """Inverse of :meth:`to_dict`."""
+        window = d.get("window_s", 3600.0)
+        return cls(
+            name=str(d["name"]),
+            flow=str(d["flow"]),
+            description=str(d["description"]),
+            target=float(d["target"]),                 # type: ignore[arg-type]
+            window_s=None if window is None else float(window),  # type: ignore[arg-type]
+            kind=str(d.get("kind", "event_ratio")),
+            good=dict(d.get("good", {})),              # type: ignore[arg-type]
+            bad=tuple(d.get("bad", ())),               # type: ignore[arg-type]
+        )
+
 
 @dataclass(frozen=True)
 class SLOWindow:
@@ -112,6 +140,20 @@ class SLOWindow:
     def breached(self) -> bool:
         """True when this window burned more than its share of budget."""
         return self.burn_rate > 1.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready window row."""
+        return {"start": self.start_ts, "end": self.end_ts,
+                "compliance": self.compliance, "burn_rate": self.burn_rate,
+                "samples": self.samples, "breached": self.breached}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, object]) -> "SLOWindow":
+        """Inverse of :meth:`to_dict` (``breached`` is derived, not stored)."""
+        return cls(start_ts=float(d["start"]), end_ts=float(d["end"]),      # type: ignore[arg-type]
+                   compliance=float(d["compliance"]),                       # type: ignore[arg-type]
+                   burn_rate=float(d["burn_rate"]),                         # type: ignore[arg-type]
+                   samples=int(d["samples"]))                               # type: ignore[arg-type]
 
 
 @dataclass
@@ -136,23 +178,36 @@ class SLOResult:
         return sum(1 for w in self.windows if w.breached)
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-ready summary (windows included)."""
+        """JSON-ready summary (windows and the full spec included).
+
+        Stable serialisation contract (tested round-trip): the flat
+        name/flow/target fields stay for existing consumers, ``spec`` makes
+        the result self-describing, and :meth:`from_dict` reconstructs an
+        equal result — the service layer's clients consume this instead of
+        scraping :meth:`SLOReport.render` output.
+        """
         return {
             "name": self.spec.name,
             "flow": self.spec.flow,
             "description": self.spec.description,
             "target": self.spec.target,
+            "spec": self.spec.to_dict(),
             "compliance": self.compliance,
             "samples": self.samples,
             "ok": self.ok,
             "breaches": self.breaches,
-            "windows": [
-                {"start": w.start_ts, "end": w.end_ts,
-                 "compliance": w.compliance, "burn_rate": w.burn_rate,
-                 "samples": w.samples, "breached": w.breached}
-                for w in self.windows
-            ],
+            "windows": [w.to_dict() for w in self.windows],
         }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, object]) -> "SLOResult":
+        """Inverse of :meth:`to_dict` (``ok``/``breaches`` are derived)."""
+        return cls(
+            spec=SLOSpec.from_dict(d["spec"]),                    # type: ignore[arg-type]
+            compliance=float(d["compliance"]),                    # type: ignore[arg-type]
+            samples=int(d["samples"]),                            # type: ignore[arg-type]
+            windows=[SLOWindow.from_dict(w) for w in d.get("windows", ())],  # type: ignore[union-attr]
+        )
 
 
 class SLOReport:
@@ -172,6 +227,11 @@ class SLOReport:
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready report."""
         return {"ok": self.ok, "slos": [r.to_dict() for r in self.results]}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, object]) -> "SLOReport":
+        """Inverse of :meth:`to_dict`; ``ok`` is re-derived from the rows."""
+        return cls([SLOResult.from_dict(r) for r in d.get("slos", ())])  # type: ignore[union-attr]
 
     def render(self) -> str:
         """The final compliance table, one row per objective."""

@@ -248,6 +248,83 @@ class SpanIndex:
                 out[seg.label] = out.get(seg.label, 0.0) + seg.dur
         return out
 
+    # ------------------------------------------------------------------ #
+    # stable JSON summaries (service / client consumption)
+    # ------------------------------------------------------------------ #
+    def tree_dict(self, trace_id: str) -> Optional[Dict[str, object]]:
+        """One trace's span tree as nested JSON-ready dicts.
+
+        Each node carries ``span_id``/``name``/``ts`` (+ ``dur`` when the
+        span has one) and its ``children`` in emit order.  Spans whose parent
+        never survived collection (ring eviction, kind filters) surface as
+        extra roots under a synthetic ``orphans`` list so nothing is silently
+        dropped.  Returns None for an unknown trace id.
+        """
+        span_ids = self.traces.get(trace_id)
+        if not span_ids:
+            return None
+        in_trace = set(span_ids)
+
+        def node(sid: str) -> Dict[str, object]:
+            r = self.spans[sid]
+            out: Dict[str, object] = {"span_id": sid, "name": r.name, "ts": r.ts}
+            if r.dur is not None:
+                out["dur"] = r.dur
+            out["children"] = [node(c) for c in self.children.get(sid, ())
+                               if c in in_trace]
+            return out
+
+        roots = [sid for sid in span_ids
+                 if self.spans[sid].parent_id is None]
+        orphans = [sid for sid in span_ids
+                   if self.spans[sid].parent_id is not None
+                   and self.spans[sid].parent_id not in self.spans]
+        term = self.terminal(trace_id)
+        return {
+            "trace_id": trace_id,
+            "spans": len(span_ids),
+            "complete": self.is_complete(trace_id),
+            "outcome": term.name if term is not None else None,
+            "roots": [node(sid) for sid in roots],
+            "orphans": [node(sid) for sid in orphans],
+        }
+
+    def critical_path_dict(self, trace_id: str) -> List[Dict[str, float]]:
+        """The critical path as JSON-ready segment rows (root → terminal)."""
+        return [{"label": seg.label, "start_ts": seg.start_ts,
+                 "end_ts": seg.end_ts, "dur": seg.dur}
+                for seg in self.critical_path(trace_id)]
+
+    def to_dict(self, prefix: str = "edge.", slowest_n: int = 5) -> Dict[str, object]:
+        """Whole-index summary: counts, completeness, latency breakdown.
+
+        The stable JSON the service's ``/api/spans`` endpoint returns — the
+        same facts the HTML report renders, consumable without scraping:
+        trace/span totals, causal completeness over ``prefix``-terminated
+        stories, the aggregate critical-path breakdown, and the ``slowest_n``
+        worst end-to-end requests with their full critical paths.
+        """
+        complete, total = self.completeness(prefix)
+        slowest = []
+        for tid in self.slowest(slowest_n, prefix):
+            term = self.terminal(tid)
+            path = self.critical_path_dict(tid)
+            total_s = (path[-1]["end_ts"] - path[0]["start_ts"]) if path else 0.0
+            slowest.append({
+                "trace_id": tid,
+                "outcome": term.name if term is not None else None,
+                "total_s": total_s,
+                "critical_path": path,
+            })
+        return {
+            "traces": len(self.traces),
+            "spans": len(self.spans),
+            "prefix": prefix,
+            "completeness": {"complete": complete, "total": total},
+            "aggregate_breakdown": self.aggregate_breakdown(prefix),
+            "slowest": slowest,
+        }
+
     def slowest(self, n: int = 5, prefix: str = "edge.") -> List[str]:
         """Trace ids of the ``n`` longest end-to-end stories (worst first)."""
         scored: List[Tuple[float, str]] = []

@@ -47,6 +47,7 @@ by kind, so reuse these when they fit.
 from __future__ import annotations
 
 import json
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -203,6 +204,20 @@ class Tracer:
         """All retained records, in emit order (spilled ones included)."""
         return iter(self.records)
 
+    def tail(self, n: int) -> List[TraceRecord]:
+        """The most recent ``n`` retained records, oldest first.
+
+        Non-destructive: unlike :meth:`iter_records` on the streaming
+        tracers, tailing neither flushes nor rewinds anything, so a live
+        consumer (the service layer's SSE feed) can poll it repeatedly while
+        the engine thread keeps emitting.  A list slice is atomic under the
+        GIL, so no lock is needed here; :class:`RingTracer` overrides this
+        with a locked copy because deque iteration is not.
+        """
+        if n < 1:
+            return []
+        return self.records[-n:]
+
     def __len__(self) -> int:
         return len(self.records)
 
@@ -287,6 +302,20 @@ class JsonlTracer(Tracer):
         self.flush()
         return iter(read_jsonl(self.path))
 
+    def tail(self, n: int) -> List[TraceRecord]:
+        """Most recent ``n`` records still buffered in memory, oldest first.
+
+        Non-destructive and disk-free: the slice covers only the unspilled
+        buffer (at most ``buffer_records`` entries), never triggers a flush,
+        and never reads the file back — so a live consumer can poll it while
+        the engine thread streams.  Right after a spill the buffer (and so
+        the tail) is briefly short; callers wanting the complete history use
+        :meth:`iter_records`.
+        """
+        if n < 1:
+            return []
+        return self.records[-n:]
+
     def clear(self) -> None:
         super().clear()
         self.spilled = 0
@@ -324,12 +353,41 @@ class RingTracer(Tracer):
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.records = deque(maxlen=capacity)  # type: ignore[assignment]
+        # deque iteration raises RuntimeError when the deque mutates under
+        # it, so cross-thread reads (tail, iter_records from the service
+        # layer) must copy under this lock while the engine thread appends
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # locks don't pickle; drop it and rebuild on the receiving side
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def _append(self, record: TraceRecord) -> None:
-        self.records.append(record)
+        with self._lock:
+            self.records.append(record)
+
+    def tail(self, n: int) -> List[TraceRecord]:
+        """Most recent ``n`` ring entries, oldest first; thread-safe copy."""
+        if n < 1:
+            return []
+        with self._lock:
+            records = list(self.records)
+        return records[-n:]
+
+    def iter_records(self) -> Iterator[TraceRecord]:
+        """Snapshot of the ring, in emit order (thread-safe copy)."""
+        with self._lock:
+            return iter(list(self.records))
 
     def clear(self) -> None:
-        self.records.clear()
+        with self._lock:
+            self.records.clear()
         self.total_emitted = 0
 
 

@@ -1,0 +1,30 @@
+"""Service mode: the simulation as a live digital twin behind HTTP.
+
+Everything the batch experiments compute, observable while it happens: one
+:class:`~repro.service.twin.DigitalTwin` drives a city step-wise on a
+background thread, a stdlib HTTP server exposes its state (REST), its
+telemetry (SSE) and its controls (request injection, scenario mutation,
+pause/resume/step) — with the hard guarantee that a served run is
+byte-identical to the equivalent scripted batch run (DESIGN.md §2.15).
+"""
+
+from repro.service.events import BusEvent, EventBus, Subscription, drain
+from repro.service.http import TwinServer, serve
+from repro.service.scenario import LiveScenario, ScenarioConfig, build_scenario
+from repro.service.twin import DigitalTwin, TwinConfig, TwinError, build_twin
+
+__all__ = [
+    "BusEvent",
+    "DigitalTwin",
+    "EventBus",
+    "LiveScenario",
+    "ScenarioConfig",
+    "Subscription",
+    "TwinConfig",
+    "TwinError",
+    "TwinServer",
+    "build_scenario",
+    "build_twin",
+    "drain",
+    "serve",
+]

@@ -1,0 +1,136 @@
+"""Live-scenario construction: a served city with F3-style workloads.
+
+The service drives the same city the F3 experiment runs — the defaults here
+reproduce :func:`repro.experiments.f3_three_flows.build` exactly — but every
+knob an operator would want to turn (city size, workload rates, duration) is
+a :class:`ScenarioConfig` field, so ``repro serve`` can boot anything from a
+smoke-test hamlet to a larger district grid.
+
+Construction order is load-bearing: RNG streams are created and consumed in
+the same sequence as the batch experiments, so a served run with default
+parameters is byte-identical to ``repro run F3`` (the determinism tests
+assert this through the pause/resume path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.scheduling.base import SaturationPolicy
+from repro.experiments.common import mid_month_start, small_city
+from repro.sim.calendar import DAY
+from repro.sim.rng import RngRegistry
+from repro.workloads.cloud import CloudJobConfig, CloudJobGenerator
+from repro.workloads.edge import EdgeWorkloadConfig, EdgeWorkloadGenerator
+from repro.workloads.heating import HeatingBehavior, HeatingRequestGenerator
+
+__all__ = ["LiveScenario", "ScenarioConfig", "build_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything that defines a served run; defaults mirror experiment F3."""
+
+    seed: int = 17
+    month: int = 1                     # mid-month start (winter default)
+    duration_days: float = 1.0
+    tail_days: float = 0.2             # drain window after the last arrival
+    n_districts: int = 2
+    buildings_per_district: int = 2
+    rooms_per_building: int = 3
+    dc_nodes: int = 8
+    edge_rate_per_hour: float = 60.0   # per building
+    cloud_rate_per_hour: float = 15.0  # city-wide
+    heating: bool = True
+
+    def __post_init__(self) -> None:
+        if self.duration_days <= 0:
+            raise ValueError(f"duration_days must be > 0, got {self.duration_days}")
+        if self.tail_days < 0:
+            raise ValueError(f"tail_days must be >= 0, got {self.tail_days}")
+        if not 1 <= self.month <= 12:
+            raise ValueError(f"month must be in 1..12, got {self.month}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable JSON view (the service's ``/api/state`` scenario block)."""
+        return {
+            "seed": self.seed,
+            "month": self.month,
+            "duration_days": self.duration_days,
+            "tail_days": self.tail_days,
+            "n_districts": self.n_districts,
+            "buildings_per_district": self.buildings_per_district,
+            "rooms_per_building": self.rooms_per_building,
+            "dc_nodes": self.dc_nodes,
+            "edge_rate_per_hour": self.edge_rate_per_hour,
+            "cloud_rate_per_hour": self.cloud_rate_per_hour,
+            "heating": self.heating,
+        }
+
+
+@dataclass
+class LiveScenario:
+    """A built, injected, ready-to-run city plus its run window."""
+
+    config: ScenarioConfig
+    mw: object                       # DF3Middleware
+    t0: float
+    t1: float                        # last scheduled arrival boundary
+    t_end: float                     # t1 + tail (run horizon)
+    workloads: Dict[str, List] = field(default_factory=dict)
+
+    @property
+    def submitted(self) -> Dict[str, int]:
+        """Per-flow count of pre-injected requests."""
+        return {flow: len(reqs) for flow, reqs in self.workloads.items()}
+
+
+def build_scenario(config: Optional[ScenarioConfig] = None, obs=None) -> LiveScenario:
+    """Build the city, generate all three flows, inject them.
+
+    With a default ``config`` this is operation-for-operation the F3 build:
+    same city, same RNG stream names, same generator order — which is what
+    makes the served run comparable against the golden batch fixture.
+    """
+    cfg = config if config is not None else ScenarioConfig()
+    t0 = mid_month_start(cfg.month)
+    t1 = t0 + cfg.duration_days * DAY
+    mw = small_city(
+        seed=cfg.seed, start_time=t0,
+        saturation_policy=SaturationPolicy.PREEMPT,
+        n_districts=cfg.n_districts,
+        buildings_per_district=cfg.buildings_per_district,
+        rooms_per_building=cfg.rooms_per_building,
+        dc_nodes=cfg.dc_nodes,
+        obs=obs,
+    )
+    rngs = RngRegistry(cfg.seed)
+
+    heating: List = []
+    if cfg.heating:
+        for bname, building in mw.buildings.items():
+            gen = HeatingRequestGenerator(
+                rngs.stream(f"heat-{bname}"),
+                rooms=[r.name for r in building.rooms],
+                behavior=HeatingBehavior.INCENTIVIZED,
+            )
+            heating.extend(gen.generate(t0, t1))
+    edge: List = []
+    for bname in mw.buildings:
+        gen = EdgeWorkloadGenerator(
+            rngs.stream(f"edge-{bname}"), source=bname,
+            config=EdgeWorkloadConfig(rate_per_hour=cfg.edge_rate_per_hour),
+        )
+        edge.extend(gen.generate(t0, t1))
+    cloud = CloudJobGenerator(
+        rngs.stream("cloud"), CloudJobConfig(rate_per_hour=cfg.cloud_rate_per_hour)
+    ).generate(t0, t1)
+
+    mw.inject(heating)
+    mw.inject(edge)
+    mw.inject(cloud)
+    return LiveScenario(
+        config=cfg, mw=mw, t0=t0, t1=t1, t_end=t1 + cfg.tail_days * DAY,
+        workloads={"heating": heating, "edge": edge, "cloud": cloud},
+    )

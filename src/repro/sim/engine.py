@@ -292,6 +292,59 @@ class Engine:
             self._events_executed += 1
         self.now = float(horizon)
 
+    def step_until(self, horizon: float, max_events: Optional[int] = None) -> int:
+        """Execute events with ``time <= horizon``, up to ``max_events`` of them.
+
+        The pausable form of :meth:`run_until`: it returns the number of
+        callbacks executed, and only advances ``now`` to ``horizon`` once
+        every due event has run — when the event budget is exhausted first,
+        ``now`` stays at the last executed event's time so a later call (or
+        a plain :meth:`run_until`) resumes exactly where this one stopped.
+
+        Determinism contract (DESIGN.md §2.15): any sequence of
+        ``step_until`` calls that reaches ``horizon`` executes the same
+        events, in the same order, with the same ``now`` at each dispatch,
+        as one ``run_until(horizon)`` — pausing is unobservable to the model.
+        """
+        if horizon < self.now:
+            raise SimulationError(f"horizon {horizon} is before now={self.now}")
+        if max_events is not None and max_events < 0:
+            raise SimulationError(f"max_events must be >= 0, got {max_events}")
+        instrumented = self.tracer is not None or self.profiler is not None
+        executed = 0
+        while self._heap and self._heap[0][0] <= horizon:
+            if max_events is not None and executed >= max_events:
+                return executed
+            ev = heapq.heappop(self._heap)[3]
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            if instrumented:
+                self._dispatch_instrumented(ev)
+            else:
+                ev.callback()
+            self._events_executed += 1
+            executed += 1
+        self.now = float(horizon)
+        return executed
+
+    def iter_run(self, horizon: float, max_events: int = 1000):
+        """Generator-style ticking: drive to ``horizon`` in bounded batches.
+
+        Yields ``(now, executed)`` after each batch of at most ``max_events``
+        dispatched callbacks; the consumer may pause arbitrarily long between
+        ``next()`` calls (or interleave reads of engine state) and the run
+        stays byte-identical to one :meth:`run_until` call — this is the
+        engine/IO split the service layer is built on.
+        """
+        if max_events < 1:
+            raise SimulationError(f"max_events must be >= 1, got {max_events}")
+        while True:
+            executed = self.step_until(horizon, max_events=max_events)
+            yield self.now, executed
+            if executed < max_events:
+                return
+
     def step(self) -> bool:
         """Execute the single next event.  Returns False if the queue is empty."""
         while self._heap:

@@ -104,6 +104,8 @@ class Weather:
             noise[i] = phi * noise[i - 1] + eps[i]
         self._noise = noise
         self._noise_times = np.arange(n) * self._noise_dt
+        # live-scenario forcing (cold snap / heat wave); 0.0 = untouched signal
+        self._override_delta_c = 0.0
 
     # ------------------------------------------------------------------ #
     def _check(self, t: np.ndarray) -> None:
@@ -124,12 +126,28 @@ class Weather:
         diurnal = cfg.diurnal_amplitude_c * np.cos(2 * np.pi * (hod - cfg.warmest_hour) / 24.0)
         return cfg.annual_mean_c + annual + diurnal
 
+    def set_override(self, delta_c: float) -> None:
+        """Additive forcing on :meth:`outdoor_temperature` (live scenarios).
+
+        A positive delta is a heat wave, a negative one a cold snap.  When the
+        override is 0.0 (the default) the addition is skipped entirely, so
+        batch runs that never touch it stay byte-identical.
+        """
+        self._override_delta_c = float(delta_c)
+
+    @property
+    def override_delta_c(self) -> float:
+        """Current additive forcing (°C); 0.0 when unset."""
+        return self._override_delta_c
+
     def outdoor_temperature(self, t):
         """Outdoor temperature (°C) at time(s) ``t`` (scalar or array)."""
         arr = np.asarray(t, dtype=float)
         self._check(arr)
         noise = np.interp(arr, self._noise_times, self._noise)
         out = self.seasonal_component(arr) + noise
+        if self._override_delta_c != 0.0:
+            out = out + self._override_delta_c
         return float(out) if np.isscalar(t) or arr.ndim == 0 else out
 
     def solar_irradiance(self, t):

@@ -1,0 +1,146 @@
+"""Stable JSON serialisation: SLO tables and span summaries round-trip.
+
+The service's REST endpoints hand these dicts to arbitrary clients, so the
+shapes are contracts: JSON-native values only, and ``from_dict(to_dict(x))``
+reconstructs the object exactly.
+"""
+
+import json
+import math
+
+from repro.obs.slo import (
+    SLOEngine,
+    SLOReport,
+    SLOResult,
+    SLOSpec,
+    SLOWindow,
+    default_slos,
+)
+from repro.obs.span import SpanIndex
+from repro.obs.trace import TraceRecord
+
+
+def _edge_story(trace_id: str, t: float, slow: bool = False):
+    """One complete edge request story: received → scheduled → completed."""
+    dur = 8.0 if slow else 0.5
+    return [
+        TraceRecord(ts=t, kind="request", name="edge.received",
+                    trace_id=trace_id, span_id=f"{trace_id}-a"),
+        TraceRecord(ts=t + 0.1, kind="request", name="edge.scheduled",
+                    trace_id=trace_id, span_id=f"{trace_id}-b",
+                    parent_id=f"{trace_id}-a"),
+        TraceRecord(ts=t + dur, kind="request", name="edge.completed",
+                    dur=dur, trace_id=trace_id, span_id=f"{trace_id}-c",
+                    parent_id=f"{trace_id}-b",
+                    args={"deadline_met": not slow}),
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# SLO objects
+# ---------------------------------------------------------------------- #
+def test_slo_spec_round_trip():
+    for spec in default_slos():
+        d = spec.to_dict()
+        json.loads(json.dumps(d, sort_keys=True))
+        assert SLOSpec.from_dict(d) == spec
+
+
+def test_slo_window_round_trip():
+    w = SLOWindow(start_ts=0.0, end_ts=3600.0, compliance=0.875,
+                  burn_rate=1.25, samples=8)
+    d = w.to_dict()
+    assert d["breached"] is True        # derived, exported for clients
+    assert SLOWindow.from_dict(d) == w
+    assert SLOWindow.from_dict(json.loads(json.dumps(d))) == w
+
+
+def test_slo_result_and_report_round_trip():
+    records = []
+    for i in range(40):
+        records.extend(_edge_story(f"e{i}", 100.0 * i, slow=(i % 5 == 0)))
+    report = SLOEngine().evaluate(records)
+    d = report.to_dict()
+    blob = json.dumps(d, sort_keys=True)            # JSON-native throughout
+    rebuilt = SLOReport.from_dict(json.loads(blob))
+    assert rebuilt.ok == report.ok
+    assert len(rebuilt.results) == len(report.results)
+    for mine, theirs in zip(rebuilt.results, report.results):
+        assert mine.spec == theirs.spec
+        assert mine.samples == theirs.samples
+        assert mine.windows == theirs.windows
+        # nan-compliance (no data) survives the trip as nan
+        if math.isnan(theirs.compliance):
+            assert math.isnan(mine.compliance)
+        else:
+            assert mine.compliance == theirs.compliance
+    # a second round trip is the identity: the format is stable
+    assert json.dumps(rebuilt.to_dict(), sort_keys=True) == blob
+
+
+def test_slo_result_dict_keeps_legacy_flat_fields():
+    records = []
+    for i in range(10):
+        records.extend(_edge_story(f"e{i}", 50.0 * i))
+    row = SLOEngine().evaluate(records).to_dict()["slos"][0]
+    # pre-service consumers read these flat keys; they must not disappear
+    for key in ("name", "flow", "target", "compliance", "ok", "windows"):
+        assert key in row
+    assert row["spec"]["name"] == row["name"]
+
+
+# ---------------------------------------------------------------------- #
+# span summaries
+# ---------------------------------------------------------------------- #
+def _index():
+    records = []
+    for i in range(6):
+        records.extend(_edge_story(f"t{i}", 10.0 * i, slow=(i == 3)))
+    # an orphan: parent span never captured (ring eviction)
+    records.append(TraceRecord(ts=99.0, kind="request", name="edge.completed",
+                               dur=0.2, trace_id="t-orphan",
+                               span_id="o-1", parent_id="evicted"))
+    return SpanIndex(records)
+
+
+def test_span_index_to_dict_shape_and_json():
+    idx = _index()
+    d = idx.to_dict(prefix="edge.", slowest_n=2)
+    json.loads(json.dumps(d, sort_keys=True))
+    assert d["traces"] == 7 and d["spans"] == 19
+    assert d["completeness"]["total"] == 7
+    assert d["completeness"]["complete"] == 6     # the orphan is incomplete
+    assert set(d["aggregate_breakdown"]) >= {"received→scheduled"}
+    assert len(d["slowest"]) == 2
+    worst = d["slowest"][0]
+    assert worst["trace_id"] == "t3" and worst["outcome"] == "edge.completed"
+    assert worst["critical_path"][-1]["label"].endswith("completed")
+    assert worst["total_s"] > 0
+
+
+def test_span_tree_dict_nests_children_and_flags_orphans():
+    idx = _index()
+    tree = idx.tree_dict("t0")
+    assert tree["complete"] and tree["outcome"] == "edge.completed"
+    assert len(tree["roots"]) == 1 and tree["orphans"] == []
+    root = tree["roots"][0]
+    assert root["name"] == "edge.received"
+    assert root["children"][0]["name"] == "edge.scheduled"
+    assert root["children"][0]["children"][0]["name"] == "edge.completed"
+    assert root["children"][0]["children"][0]["dur"] == 0.5
+
+    orphaned = idx.tree_dict("t-orphan")
+    assert orphaned["roots"] == []
+    assert [n["name"] for n in orphaned["orphans"]] == ["edge.completed"]
+    assert not orphaned["complete"]
+
+    assert idx.tree_dict("no-such-trace") is None
+
+
+def test_critical_path_dict_matches_segments():
+    idx = _index()
+    rows = idx.critical_path_dict("t1")
+    segs = idx.critical_path("t1")
+    assert [r["label"] for r in rows] == [s.label for s in segs]
+    assert all(r["dur"] == s.dur for r, s in zip(rows, segs))
+    json.loads(json.dumps(rows))

@@ -1,0 +1,162 @@
+"""Streaming hygiene: non-destructive tails, snapshot-under-mutation safety.
+
+The service layer reads tracer tails and metrics snapshots from IO threads
+while the engine thread keeps emitting.  These are the regression tests for
+the two crashes that makes possible: deque/dict mutation during iteration
+(``RuntimeError``) and inconsistent histogram reductions.
+"""
+
+import threading
+import time
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import JsonlTracer, RingTracer, Tracer
+
+
+def _emit(tr, i) -> None:
+    tr.emit("request", f"r{i}", float(i))
+
+
+# ---------------------------------------------------------------------- #
+# tail() is non-destructive on every tracer flavour
+# ---------------------------------------------------------------------- #
+def test_tracer_tail_returns_last_n_without_consuming():
+    tr = Tracer()
+    for i in range(10):
+        _emit(tr, i)
+    tail = tr.tail(3)
+    assert [r.ts for r in tail] == [7.0, 8.0, 9.0]
+    assert len(tr) == 10            # nothing consumed
+    assert tr.tail(0) == [] and tr.tail(-1) == []
+    assert [r.ts for r in tr.tail(99)] == [float(i) for i in range(10)]
+
+
+def test_ring_tracer_tail_respects_eviction():
+    tr = RingTracer(capacity=4)
+    for i in range(10):
+        _emit(tr, i)
+    assert [r.ts for r in tr.tail(99)] == [6.0, 7.0, 8.0, 9.0]
+    assert tr.total_emitted == 10 and len(tr) == 4
+
+
+def test_jsonl_tracer_tail_never_touches_disk(tmp_path):
+    path = tmp_path / "t.jsonl"
+    tr = JsonlTracer(path, buffer_records=4)
+    for i in range(10):
+        _emit(tr, i)
+    before = path.read_bytes() if path.exists() else b""
+    tail = tr.tail(2)
+    assert [r.ts for r in tail] == [8.0, 9.0]
+    after = path.read_bytes() if path.exists() else b""
+    assert before == after          # tail is read-only: no flush, no reread
+
+
+def test_ring_tracer_tail_while_another_thread_emits():
+    """The deque-mutation crash: iterating a deque while a writer appends
+    raises RuntimeError without the tracer's internal lock."""
+    tr = RingTracer(capacity=256)
+    stop = threading.Event()
+    errors = []
+
+    def writer():
+        i = 0
+        while not stop.is_set():
+            _emit(tr, i)
+            i += 1
+
+    def reader():
+        deadline = time.monotonic() + 1.5
+        try:
+            while time.monotonic() < deadline:
+                tail = tr.tail(64)
+                assert len(tail) <= 64
+                list(tr.iter_records())
+        except RuntimeError as exc:  # pragma: no cover - the regression
+            errors.append(exc)
+
+    w = threading.Thread(target=writer)
+    r = threading.Thread(target=reader)
+    w.start(); r.start()
+    r.join(timeout=60)
+    stop.set()
+    w.join(timeout=10)
+    assert not errors, f"concurrent tail raised: {errors[:1]}"
+
+
+# ---------------------------------------------------------------------- #
+# metrics snapshots under concurrent mutation
+# ---------------------------------------------------------------------- #
+def test_registry_snapshot_while_another_thread_registers():
+    """The dict-mutation crash: snapshotting while new series register."""
+    reg = MetricsRegistry()
+    stop = threading.Event()
+    errors = []
+
+    def writer():
+        i = 0
+        while not stop.is_set():
+            # fresh label sets keep the series *dict* growing (the hazard
+            # under test); modulo keeps histogram sizes bounded so snapshot
+            # sorting stays cheap
+            reg.counter("reqs", shard=i % 997).inc()
+            reg.histogram("lat", shard=i % 89).observe(float(i % 1000))
+            i += 1
+
+    def reader():
+        deadline = time.monotonic() + 1.5
+        try:
+            while time.monotonic() < deadline:
+                snap = reg.snapshot()
+                for value in snap.values():
+                    if isinstance(value, dict) and value["count"]:
+                        # one atomic copy: count, sum and percentiles all
+                        # describe the same observation set
+                        assert value["count"] >= 1
+                        assert value["min"] <= value["mean"] <= value["max"]
+        except RuntimeError as exc:  # pragma: no cover - the regression
+            errors.append(exc)
+
+    w = threading.Thread(target=writer)
+    r = threading.Thread(target=reader)
+    w.start(); r.start()
+    r.join(timeout=60)
+    stop.set()
+    w.join(timeout=10)
+    assert not errors, f"concurrent snapshot raised: {errors[:1]}"
+
+
+def test_histogram_snapshot_is_internally_consistent_mid_stream():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    for i in range(100):
+        h.observe(float(i))
+    snap = h.snapshot()
+    assert snap["count"] == 100
+    assert snap["sum"] == sum(float(i) for i in range(100))  # emit-order sum
+    assert snap["min"] == 0.0 and snap["max"] == 99.0
+    assert snap["p50"] == 49.5
+
+
+def test_merge_while_source_still_registers():
+    src = MetricsRegistry()
+    for i in range(50):
+        src.counter("c", k=i).inc(i)
+    stop = threading.Event()
+
+    def writer():
+        i = 50
+        while not stop.is_set():
+            src.counter("c", k=i % 5000).inc()   # bounded series count
+            i += 1
+
+    w = threading.Thread(target=writer)
+    w.start()
+    try:
+        dst = MetricsRegistry()
+        for _ in range(20):
+            dst.clear()
+            dst.merge(src)          # must not raise dict-changed-size
+        assert len(dst) >= 50
+    finally:
+        stop.set()
+        w.join(timeout=10)

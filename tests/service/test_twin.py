@@ -1,0 +1,170 @@
+"""DigitalTwin: lifecycle, control API, command queue, telemetry, views."""
+
+import pytest
+
+from repro.core.requests import EdgeRequest, reset_ids
+from repro.sim.calendar import HOUR
+from repro.service import ScenarioConfig, TwinConfig, TwinError, build_twin
+
+
+def tiny_twin(**twin_kwargs) -> object:
+    """A twin over a few sim-hours — fast enough for unit tests."""
+    cfg = dict(slice_s=300.0, telemetry_every_s=600.0)
+    cfg.update(twin_kwargs)
+    return build_twin(ScenarioConfig(duration_days=0.05, tail_days=0.01),
+                      TwinConfig(**cfg))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_request_ids():
+    reset_ids()
+    yield
+
+
+def test_runs_to_completion_and_publishes_lifecycle():
+    twin = tiny_twin()
+    sub = twin.bus.subscribe()
+    twin.start()
+    assert twin.join(timeout=60)
+    assert twin.finished and twin.now == twin.scenario.t_end
+    kinds = set()
+    while not sub.events.empty():
+        kinds.add(sub.events.get_nowait().kind)
+    assert {"run.started", "state", "metrics", "run.finished"} <= kinds
+    twin.stop()
+
+
+def test_start_twice_rejected():
+    twin = tiny_twin(start_paused=True)
+    twin.start()
+    with pytest.raises(TwinError):
+        twin.start()
+    twin.stop()
+
+
+def test_pause_resume_step():
+    twin = tiny_twin(start_paused=True)
+    twin.start()
+    t0 = twin.now
+    assert twin.paused
+    # step advances exactly dt on the engine thread
+    now = twin.step(600.0)
+    assert now == t0 + 600.0 and twin.now == t0 + 600.0
+    # step requires a paused twin
+    twin.resume()
+    assert twin.join(timeout=60)
+    with pytest.raises(TwinError):
+        twin.step(60.0)
+    twin.stop()
+
+
+def test_pause_at_holds_at_exact_sim_time():
+    twin = tiny_twin(start_paused=True)
+    target = twin.scenario.t0 + HOUR  # inside the 0.06-sim-day horizon
+    twin.pause_at(target)
+    twin.start()
+    twin.resume()
+    deadline = 30.0
+    import time
+    end = time.monotonic() + deadline
+    while not twin.paused and time.monotonic() < end:
+        time.sleep(0.01)
+    assert twin.paused and twin.now == target
+    twin.resume()
+    assert twin.join(timeout=60)
+    twin.stop()
+
+
+def test_command_in_the_past_rejected():
+    twin = tiny_twin(start_paused=True)
+    twin.start()
+    with pytest.raises(TwinError):
+        twin.submit("x", lambda mw: None, at=twin.now - 1.0)
+    twin.stop()
+
+
+def test_command_after_finish_rejected():
+    twin = tiny_twin()
+    twin.start()
+    assert twin.join(timeout=60)
+    with pytest.raises(TwinError):
+        twin.submit("late", lambda mw: None)
+    twin.stop()
+
+
+def test_command_error_propagates_to_caller():
+    twin = tiny_twin(start_paused=True)
+    twin.start()
+
+    def boom(mw):
+        raise ValueError("scenario said no")
+
+    with pytest.raises(ValueError, match="scenario said no"):
+        twin.submit("boom", boom, wait=10.0)
+    # the engine thread survives a failed command
+    twin.resume()
+    assert twin.join(timeout=60)
+    twin.stop()
+
+
+def test_inject_request_object_and_factory():
+    twin = tiny_twin(start_paused=True)
+    twin.start()
+    at = twin.now + HOUR
+    source = next(iter(twin.mw.buildings))
+    req = EdgeRequest(cycles=1e8, time=at, deadline_s=30.0, source=source)
+    # pinned in the future: stays queued until the engine reaches `at`
+    cmd = twin.inject_request(req, "edge", at=at)
+    assert not cmd.done.is_set()
+
+    twin.inject_request(
+        lambda now: EdgeRequest(cycles=1e8, time=now, deadline_s=30.0,
+                                source=source),
+        "edge", wait=10.0)
+    assert twin.injected["edge"] == 1  # factory one applied immediately
+    twin.resume()
+    assert twin.join(timeout=60)
+    assert twin.injected["edge"] == 2  # pinned one applied at its time
+    assert cmd.done.is_set() and cmd.result == req.request_id
+    twin.stop()
+
+
+def test_scenario_mutations_apply_on_engine_thread():
+    twin = tiny_twin(start_paused=True)
+    twin.start()
+    twin.set_weather_override(-7.5, wait=10.0)
+    twin.set_grid_cap(2000.0, wait=10.0)
+    killed = twin.kill_district(0, wait=10.0)
+    assert twin.mw.weather.override_delta_c == -7.5
+    assert twin.mw.smartgrid.grid_cap_w == 2000.0
+    assert killed.result["district"] == 0
+    assert len(killed.result["servers_killed"]) == 6
+    assert not twin.mw.edge_gateways[0].master_up
+    twin.resume()
+    assert twin.join(timeout=60)
+    twin.stop()
+
+
+def test_read_views_are_json_shaped():
+    import json
+
+    twin = tiny_twin()
+    twin.start()
+    assert twin.join(timeout=60)
+    state = twin.state_dict()
+    assert state["finished"] and 0.999 <= state["progress"] <= 1.0
+    fleet = twin.fleet_dict()
+    assert len(fleet["districts"]) == 2
+    assert fleet["edge_completed"] > 0
+    servers = twin.servers_dict()
+    assert len(servers) == 12
+    assert all(s["cores"] >= s["busy_cores"] for s in servers)
+    slo = twin.slo_dict()
+    assert {r["name"] for r in slo["slos"]} >= {"edge-deadline"}
+    spans = twin.spans_dict()
+    assert spans["traces"] > 0
+    # every view must survive strict JSON round-tripping
+    for view in (state, fleet, {"s": servers}, slo, spans,
+                 twin.metrics_dict(), twin.trace_tail_dict()):
+        json.loads(json.dumps(view, sort_keys=True))
+    twin.stop()
