@@ -2,16 +2,25 @@
 
 Besides the shape assertions, this benchmark emits
 ``benchmarks/results/BENCH_resilience.json`` — per (MTBF, policy):
-served-in-deadline rate, wasted cycles and detection-latency p50/p99 — which
-CI uploads as the ``resilience-bench`` artifact.
+served-in-deadline rate, wasted cycles split by attribution (losing-clone
+work vs crash redo) and detection-latency p50/p99, plus the per-level
+waste-vs-deadline **Pareto frontier** — which CI uploads as the
+``resilience-bench`` artifact.
+
+The frontier is not just recorded, it is *asserted*: at benign churn
+(mtbf=24h) the adaptive policy engine must serve at least the checkpoint
+bundle's deadline rate, reach >= 99.9% served-in-deadline, and do it at
+under 10% of legacy first-completion cloning's wasted gigacycles — the
+acceptance bar of the policy-engine PR.
 """
 
 import json
 from pathlib import Path
 
+import pytest
 from conftest import RESULTS_DIR, record, run_once
 
-from repro.experiments.a6_churn import BUNDLES, run
+from repro.experiments.a6_churn import BUNDLES, MTBF_LEVELS_S, run
 
 
 def test_a6_churn(benchmark):
@@ -34,12 +43,38 @@ def test_a6_churn(benchmark):
     assert worst["checkpoint"]["wasted_gcycles"] < 0.1 * worst["none"]["wasted_gcycles"]
 
     # detection is never omniscient: latency within (timeout-interval, timeout]
-    for level in d.values():
-        for cell in level.values():
+    for label in MTBF_LEVELS_S:  # d also carries the "pareto" frontier key
+        for cell in d[label].values():
             assert 1.5 < cell["detect_p50_s"] <= cell["detect_p99_s"] <= 2.5
+            # the waste split is exhaustive: clone + failure = total
+            assert cell["wasted_gcycles"] == pytest.approx(
+                cell["clone_waste_gcycles"] + cell["failure_waste_gcycles"],
+                rel=1e-9)
+
+    # synchronized-service cloning: zero losing-clone work at every level
+    for label in MTBF_LEVELS_S:
+        assert d[label]["clone-cs"]["clone_waste_gcycles"] == 0.0
+        assert d[label]["adaptive"]["clone_waste_gcycles"] == 0.0
+        # ...while legacy first-completion cloning burns real cycles
+        assert d[label]["clone"]["clone_waste_gcycles"] > 0.0
 
     # gentler churn, better service for every bundle
     assert d["mtbf=24h"]["none"]["served_rate"] > d["mtbf=2h"]["none"]["served_rate"]
+
+    # ---- Pareto dominance: the policy-engine acceptance bar ------------- #
+    benign = d["mtbf=24h"]
+    adaptive, clone, ckpt = (benign["adaptive"], benign["clone"],
+                             benign["checkpoint"])
+    assert adaptive["served_rate"] >= 0.999
+    assert adaptive["served_rate"] >= ckpt["served_rate"]
+    assert adaptive["wasted_gcycles"] <= 0.10 * clone["wasted_gcycles"]
+    front = d["pareto"]["mtbf=24h"]
+    assert front, "empty Pareto frontier"
+    assert "adaptive" in front
+    assert "clone" not in front  # dominated: same cover, far more waste
+    for label in MTBF_LEVELS_S:  # frontier members are genuinely undominated
+        for p in d["pareto"][label]:
+            assert p in BUNDLES
 
     # ---- machine-readable artifact for CI ------------------------------- #
     bench = {
@@ -47,19 +82,25 @@ def test_a6_churn(benchmark):
         "seed": 101,
         "policies": list(BUNDLES),
         "levels": {
-            level: {
+            label: {
                 policy: {
                     "served_in_deadline_rate": cell["served_rate"],
                     "wasted_gcycles": cell["wasted_gcycles"],
+                    "clone_waste_gcycles": cell["clone_waste_gcycles"],
+                    "failure_waste_gcycles": cell["failure_waste_gcycles"],
                     "detection_latency_p50_s": cell["detect_p50_s"],
                     "detection_latency_p99_s": cell["detect_p99_s"],
                     "cloud_done": cell["cloud_done"],
                     "server_failures": cell["server_failures"],
+                    "clones": cell["clones"],
+                    "clone_skips": cell["clone_skips"],
+                    "policy_switches": cell["policy_switches"],
                 }
-                for policy, cell in cells.items()
+                for policy, cell in d[label].items()
             }
-            for level, cells in d.items()
+            for label in MTBF_LEVELS_S
         },
+        "pareto_frontier": d["pareto"],
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     out = Path(RESULTS_DIR) / "BENCH_resilience.json"

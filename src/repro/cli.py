@@ -120,7 +120,8 @@ def _registry() -> Dict[str, Tuple[str, Callable]]:
         "A3": ("Extension: crypto-heater economics", a3_crypto_heater.run),
         "A4": ("Extension: demand response", a4_demand_response.run),
         "A5": ("Extension: seasonal SLAs + planning", a5_seasonal_sla.run),
-        "A6": ("Extension: recovery policies under churn", a6_churn.run),
+        "A6": ("Extension: recovery policy Pareto frontier under churn",
+               a6_churn.run),
     }
 
 

@@ -763,9 +763,8 @@ class DF3Middleware:
         if direct_target is not None:
             target = self.clusters[d].worker(direct_target)
         if (target is None and self.resilience is not None
-                and self.resilience.wants_clone(req)):
-            self.resilience.submit_cloned(req, d)
-            return
+                and self.resilience.maybe_clone(req, d)):
+            return  # submitted as a clone pair (policy engine said yes)
         self.edge_gateways[d].submit(req, direct_target=target)
 
     # ------------------------------------------------------------------ #

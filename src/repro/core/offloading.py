@@ -228,6 +228,12 @@ class Offloader:
             req.status = RequestStatus.RUNNING
             req.started_at = self.engine.now
             req.executed_on = f"{self.datacenter.name}"
+            if is_edge:
+                group = req.__dict__.get("_clone_group")
+                if group is not None:
+                    # cancel-on-start: a datacenter placement counts as the
+                    # sibling-cancelling start just like a Q.rad placement
+                    group.on_start(req)
             self.datacenter.submit(
                 Task(
                     task_id=req.request_id,

@@ -12,11 +12,15 @@ failures.  This package makes both testable at city scale:
 * :mod:`~repro.core.resilience.detector` —
   :class:`HeartbeatFailureDetector`, analytic heartbeat-timeout detection;
 * :mod:`~repro.core.resilience.recovery` — :class:`RecoveryRuntime` wiring
-  retries, speculative clones, checkpoints, master failover and
-  store-and-forward into the middleware; :class:`ResilienceLog` for reports.
+  retries, speculative clones (cancel-on-completion or cancel-on-start,
+  load-gated), checkpoints, master failover and store-and-forward into the
+  middleware; :class:`ResilienceLog` for reports;
+* :mod:`~repro.core.resilience.policy` — :class:`PolicyController`, adaptive
+  per-flow policy selection from measured detection latency and rolling
+  utilisation, deterministic under a fixed seed.
 
 Experiment ``A6`` (:mod:`repro.experiments.a6_churn`) compares the recovery
-bundles across MTBF levels.
+bundles across MTBF levels and reports the waste-vs-deadline Pareto frontier.
 """
 
 from repro.core.resilience.churn import ChurnModel
@@ -27,6 +31,7 @@ from repro.core.resilience.config import (
     ResilienceConfig,
 )
 from repro.core.resilience.detector import HeartbeatFailureDetector
+from repro.core.resilience.policy import PolicyController
 from repro.core.resilience.recovery import CloneGroup, RecoveryRuntime, ResilienceLog
 
 __all__ = [
@@ -35,6 +40,7 @@ __all__ = [
     "CloneGroup",
     "DetectorConfig",
     "HeartbeatFailureDetector",
+    "PolicyController",
     "RecoveryConfig",
     "RecoveryRuntime",
     "ResilienceConfig",

@@ -114,6 +114,20 @@ class RecoveryConfig:
     #: peer district; first completion wins, the loser is cancelled
     clone: bool = False
     clone_deadline_threshold_s: float = 10.0
+    #: when the loser is cancelled: "completion" (first completion wins, the
+    #: legacy discipline) or "start" (synchronized-service cloning — the
+    #: sibling is cancelled the instant any member begins execution, so at
+    #: most one copy ever burns cycles)
+    clone_cancel_on: str = "completion"
+    #: spawn a clone only while the *peer* district (the clone's target) has
+    #: paying utilisation (filler excluded — filler is displaced instantly)
+    #: at or below this threshold: a loaded peer makes the copy pure added
+    #: load (PS-model), a loaded home is when the race helps most;
+    #: 1.0 = always spawn (legacy)
+    clone_max_utilisation: float = 1.0
+    #: spawn a clone only while the peer district's edge queue is at or below
+    #: this depth; negative = no gate (legacy)
+    clone_max_queue_depth: int = -1
     #: periodically checkpoint running cloud tasks so crash salvage restarts
     #: from the last checkpoint instead of from scratch
     checkpoint: bool = False
@@ -123,6 +137,23 @@ class RecoveryConfig:
     failover_takeover_s: float = 5.0
     #: buffer vertical offloads during WAN partitions, drain on heal
     store_and_forward: bool = False
+    #: run the adaptive :class:`~repro.core.resilience.policy.PolicyController`:
+    #: a periodic process re-picks retry/clone per flow class from measured
+    #: detection latency and rolling utilisation (with hysteresis, so the
+    #: choice sequence is deterministic under a fixed seed)
+    adaptive: bool = False
+    adaptive_eval_interval_s: float = 60.0
+    #: hysteresis band on rolling city utilisation: cloning for the tight
+    #: class switches OFF above ``adaptive_util_high`` and back ON below
+    #: ``adaptive_util_low``.  This is a coarse near-saturation backstop —
+    #: the per-spawn ``clone_max_utilisation`` gate on the peer district does
+    #: the fine-grained PS-model work — so the band sits high by default
+    adaptive_util_high: float = 0.92
+    adaptive_util_low: float = 0.80
+    #: minimum seconds between two policy switches of one flow class
+    adaptive_min_dwell_s: float = 300.0
+    #: utilisation samples in the rolling mean (one per eval tick)
+    adaptive_window: int = 5
 
     def __post_init__(self) -> None:
         if self.retry_max_attempts < 0:
@@ -131,10 +162,25 @@ class RecoveryConfig:
             raise ValueError("backoff and jitter must be >= 0")
         if self.clone_deadline_threshold_s <= 0:
             raise ValueError("clone deadline threshold must be > 0")
+        if self.clone_cancel_on not in ("completion", "start"):
+            raise ValueError(
+                f"clone_cancel_on must be 'completion' or 'start', "
+                f"got {self.clone_cancel_on!r}")
+        if not 0.0 <= self.clone_max_utilisation <= 1.0:
+            raise ValueError("clone_max_utilisation must be in [0, 1]")
         if self.checkpoint_interval_s <= 0:
             raise ValueError("checkpoint interval must be > 0")
         if self.failover_takeover_s < 0:
             raise ValueError("failover takeover time must be >= 0")
+        if self.adaptive_eval_interval_s <= 0:
+            raise ValueError("adaptive eval interval must be > 0")
+        if not 0.0 <= self.adaptive_util_low <= self.adaptive_util_high <= 1.0:
+            raise ValueError("need 0 <= adaptive_util_low <= "
+                             "adaptive_util_high <= 1")
+        if self.adaptive_min_dwell_s < 0:
+            raise ValueError("adaptive_min_dwell_s must be >= 0")
+        if self.adaptive_window < 1:
+            raise ValueError("adaptive_window must be >= 1")
 
     @classmethod
     def none(cls) -> "RecoveryConfig":
@@ -146,6 +192,21 @@ class RecoveryConfig:
         """Every policy armed (the 'all' bundle of experiment A6)."""
         base = dict(retry=True, clone=True, checkpoint=True, failover=True,
                     store_and_forward=True)
+        base.update(overrides)
+        return cls(**base)
+
+    @classmethod
+    def adaptive_on(cls, **overrides) -> "RecoveryConfig":
+        """The adaptive policy engine (the 'adaptive' bundle of A6).
+
+        Retry and checkpointing stay armed throughout (both are near-free);
+        cancel-on-start cloning of the tight edge class is modulated at
+        runtime by the :class:`~repro.core.resilience.policy.PolicyController`
+        and gated per spawn on the peer district's load.
+        """
+        base = dict(retry=True, checkpoint=True, clone=True,
+                    clone_cancel_on="start", clone_max_utilisation=0.95,
+                    clone_max_queue_depth=8, adaptive=True)
         base.update(overrides)
         return cls(**base)
 

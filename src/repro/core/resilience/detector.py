@@ -45,6 +45,14 @@ class HeartbeatFailureDetector:
         """Whether ``key`` is registered."""
         return key in self._phase
 
+    def latency_bound_s(self) -> float:
+        """Analytic worst-case detection latency (the heartbeat timeout).
+
+        The :class:`~repro.core.resilience.policy.PolicyController` uses this
+        as its prior before any failure has produced a measured latency.
+        """
+        return self.config.timeout_s
+
     def detection_time(self, key: str, t_fail: float) -> float:
         """Absolute time the monitor declares ``key`` failed.
 

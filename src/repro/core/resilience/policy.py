@@ -1,0 +1,168 @@
+"""Adaptive per-flow recovery policy selection (the A6 policy engine).
+
+The PS-model analysis of request cloning ("Modeling of Request Cloning in
+Cloud Server Systems using Processor Sharing", PAPERS.md) shows speculative
+cloning helps exactly while the system has slack: a clone is a free second
+chance at low load and pure added load near saturation.  The
+:class:`PolicyController` operationalises that at runtime: a periodic engine
+process re-picks the recovery discipline of each flow class from two
+measured signals —
+
+* the **detection-latency distribution** the heartbeat detector has actually
+  delivered so far (before any failure was observed, the detector's analytic
+  bound ``timeout_s`` stands in as the prior), and
+* the **rolling paying utilisation** of the city (filler work excluded:
+  filler is displaced instantly, so those cores are really available).
+
+Decision rule for the *tight* edge class (deadline at or below the clone
+threshold): cloning is required whenever one detected failure plus one retry
+backoff cannot fit inside the tightest deadline seen so far — retry simply
+cannot bridge a crash for such requests — and is otherwise shed when the
+rolling utilisation crosses ``adaptive_util_high`` (clones would only add
+load), rearming below ``adaptive_util_low``.  The hysteresis band plus a
+minimum dwell time make the switch sequence a pure function of simulated
+state at eval ticks: the controller consumes no RNG, so adaptive runs stay
+byte-reproducible under a fixed seed.
+
+The *loose* edge class keeps retry (its deadlines leave room for backoff)
+and the *cloud* class keeps checkpointing (restart-from-scratch is the
+dominant waste term of A6).  Every switch is recorded as a ``policy.decision``
+trace record and counted in ``ResilienceLog.policy_decisions``; per-request
+spawn/skip/cancel decisions are emitted by the
+:class:`~repro.core.resilience.recovery.RecoveryRuntime` with the same kind,
+threaded into the request's span tree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict
+
+from repro.core.resilience.config import ResilienceConfig
+
+__all__ = ["PolicyController", "FLOW_CLASSES"]
+
+#: the flow classes the controller assigns a discipline to
+FLOW_CLASSES = ("edge_tight", "edge_loose", "cloud")
+
+
+class PolicyController:
+    """Deterministic per-flow policy selection with hysteresis.
+
+    Owned by the :class:`~repro.core.resilience.recovery.RecoveryRuntime`;
+    only constructed when ``RecoveryConfig.adaptive`` is set, so non-adaptive
+    configurations register no extra engine process and stay byte-identical
+    to the pre-engine behaviour.
+    """
+
+    def __init__(self, runtime, config: ResilienceConfig):
+        self.runtime = runtime
+        self.mw = runtime.mw
+        self.cfg = config
+        rec = config.recovery
+        #: flow class → current discipline
+        self.assignment: Dict[str, str] = {
+            "edge_tight": "clone" if rec.clone else "retry",
+            "edge_loose": "retry" if rec.retry else "none",
+            "cloud": "checkpoint" if rec.checkpoint else "restart",
+        }
+        self._last_switch: Dict[str, float] = {c: float("-inf")
+                                               for c in FLOW_CLASSES}
+        self._util_window: Deque[float] = deque(maxlen=rec.adaptive_window)
+        #: tightest edge deadline the clone path has seen (drives the
+        #: retry-can-bridge feasibility check); inf until traffic arrives,
+        #: which conservatively keeps cloning armed
+        self.min_tight_deadline_s = float("inf")
+        self.switches = 0
+        self.evals = 0
+        self.mw.engine.add_process(
+            "policy-controller", rec.adaptive_eval_interval_s, self._evaluate)
+
+    # ------------------------------------------------------------------ #
+    # measured inputs
+    # ------------------------------------------------------------------ #
+    def detection_p99_s(self) -> float:
+        """p99 detection latency: measured when failures exist, else the
+        detector's analytic worst case (its heartbeat timeout)."""
+        log = self.runtime.log
+        if log.detection_latencies_s:
+            return log.detection_latency_percentile(99)
+        return self.runtime.detector.latency_bound_s()
+
+    def city_utilisation(self) -> float:
+        """Instantaneous paying utilisation over the whole fleet."""
+        busy = total = 0
+        for d in sorted(self.mw.clusters):
+            b, t = self.runtime.paying_load(d)
+            busy += b
+            total += t
+        return busy / total if total else 1.0
+
+    def rolling_utilisation(self) -> float:
+        """Mean of the utilisation window (current sample included)."""
+        w = self._util_window
+        return sum(w) / len(w) if w else 0.0
+
+    def note_tight_deadline(self, deadline_s: float) -> None:
+        """Record the tightest deadline routed through the clone path."""
+        if deadline_s < self.min_tight_deadline_s:
+            self.min_tight_deadline_s = deadline_s
+
+    def retry_can_bridge(self) -> bool:
+        """Whether retry alone covers the tight class: one detected failure
+        plus one base backoff must still fit the tightest deadline seen."""
+        rec = self.cfg.recovery
+        if not rec.retry:
+            return False
+        budget = self.detection_p99_s() + rec.retry_base_backoff_s
+        return budget <= self.min_tight_deadline_s
+
+    # ------------------------------------------------------------------ #
+    # the periodic evaluation (engine process; no RNG, state-pure)
+    # ------------------------------------------------------------------ #
+    def _evaluate(self, now: float, dt: float) -> None:
+        self.evals += 1
+        self._util_window.append(self.city_utilisation())
+        util = self.rolling_utilisation()
+        rec = self.cfg.recovery
+        cur = self.assignment["edge_tight"]
+        if cur == "clone":
+            if util > rec.adaptive_util_high:
+                self._switch("edge_tight", "retry", now, util,
+                             reason="overload")
+            elif self.retry_can_bridge():
+                self._switch("edge_tight", "retry", now, util,
+                             reason="retry_bridges")
+        elif cur == "retry" and rec.clone:
+            if util < rec.adaptive_util_low and not self.retry_can_bridge():
+                self._switch("edge_tight", "clone", now, util,
+                             reason="slack")
+
+    def _switch(self, flow_class: str, to: str, now: float, util: float,
+                reason: str) -> None:
+        rec = self.cfg.recovery
+        if now - self._last_switch[flow_class] < rec.adaptive_min_dwell_s:
+            return
+        frm = self.assignment[flow_class]
+        self.assignment[flow_class] = to
+        self._last_switch[flow_class] = now
+        self.switches += 1
+        self.runtime.decide(f"switch_{flow_class}",
+                            flow_class=flow_class, frm=frm, to=to,
+                            reason=reason, util=round(util, 6),
+                            detect_p99_s=round(self.detection_p99_s(), 6))
+
+    # ------------------------------------------------------------------ #
+    def clone_active(self) -> bool:
+        """Whether the tight edge class is currently assigned cloning."""
+        return self.assignment["edge_tight"] == "clone"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot for the twin's ``/api/state`` view."""
+        return {
+            "assignment": dict(self.assignment),
+            "switches": self.switches,
+            "evals": self.evals,
+            "rolling_utilisation": round(self.rolling_utilisation(), 6),
+            "detection_p99_s": round(self.detection_p99_s(), 6),
+        }

@@ -18,7 +18,12 @@ Armed policies (:class:`~repro.core.resilience.config.RecoveryConfig`):
 * **clone** — tight-deadline indirect edge requests are speculatively
   duplicated to the best peer district; first completion wins, the loser is
   cancelled (queued → lazily dropped, running → preempted) and its executed
-  cycles are booked as waste;
+  cycles are booked as waste.  With ``clone_cancel_on="start"`` the sibling
+  is cancelled the instant either member *begins execution* (synchronized-
+  service cloning, per the PS-model reproducibility report in PAPERS.md), so
+  at most one copy ever burns cycles; ``clone_max_utilisation`` and
+  ``clone_max_queue_depth`` additionally gate spawning on the home district's
+  paying load — cloning only helps while the system has slack;
 * **checkpoint** — a per-district periodic process snapshots every running
   cloud task's remaining work into ``task.metadata["ckpt_remaining"]``; crash
   salvage restarts from the last snapshot instead of from scratch;
@@ -27,6 +32,13 @@ Armed policies (:class:`~repro.core.resilience.config.RecoveryConfig`):
 * **store_and_forward** — vertical offloads buffer in the
   :class:`~repro.core.offloading.Offloader` during WAN partitions and drain
   on heal.
+
+With ``RecoveryConfig.adaptive`` the runtime additionally owns a
+:class:`~repro.core.resilience.policy.PolicyController` that re-picks the
+discipline per flow class at runtime; every spawn/skip/cancel/switch the
+engine makes is recorded as a ``policy.decision`` trace record (threaded
+into the request's span tree when it concerns one request) and counted in
+``ResilienceLog.policy_decisions``.
 
 Without any policy armed, crashes restart cloud work from scratch (clients
 eventually resubmit — full redo, maximal waste) and edge requests die with
@@ -45,6 +57,7 @@ from repro.core.requests import EdgeMode, EdgeRequest, RequestStatus
 from repro.core.resilience.churn import ChurnModel
 from repro.core.resilience.config import ResilienceConfig
 from repro.core.resilience.detector import HeartbeatFailureDetector
+from repro.core.resilience.policy import PolicyController
 from repro.obs import adopt_chain, link_spans
 
 __all__ = ["CloneGroup", "RecoveryRuntime", "ResilienceLog"]
@@ -63,9 +76,19 @@ class ResilienceLog:
     clones_spawned: int = 0
     clone_wins: int = 0            # times the speculative copy finished first
     tasks_salvaged: int = 0
-    #: cycles executed and thrown away: redo after restart, loser clones
-    wasted_cycles: float = 0.0
+    #: cycles a losing clone executed before cancellation (speculation tax)
+    clone_waste_cycles: float = 0.0
+    #: cycles lost to crashes: redo-after-restart beyond the last checkpoint
+    failure_waste_cycles: float = 0.0
+    #: policy-engine decision counters (``spawn_clone``, ``skip_clone``,
+    #: ``cancel_sibling``, ``switch_<flow_class>`` …)
+    policy_decisions: Dict[str, int] = field(default_factory=dict)
     detection_latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def wasted_cycles(self) -> float:
+        """Total cycles executed and thrown away, both attributions summed."""
+        return self.clone_waste_cycles + self.failure_waste_cycles
 
     def detection_latency_percentile(self, q: float) -> float:
         """Nearest-rank percentile of detection latency (0 when no failures)."""
@@ -87,23 +110,48 @@ class CloneGroup:
       loser (its result is discarded and booked as waste);
     * :meth:`on_failure` — returns ``None`` while the sibling is still in
       flight (the failure is silent: the sibling may yet win) and the primary
-      once both members are dead, so exactly one terminal record exists.
+      once both members are dead, so exactly one terminal record exists;
+    * :meth:`on_start` — with ``cancel_on="start"``, the first member to be
+      placed on a server cancels its sibling immediately.  At that instant
+      the sibling cannot itself be running (it would have fired its own
+      start hook first), so cancel-on-start never preempts mid-execution:
+      the loser is still queued or in network flight and is dropped lazily,
+      making the speculation's cycle waste essentially zero.
     """
 
-    __slots__ = ("primary", "clone", "runtime", "resolved", "_dead")
+    __slots__ = ("primary", "clone", "runtime", "cancel_on", "started",
+                 "resolved", "_dead")
 
-    def __init__(self, primary: EdgeRequest, clone: EdgeRequest, runtime):
+    def __init__(self, primary: EdgeRequest, clone: EdgeRequest, runtime,
+                 cancel_on: str = "completion"):
         self.primary = primary
         self.clone = clone
         self.runtime = runtime
+        self.cancel_on = cancel_on
+        self.started = False
         self.resolved = False
         self._dead = 0  # bit 1 = primary dead, bit 2 = clone dead
 
+    def on_start(self, member: EdgeRequest) -> None:
+        """A member was just placed on a server; under ``cancel_on="start"``
+        the sibling is cancelled now rather than at first completion."""
+        if self.cancel_on != "start" or self.started or self.resolved:
+            return
+        self.started = True
+        loser = self.clone if member is self.primary else self.primary
+        # mark the loser dead so a later terminal failure of the starter
+        # still yields exactly one terminal record (via the _dead == 3 path)
+        self._dead |= 2 if loser is self.clone else 1
+        self.runtime._cancel_loser(loser)
+        self.runtime.decide(
+            "cancel_sibling", ctx=member, id=self.primary.request_id,
+            starter="clone" if member is self.clone else "primary")
+
     def on_complete(self, member: EdgeRequest, now: float):
-        if self.resolved:
+        if self.resolved or self._dead & (2 if member is self.clone else 1):
             # the loser ran to completion anyway (e.g. in the datacenter,
-            # beyond preemption reach): pure waste
-            self.runtime.log.wasted_cycles += member.cycles
+            # beyond preemption reach): pure speculation waste
+            self.runtime.log.clone_waste_cycles += member.cycles
             return None
         self.resolved = True
         winner_is_clone = member is self.clone
@@ -170,9 +218,72 @@ class RecoveryRuntime:
                     f"ckpt-{d}", rec.checkpoint_interval_s,
                     self._checkpoint_fn(d), offset=float(i))
 
+        # only built when asked for: non-adaptive configurations register no
+        # extra engine process and stay byte-identical to the fixed policies
+        self.policy: Optional[PolicyController] = None
+        if rec.adaptive:
+            self.policy = PolicyController(self, config)
+
         self.churn: Optional[ChurnModel] = None
         if config.enable_churn:
             self.churn = ChurnModel(middleware, config.churn, self)
+
+    # ------------------------------------------------------------------ #
+    # decision provenance
+    # ------------------------------------------------------------------ #
+    def decide(self, action: str, ctx=None, **fields) -> None:
+        """Count a policy decision and emit its ``policy.decision`` record.
+
+        With a request context the record is a *span* threaded into that
+        request's causal chain (so ``repro report`` waterfalls show why a
+        clone existed); pass ``ctx`` only for requests that already carry
+        spans — a pre-submission decision (``skip_clone``) or a controller
+        switch emits a plain record instead, so ``edge.received`` stays every
+        trace's root.  Counters update unconditionally — they are part of
+        the deterministic simulation state, not observability.
+        """
+        self.log.policy_decisions[action] = \
+            self.log.policy_decisions.get(action, 0) + 1
+        obs = self.mw.obs
+        if obs.active:
+            if ctx is not None:
+                obs.emit_span("policy", "policy.decision", self.engine.now,
+                              ctx=ctx, action=action, **fields)
+            else:
+                obs.emit("policy", "policy.decision", self.engine.now,
+                         action=action, **fields)
+
+    def paying_load(self, district: int):
+        """(busy paying cores, live cores) of one district's fleet.
+
+        Filler tasks are excluded from the busy count: filler is displaced
+        the instant paying work arrives, so a filler-saturated winter fleet
+        is *not* loaded in the PS-model sense.  Dead servers drop out of the
+        denominator — their cores are not available to anyone.
+        """
+        busy = total = 0
+        for w in self.mw.clusters[district].workers:
+            if not w.enabled:
+                continue
+            total += w.n_cores
+            busy += sum(t.cores for t in w.running_tasks
+                        if t.metadata.get("kind") != "filler")
+        return busy, total
+
+    def status_dict(self) -> Dict[str, object]:
+        """JSON-ready counters for the twin's ``/api/state`` view."""
+        log = self.log
+        out: Dict[str, object] = {
+            "server_failures": log.server_failures,
+            "clones_spawned": log.clones_spawned,
+            "clone_wins": log.clone_wins,
+            "clone_waste_gcycles": round(log.clone_waste_cycles / 1e9, 3),
+            "failure_waste_gcycles": round(log.failure_waste_cycles / 1e9, 3),
+            "policy_decisions": dict(sorted(log.policy_decisions.items())),
+        }
+        if self.policy is not None:
+            out["controller"] = self.policy.to_dict()
+        return out
 
     # ------------------------------------------------------------------ #
     # churn hooks: failure → detect → salvage
@@ -205,7 +316,7 @@ class RecoveryRuntime:
         before = self.injector.log.tasks_salvaged
         wasted = self.injector.salvage_tasks(
             killed, district, progress=progress, salvage_edge=rec.retry)
-        self.log.wasted_cycles += wasted
+        self.log.failure_waste_cycles += wasted
         self.log.tasks_salvaged += self.injector.log.tasks_salvaged - before
 
     def on_server_recovery(self, name: str) -> None:
@@ -270,7 +381,7 @@ class RecoveryRuntime:
     # speculative cloning
     # ------------------------------------------------------------------ #
     def wants_clone(self, req) -> bool:
-        """Whether this request should be speculatively duplicated."""
+        """Whether this request is *eligible* for speculative duplication."""
         rec = self.cfg.recovery
         return (rec.clone
                 and isinstance(req, EdgeRequest)
@@ -278,19 +389,76 @@ class RecoveryRuntime:
                 and req.deadline_s <= rec.clone_deadline_threshold_s
                 and len(self.mw.edge_gateways) > 1)
 
-    def submit_cloned(self, req: EdgeRequest, district: int) -> None:
+    def _clone_peer(self, district: int) -> int:
+        """The district that takes the speculative copy: most free cores
+        among the peers (lowest district id breaks ties)."""
+        return min((d for d in sorted(self.mw.clusters) if d != district),
+                   key=lambda d: (-self.mw.clusters[d].free_cores(), d))
+
+    def maybe_clone(self, req, district: int) -> bool:
+        """Clone ``req`` if eligible and no gate vetoes it.
+
+        Returns True when the request (plus its clone) was submitted; False
+        hands the request back to the normal single-copy path.  Three gates,
+        cheapest first, each recorded as a ``skip_clone`` decision:
+
+        * the adaptive controller has switched the tight class off cloning;
+        * the **peer** district's paying utilisation exceeds
+          ``clone_max_utilisation``;
+        * the **peer** district's edge queue is deeper than
+          ``clone_max_queue_depth``.
+
+        The load gates look at the clone's *target*, not the request's home:
+        the PS-model analysis says a clone only helps while spare capacity
+        exists to absorb it — a loaded peer makes the copy pure added load,
+        while a loaded *home* is exactly when racing an idle peer rescues
+        the request.  Gate signals are only computed when the corresponding
+        knob is armed, so the legacy always-clone configuration does no
+        extra work.
+        """
+        if not self.wants_clone(req):
+            return False
+        rec = self.cfg.recovery
+        if self.policy is not None:
+            self.policy.note_tight_deadline(req.deadline_s)
+            if not self.policy.clone_active():
+                self.decide("skip_clone", id=req.request_id,
+                            reason="policy_off")
+                return False
+        peer = self._clone_peer(district)
+        if rec.clone_max_utilisation < 1.0:
+            busy, total = self.paying_load(peer)
+            util = busy / total if total else 1.0
+            if util > rec.clone_max_utilisation:
+                self.decide("skip_clone", id=req.request_id,
+                            reason="peer_utilisation", peer=peer,
+                            util=round(util, 6))
+                return False
+        if rec.clone_max_queue_depth >= 0:
+            depth = len(self.mw.schedulers[peer].edge_queue)
+            if depth > rec.clone_max_queue_depth:
+                self.decide("skip_clone", id=req.request_id,
+                            reason="peer_queue_depth", peer=peer, depth=depth)
+                return False
+        self.submit_cloned(req, district, peer)
+        return True
+
+    def submit_cloned(self, req: EdgeRequest, district: int,
+                      peer: Optional[int] = None) -> None:
         """Submit ``req`` to its district plus a speculative copy to a peer.
 
         The peer with the most free cores takes the copy (lowest district id
-        breaks ties).  The group is attached to *both* members before either
-        submission so a synchronous rejection (master down, no retry) stays
-        silent while the sibling is in flight.
+        breaks ties) unless the caller already picked one.  The group is
+        attached to *both* members before either submission so a synchronous
+        rejection (master down, no retry) stays silent while the sibling is
+        in flight.
         """
-        peer = min((d for d in sorted(self.mw.clusters) if d != district),
-                   key=lambda d: (-self.mw.clusters[d].free_cores(), d))
+        if peer is None:
+            peer = self._clone_peer(district)
         clone = copy.copy(req)
         clone.request_id = f"{req.request_id}#clone"
-        group = CloneGroup(req, clone, self)
+        group = CloneGroup(req, clone, self,
+                           cancel_on=self.cfg.recovery.clone_cancel_on)
         req.__dict__["_clone_group"] = group
         clone.__dict__["_clone_group"] = group
         self.log.clones_spawned += 1
@@ -304,6 +472,10 @@ class RecoveryRuntime:
             link_spans(clone, req)
         self.mw.edge_gateways[district].submit(req)
         self.mw.edge_gateways[peer].submit(clone)
+        # decided *after* submission so the span parents into the request's
+        # lifecycle chain (edge.received is already the trace root)
+        self.decide("spawn_clone", ctx=req, id=req.request_id,
+                    home=district, peer=peer)
 
     def _cancel_loser(self, loser: EdgeRequest) -> None:
         """Cancel the losing clone; preempt it if it is running on a Q.rad."""
@@ -319,7 +491,8 @@ class RecoveryRuntime:
                 task = worker.preempt(loser.request_id)
             except KeyError:
                 return  # completed in the same instant; on_complete discards
-            self.log.wasted_cycles += max(0.0, loser.cycles - task.remaining_cycles)
+            self.log.clone_waste_cycles += max(
+                0.0, loser.cycles - task.remaining_cycles)
             self.mw.schedulers[d].drain()  # the freed cores can serve queues
             return
         # running in the datacenter: out of preemption reach; its completion

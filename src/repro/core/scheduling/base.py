@@ -167,6 +167,12 @@ class BaseScheduler(ABC):
         req.status = RequestStatus.RUNNING
         req.started_at = self.engine.now
         req.executed_on = worker_name
+        if kind == "edge":
+            group = req.__dict__.get("_clone_group")
+            if group is not None:
+                # cancel-on-start discipline: the first member to reach a
+                # server cancels its sibling before it can burn cycles
+                group.on_start(req)
         obs = self.obs
         if obs.active:
             obs.emit_span("request", f"{kind}.scheduled", self.engine.now,

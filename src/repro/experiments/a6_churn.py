@@ -21,14 +21,25 @@ Bundles compared (:class:`repro.core.resilience.RecoveryConfig`):
   backoff + jitter while their deadline still permits;
 * **clone** — indirect edge requests are speculatively duplicated to the
   peer district; first completion wins, the loser is cancelled;
+* **clone-cs** — synchronized-service cloning (the PS-model discipline):
+  the sibling is cancelled the instant either copy *starts* executing, and
+  spawning is gated on the home district's paying load, so the speculation
+  buys the same failure cover at near-zero cycle waste;
 * **checkpoint** — cloud tasks checkpoint every 10 min; salvage restarts
   from the last snapshot, so capacity is not eaten by endless redo;
-* **all** — everything at once, plus master failover and store-and-forward
-  WAN buffering.
+* **adaptive** — retry + checkpoint + cancel-on-start cloning, with the
+  :class:`~repro.core.resilience.policy.PolicyController` re-picking the
+  tight edge class's discipline at runtime from measured detection latency
+  and rolling utilisation;
+* **all** — every fixed policy at once, plus master failover and
+  store-and-forward WAN buffering.
 
 Reported per (MTBF, bundle): edge served-in-deadline rate, cloud completions,
-wasted gigacycles (redo + discarded clone work) and detection latency
-p50/p99.
+wasted gigacycles split by attribution (losing-clone work vs crash redo) and
+detection latency p50/p99.  The reduce step also computes, per MTBF level,
+the **waste-vs-deadline Pareto frontier** — the bundles not dominated on
+(wasted Gcycles ↓, served rate ↑) — published under ``data["pareto"]`` and
+asserted by the resilience CI benchmark.
 """
 
 from __future__ import annotations
@@ -60,7 +71,14 @@ BUNDLES = {
     "none": RecoveryConfig.none(),
     "retry": RecoveryConfig(retry=True, retry_max_attempts=6),
     "clone": RecoveryConfig(clone=True, clone_deadline_threshold_s=20.0),
+    "clone-cs": RecoveryConfig(clone=True, clone_deadline_threshold_s=20.0,
+                               clone_cancel_on="start",
+                               clone_max_utilisation=0.95,
+                               clone_max_queue_depth=8),
     "checkpoint": RecoveryConfig(checkpoint=True, checkpoint_interval_s=600.0),
+    "adaptive": RecoveryConfig.adaptive_on(retry_max_attempts=6,
+                                           clone_deadline_threshold_s=20.0,
+                                           checkpoint_interval_s=600.0),
     "all": RecoveryConfig.all_on(retry_max_attempts=6,
                                  clone_deadline_threshold_s=20.0,
                                  checkpoint_interval_s=600.0),
@@ -133,10 +151,15 @@ def _finish_cell(mw, edge, cloud) -> Dict[str, float]:
         "edge_submitted": len(edge),
         "cloud_done": sum(1 for r in cloud if r.status.value == "completed"),
         "wasted_gcycles": log.wasted_cycles / 1e9,
+        "clone_waste_gcycles": log.clone_waste_cycles / 1e9,
+        "failure_waste_gcycles": log.failure_waste_cycles / 1e9,
         "detect_p50_s": log.detection_latency_percentile(50),
         "detect_p99_s": log.detection_latency_percentile(99),
         "server_failures": log.server_failures,
         "clones": log.clones_spawned,
+        "clone_skips": log.policy_decisions.get("skip_clone", 0),
+        "policy_switches": (mw.resilience.policy.switches
+                            if mw.resilience.policy is not None else 0),
         "failovers": log.failovers,
         "salvaged": log.tasks_salvaged,
         "checkpoints": log.checkpoints_taken,
@@ -164,12 +187,31 @@ def sweep_points(seed: int = 101) -> List[SweepPoint]:
     ]
 
 
+def _pareto_front(level: Dict[str, Dict[str, float]]) -> List[str]:
+    """Bundles not dominated on (wasted_gcycles ↓, served_rate ↑).
+
+    ``p`` is dominated when some other bundle wastes no more *and* serves no
+    less, with at least one strict inequality.  Returned in report order.
+    """
+    names = list(level)
+    front = []
+    for p in names:
+        w, s = level[p]["wasted_gcycles"], level[p]["served_rate"]
+        dominated = any(
+            level[q]["wasted_gcycles"] <= w and level[q]["served_rate"] >= s
+            and (level[q]["wasted_gcycles"] < w or level[q]["served_rate"] > s)
+            for q in names if q != p)
+        if not dominated:
+            front.append(p)
+    return front
+
+
 def sweep_reduce(cells: Dict[str, Any], seed: int = 101) -> ExperimentResult:
-    """Reassemble the grid cells into the A6 table + footer."""
+    """Reassemble the grid cells into the A6 table + Pareto footer."""
     table = Table(["mtbf", "policy", "edge_served", "cloud_done",
-                   "wasted_gcycles", "detect_p50", "detect_p99"],
+                   "clone_waste", "fail_waste", "detect_p50", "detect_p99"],
                   title="A6 — recovery policies under churn")
-    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    data: Dict[str, Any] = {}
     for mtbf_label in MTBF_LEVELS_S:
         data[mtbf_label] = {}
         for policy in BUNDLES:
@@ -177,11 +219,17 @@ def sweep_reduce(cells: Dict[str, Any], seed: int = 101) -> ExperimentResult:
             data[mtbf_label][policy] = cell
             table.add_row(
                 mtbf_label, policy, f"{cell['served_rate']:.2%}",
-                cell["cloud_done"], f"{cell['wasted_gcycles']:.0f}",
+                cell["cloud_done"], f"{cell['clone_waste_gcycles']:.0f}",
+                f"{cell['failure_waste_gcycles']:.0f}",
                 f"{cell['detect_p50_s']:.2f}s", f"{cell['detect_p99_s']:.2f}s",
             )
+    # the frontier rides beside the level keys; consumers iterating levels
+    # must skip it (it maps level → [policy], not level → cells)
+    data["pareto"] = {label: _pareto_front(data[label])
+                      for label in MTBF_LEVELS_S}
 
     worst = data["mtbf=2h"]
+    benign = data["mtbf=24h"]
     redo_cut = (worst["none"]["wasted_gcycles"]
                 / max(worst["checkpoint"]["wasted_gcycles"], 1.0))
     footer = (
@@ -192,6 +240,11 @@ def sweep_reduce(cells: Dict[str, Any], seed: int = 101) -> ExperimentResult:
         f"\ncloning lifts edge service {worst['none']['served_rate']:.1%}"
         f" → {worst['clone']['served_rate']:.1%} by racing the peer district"
         f" ({worst['clone']['clones']} clones)"
+        f"\nPareto frontier at mtbf=24h: {', '.join(data['pareto']['mtbf=24h'])};"
+        f" adaptive serves {benign['adaptive']['served_rate']:.2%} wasting"
+        f" {benign['adaptive']['wasted_gcycles']:.0f} Gcycles"
+        f" (first-completion cloning: {benign['clone']['served_rate']:.2%}"
+        f" at {benign['clone']['wasted_gcycles']:.0f})"
     )
     return ExperimentResult(
         experiment_id="A6",

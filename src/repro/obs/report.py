@@ -14,7 +14,11 @@ Sections, top to bottom:
   per-window edge deadline compliance as single-series line charts (one
   y-axis each; a dashed, labelled target line marks the objective);
 * **span waterfalls** — the slowest end-to-end requests, their critical
-  path rendered as timed segments with a per-segment duration table;
+  path rendered as timed segments with a per-segment duration table
+  (``policy.decision`` spans ride the chain, so a waterfall shows *why* a
+  clone existed);
+* **recovery policy decisions** — counts of the policy engine's
+  spawn/skip/cancel/switch decisions, when the trace carries any;
 * **fleet utilisation heatmap** — district × time-of-run busy fraction on
   a single-hue sequential ramp with a labelled scale.
 
@@ -267,6 +271,12 @@ def render_report(records: Iterable[TraceRecord],
             fleet, "Fleet availability: servers up",
             target=0.95, target_label="target 95%"))
 
+    policy_counts: Dict[str, int] = {}
+    for r in recs:
+        if r.kind == "policy":
+            action = str(r.args.get("action", "?"))
+            policy_counts[action] = policy_counts.get(action, 0) + 1
+
     waterfalls = []
     for tid in idx.slowest(slowest_n):
         term = idx.terminal(tid)
@@ -291,6 +301,13 @@ def render_report(records: Iterable[TraceRecord],
     if waterfalls:
         sections.append(f"<h2>Slowest requests (top {len(waterfalls)})</h2>")
         sections.extend(waterfalls)
+    if policy_counts:
+        cells = "".join(
+            f"<div class='card'><div class='slo-name'>{_esc(a)}</div>"
+            f"<div class='slo-num'>{n:,}</div></div>"
+            for a, n in sorted(policy_counts.items()))
+        sections.append("<h2>Recovery policy decisions</h2>"
+                        f"<div class='cards'>{cells}</div>")
     hm = _heatmap(util, span_h)
     if hm:
         sections.append("<h2>Fleet utilisation</h2>")

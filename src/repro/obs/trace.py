@@ -39,9 +39,11 @@ numeric types instead of silently stringifying ``np.float64`` the way a
 ``default=str`` exporter would.
 
 Canonical record kinds (``TraceRecord.kind``): ``request``, ``regulator``,
-``fault``, ``resilience``, ``engine``, ``comfort``, ``fleet``, ``slo``.
-Kinds are open-ended — new subsystems may add their own — but exporters group
-by kind, so reuse these when they fit.
+``fault``, ``resilience``, ``engine``, ``comfort``, ``fleet``, ``slo``,
+``policy`` (recovery policy-engine decisions: clone spawn/skip, sibling
+cancellation, adaptive per-flow switches).  Kinds are open-ended — new
+subsystems may add their own — but exporters group by kind, so reuse these
+when they fit.
 """
 
 from __future__ import annotations

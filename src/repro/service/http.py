@@ -11,7 +11,8 @@ Endpoints
 ---------
 ``GET  /``                 live dashboard (SSE-backed HTML page)
 ``GET  /healthz``          liveness + sim clock
-``GET  /api/state``        run status (clocks, progress, lifecycle)
+``GET  /api/state``        run status (clocks, progress, lifecycle; includes
+                           recovery policy-engine counters when armed)
 ``GET  /api/fleet``        city rollup (energy, flows, district health)
 ``GET  /api/servers``      per-server rows
 ``GET  /api/slo``          SLO compliance tables (stable JSON)

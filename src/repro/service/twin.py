@@ -416,11 +416,17 @@ class DigitalTwin:
     # read views (safe from IO threads: snapshots + GIL-atomic scalars)
     # ------------------------------------------------------------------ #
     def state_dict(self) -> Dict[str, Any]:
-        """Run-level status: clocks, progress, lifecycle, scenario."""
+        """Run-level status: clocks, progress, lifecycle, scenario.
+
+        When the middleware runs a resilience runtime, the policy engine's
+        decision counters (and the adaptive controller's current assignment)
+        ride along under ``"resilience"`` — they reach SSE subscribers with
+        every ``state`` telemetry event.
+        """
         now = self.now
         t0, t_end = self.scenario.t0, self.scenario.t_end
         span = t_end - t0
-        return {
+        out = {
             "now": now,
             "t_start": t0,
             "t_end": t_end,
@@ -435,6 +441,9 @@ class DigitalTwin:
                               if self._started_wall is not None else 0.0),
             "scenario": self.scenario.config.to_dict(),
         }
+        if self.mw.resilience is not None:
+            out["resilience"] = self.mw.resilience.status_dict()
+        return out
 
     def fleet_dict(self) -> Dict[str, Any]:
         """City-level rollup: energy, flow outcomes, district health."""

@@ -47,6 +47,21 @@ def test_no_stale_fixtures():
     assert not stale, f"golden fixtures without a registered experiment: {stale}"
 
 
+def test_a6_legacy_rows_survived_the_policy_engine():
+    """The policy-engine PR reshaped the A6 table (waste split, new bundles)
+    but must not perturb the pre-existing bundles' physics: the legacy rows'
+    service rates are pinned here *textually*, independent of --update-golden,
+    so a fixture regeneration cannot silently absorb a behaviour change."""
+    text = (GOLDEN_DIR / "A6.txt").read_text(encoding="utf-8")
+    rows = {tuple(line.split()[:2]): line.split()
+            for line in text.splitlines() if line.startswith("mtbf=")}
+    assert rows[("mtbf=24h", "none")][2] == "97.04%"
+    assert rows[("mtbf=24h", "clone")][2] == "99.94%"
+    assert rows[("mtbf=24h", "checkpoint")][2] == "97.24%"
+    assert rows[("mtbf=2h", "none")][2] == "87.62%"
+    assert rows[("mtbf=2h", "checkpoint")][3] == "10"  # all batch jobs finish
+
+
 @pytest.mark.parametrize("eid,fn", _params())
 def test_golden_output(eid, fn, update_golden):
     rendered = str(fn()) + "\n"

@@ -20,7 +20,8 @@ GHZ = 1e9
 T0 = 10 * DAY
 
 
-def make_mw(recovery=None, churn=None, detector=None, enable_churn=False, **kw):
+def make_mw(recovery=None, churn=None, detector=None, enable_churn=False,
+            obs=None, **kw):
     res = ResilienceConfig(
         churn=churn if churn is not None else ChurnConfig(),
         detector=detector if detector is not None else
@@ -32,7 +33,7 @@ def make_mw(recovery=None, churn=None, detector=None, enable_churn=False, **kw):
                     dc_nodes=2, seed=3, start_time=T0, enable_filler=False,
                     resilience=res)
     defaults.update(kw)
-    return DF3Middleware(MiddlewareConfig(**defaults))
+    return DF3Middleware(MiddlewareConfig(**defaults), obs=obs)
 
 
 def edge(t, source="district-0/building-0", deadline=30.0, cycles=0.2 * GHZ):
@@ -352,3 +353,368 @@ def test_weibull_and_aging_coupled_churn():
     mw, _ = churn_city(failure_dist="weibull", weibull_shape=0.8,
                        aging_coupling=True)
     assert mw.resilience.log.server_failures > 0
+
+
+# --------------------------------------------------------------------------- #
+# policy-engine configuration
+# --------------------------------------------------------------------------- #
+def test_policy_config_validation():
+    with pytest.raises(ValueError):
+        RecoveryConfig(clone_cancel_on="finish")
+    with pytest.raises(ValueError):
+        RecoveryConfig(clone_max_utilisation=1.5)
+    with pytest.raises(ValueError):
+        RecoveryConfig(adaptive_eval_interval_s=0.0)
+    with pytest.raises(ValueError):
+        RecoveryConfig(adaptive_util_low=0.9, adaptive_util_high=0.8)
+    with pytest.raises(ValueError):
+        RecoveryConfig(adaptive_min_dwell_s=-1.0)
+    with pytest.raises(ValueError):
+        RecoveryConfig(adaptive_window=0)
+
+
+def test_adaptive_factory():
+    rec = RecoveryConfig.adaptive_on(clone_deadline_threshold_s=20.0)
+    assert rec.adaptive and rec.retry and rec.checkpoint and rec.clone
+    assert rec.clone_cancel_on == "start"
+    assert rec.clone_max_utilisation < 1.0 and rec.clone_max_queue_depth >= 0
+    assert rec.clone_deadline_threshold_s == 20.0
+
+
+def test_waste_split_sums_into_wasted_cycles():
+    log = ResilienceLog()
+    assert log.wasted_cycles == 0.0
+    log.clone_waste_cycles = 1.5
+    log.failure_waste_cycles = 2.5
+    assert log.wasted_cycles == 4.0
+
+
+# --------------------------------------------------------------------------- #
+# cancel-on-start cloning
+# --------------------------------------------------------------------------- #
+def test_cancel_on_start_zero_clone_waste():
+    mw = make_mw(recovery=RecoveryConfig(clone=True,
+                                         clone_deadline_threshold_s=10.0,
+                                         clone_cancel_on="start"))
+    rt = mw.resilience
+    req = edge(T0 + 5.0, deadline=8.0, cycles=2 * GHZ)
+    mw.inject([req])
+    mw.run_until(T0 + 60.0)
+    assert req.status is RequestStatus.COMPLETED
+    assert rt.log.clones_spawned == 1
+    assert rt.log.policy_decisions.get("cancel_sibling") == 1
+    # the sibling never burned a cycle: cancelled before it could start
+    assert rt.log.clone_waste_cycles == 0.0
+    assert terminal_edge_records(mw) == [req]
+    for cluster in mw.clusters.values():
+        for w in cluster.workers:
+            assert w.free_cores == w.n_cores
+
+
+def test_cancel_on_start_covers_master_outage():
+    mw = make_mw(recovery=RecoveryConfig(clone=True,
+                                         clone_deadline_threshold_s=10.0,
+                                         clone_cancel_on="start"))
+    rt = mw.resilience
+    rt.injector.fail_master(0)  # home path rejects; the peer copy must win
+    req = edge(T0 + 5.0, deadline=8.0, cycles=2 * GHZ)
+    mw.inject([req])
+    mw.run_until(T0 + 60.0)
+    assert req.status is RequestStatus.COMPLETED
+    assert req.executed_on.startswith("district-1/")
+    assert rt.log.clone_wins == 1
+    assert terminal_edge_records(mw) == [req]
+
+
+def test_cancel_on_start_starter_crash_single_terminal_record():
+    # the discipline's known trade-off: once the sibling is cancelled, a
+    # crash of the starter loses the request (unless retry is also armed) —
+    # but it must lose it exactly once
+    mw = make_mw(recovery=RecoveryConfig(clone=True,
+                                         clone_deadline_threshold_s=10.0,
+                                         clone_cancel_on="start"))
+    rt = mw.resilience
+    req = edge(T0 + 5.0, deadline=8.0, cycles=10 * GHZ)
+    mw.inject([req])
+    mw.run_until(T0 + 5.5)
+    assert req.status is RequestStatus.RUNNING
+    rt.on_server_failure(req.executed_on)
+    mw.run_until(T0 + 60.0)
+    assert req.status is RequestStatus.REJECTED
+    records = terminal_edge_records(mw)
+    assert records == [req]
+    for cluster in mw.clusters.values():
+        for w in cluster.workers:
+            assert 0 <= w.free_cores <= w.n_cores
+
+
+# --------------------------------------------------------------------------- #
+# load-thresholded spawning (the PS-model gates)
+# --------------------------------------------------------------------------- #
+def saturate_district(mw, district):
+    """Fill every core of one district with paying (cloud) work."""
+    mw.engine.run_until(T0)
+    for w in mw.clusters[district].workers:
+        for _ in range(w.n_cores):
+            mw.schedulers[district].submit_cloud(
+                CloudRequest(cycles=1e14, time=T0, cores=1, preemptible=False))
+
+
+def test_clone_skipped_when_peer_saturated():
+    mw = make_mw(recovery=RecoveryConfig(clone=True,
+                                         clone_deadline_threshold_s=10.0,
+                                         clone_max_utilisation=0.9))
+    rt = mw.resilience
+    saturate_district(mw, 1)  # the peer has nothing to absorb a copy with
+    req = edge(T0 + 5.0, deadline=8.0)
+    mw.inject([req])
+    mw.run_until(T0 + 60.0)
+    assert rt.log.clones_spawned == 0
+    assert rt.log.policy_decisions.get("skip_clone") == 1
+    assert req.status is RequestStatus.COMPLETED  # single-copy path served it
+
+
+def test_clone_skipped_when_peer_queue_deep():
+    mw = make_mw(recovery=RecoveryConfig(clone=True,
+                                         clone_deadline_threshold_s=10.0,
+                                         clone_max_queue_depth=0),
+                 saturation_policy=SaturationPolicy.QUEUE)
+    rt = mw.resilience
+    saturate_district(mw, 1)
+    backlog = [edge(T0 + 1.0 + 0.01 * i, source="district-1/building-0",
+                    deadline=300.0) for i in range(3)]
+    mw.inject(backlog)  # deadline 300 > threshold: queue at the peer, no clones
+    req = edge(T0 + 5.0, deadline=8.0)
+    mw.inject([req])
+    mw.run_until(T0 + 6.0)
+    assert rt.log.clones_spawned == 0
+    assert rt.log.policy_decisions.get("skip_clone") == 1
+
+
+def test_loaded_home_district_still_clones():
+    # the gates look at the clone's target, not the request's home: a loaded
+    # home is exactly when racing an idle peer rescues the request
+    mw = make_mw(recovery=RecoveryConfig(clone=True,
+                                         clone_deadline_threshold_s=10.0,
+                                         clone_max_utilisation=0.9,
+                                         clone_max_queue_depth=4),
+                 saturation_policy=SaturationPolicy.QUEUE)
+    rt = mw.resilience
+    saturate_district(mw, 0)
+    req = edge(T0 + 5.0, deadline=8.0)
+    mw.inject([req])
+    mw.run_until(T0 + 60.0)
+    assert rt.log.clones_spawned == 1
+    assert req.status is RequestStatus.COMPLETED
+    assert req.executed_on.startswith("district-1/")
+
+
+def test_paying_load_excludes_filler():
+    mw = make_mw(enable_filler=True)
+    mw.run_until(T0 + 10 * 60.0)
+    rt = mw.resilience
+    busy, total = rt.paying_load(0)
+    assert total == sum(w.n_cores for w in mw.clusters[0].workers)
+    assert busy == 0  # filler keeps cores warm but is not paying load
+    assert mw.clusters[0].free_cores() < total  # ...though cores *look* busy
+
+
+# --------------------------------------------------------------------------- #
+# adaptive policy controller
+# --------------------------------------------------------------------------- #
+def test_controller_only_built_when_adaptive():
+    assert make_mw(recovery=RecoveryConfig.all_on()).resilience.policy is None
+    mw = make_mw(recovery=RecoveryConfig.adaptive_on())
+    ctl = mw.resilience.policy
+    assert ctl is not None
+    assert ctl.assignment == {"edge_tight": "clone", "edge_loose": "retry",
+                              "cloud": "checkpoint"}
+
+
+def test_controller_hysteresis_band():
+    mw = make_mw(recovery=RecoveryConfig.adaptive_on(
+        adaptive_window=1, adaptive_min_dwell_s=0.0,
+        adaptive_util_high=0.9, adaptive_util_low=0.6))
+    ctl = mw.resilience.policy
+    ctl.note_tight_deadline(2.0)  # too tight for retry to bridge a crash
+    ctl.city_utilisation = lambda: 0.95
+    ctl._evaluate(T0, 60.0)
+    assert ctl.assignment["edge_tight"] == "retry"  # shed under overload
+    ctl.city_utilisation = lambda: 0.75
+    ctl._evaluate(T0 + 60.0, 60.0)
+    assert ctl.assignment["edge_tight"] == "retry"  # inside the band: hold
+    ctl.city_utilisation = lambda: 0.5
+    ctl._evaluate(T0 + 120.0, 60.0)
+    assert ctl.assignment["edge_tight"] == "clone"  # slack again: rearm
+    assert ctl.switches == 2
+    assert mw.resilience.log.policy_decisions["switch_edge_tight"] == 2
+
+
+def test_controller_switch_emits_plain_trace_record():
+    # a switch while tracing is active must emit a *root* policy record
+    # (no ctx: nothing request-scoped to parent into)
+    from repro import obs as O
+
+    obs = O.Observability(tracer=O.Tracer())
+    mw = make_mw(recovery=RecoveryConfig.adaptive_on(
+        adaptive_window=1, adaptive_min_dwell_s=0.0), obs=obs)
+    ctl = mw.resilience.policy
+    ctl.note_tight_deadline(2.0)
+    ctl.city_utilisation = lambda: 0.99
+    ctl._evaluate(T0, 60.0)
+    assert ctl.assignment["edge_tight"] == "retry"
+    recs = [r for r in obs.tracer.records
+            if r.kind == "policy" and r.name == "policy.decision"
+            and r.args.get("action") == "switch_edge_tight"]
+    assert len(recs) == 1
+    assert recs[0].parent_id is None
+    assert recs[0].args["reason"] == "overload"
+
+
+def test_controller_min_dwell_suppresses_flapping():
+    mw = make_mw(recovery=RecoveryConfig.adaptive_on(
+        adaptive_window=1, adaptive_min_dwell_s=1e9))
+    ctl = mw.resilience.policy
+    ctl.note_tight_deadline(2.0)
+    ctl.city_utilisation = lambda: 0.99
+    ctl._evaluate(T0, 60.0)
+    assert ctl.assignment["edge_tight"] == "retry"
+    ctl.city_utilisation = lambda: 0.1
+    ctl._evaluate(T0 + 60.0, 60.0)
+    assert ctl.assignment["edge_tight"] == "retry"  # dwell pins the choice
+    assert ctl.switches == 1
+
+
+def test_controller_retry_bridges_rule():
+    mw = make_mw(recovery=RecoveryConfig.adaptive_on(
+        adaptive_window=1, adaptive_min_dwell_s=0.0))
+    ctl = mw.resilience.policy
+    # before any failure, the analytic prior stands in: p99 = timeout = 2.5 s
+    assert ctl.detection_p99_s() == 2.5
+    # loose tight-class deadlines: detect (2.5) + backoff (0.5) fits 60 s,
+    # so retry covers crashes and the speculation tax is not worth paying
+    ctl.note_tight_deadline(60.0)
+    assert ctl.retry_can_bridge()
+    ctl.city_utilisation = lambda: 0.1
+    ctl._evaluate(T0, 60.0)
+    assert ctl.assignment["edge_tight"] == "retry"
+    # a genuinely tight deadline flips the feasibility check back
+    ctl.note_tight_deadline(2.0)
+    assert not ctl.retry_can_bridge()
+    ctl._evaluate(T0 + 60.0, 60.0)
+    assert ctl.assignment["edge_tight"] == "clone"
+
+
+def test_adaptive_churn_run_is_deterministic():
+    def signature():
+        cfg = dict(server_mtbf_s=1800.0, server_mttr_s=300.0,
+                   master_mtbf_s=1200.0, master_mttr_s=60.0,
+                   wan_flap_rate_per_day=12.0, wan_flap_duration_s=120.0)
+        mw = make_mw(recovery=RecoveryConfig.adaptive_on(
+                         adaptive_eval_interval_s=60.0),
+                     churn=ChurnConfig(**cfg), enable_churn=True, seed=11)
+        reqs = [edge(T0 + 20.0 + 60.0 * i, deadline=60.0) for i in range(30)]
+        mw.inject(reqs)
+        mw.run_until(T0 + 6 * HOUR)
+        log = mw.resilience.log
+        return (
+            log.server_failures, log.clones_spawned, log.clone_wins,
+            log.clone_waste_cycles, log.failure_waste_cycles,
+            tuple(sorted(log.policy_decisions.items())),
+            mw.resilience.policy.switches,
+            tuple((r.status.value, r.completed_at, r.executed_on) for r in reqs),
+        )
+
+    assert signature() == signature()
+
+
+# --------------------------------------------------------------------------- #
+# decision provenance: spans in request trees, counters in the twin
+# --------------------------------------------------------------------------- #
+def test_policy_decision_spans_linked_into_request_tree():
+    from repro import obs as O
+
+    obs = O.Observability(tracer=O.Tracer())
+    mw = make_mw(recovery=RecoveryConfig(clone=True,
+                                         clone_deadline_threshold_s=10.0,
+                                         clone_cancel_on="start"),
+                 obs=obs)
+    req = edge(T0 + 5.0, deadline=8.0, cycles=2 * GHZ)
+    mw.inject([req])
+    mw.run_until(T0 + 60.0)
+    decisions = [r for r in obs.tracer.records if r.kind == "policy"]
+    assert {r.args["action"] for r in decisions} == {"spawn_clone",
+                                                     "cancel_sibling"}
+    # the decision spans live in the request's causal tree, parented into
+    # the chain — not floating point events
+    (tid,) = {r.trace_id for r in decisions}
+    assert tid is not None
+    assert all(r.parent_id is not None for r in decisions)
+    names = {r.name for r in obs.tracer.records if r.trace_id == tid}
+    assert "policy.decision" in names and "edge.completed" in names
+
+
+def test_status_dict_surfaces_policy_counters():
+    mw = make_mw(recovery=RecoveryConfig.adaptive_on())
+    # deadline 2 s: detect (2.5) + backoff (0.5) cannot bridge, so the
+    # controller keeps cloning armed for the tight class
+    req = edge(T0 + 5.0, deadline=2.0)
+    mw.inject([req])
+    mw.run_until(T0 + 60.0)
+    status = mw.resilience.status_dict()
+    assert status["clones_spawned"] == 1
+    assert status["policy_decisions"]["spawn_clone"] == 1
+    assert status["controller"]["assignment"]["edge_tight"] == "clone"
+    assert status["controller"]["evals"] >= 1
+    import json
+    json.dumps(status)  # must be JSON-serialisable for /api/state + SSE
+
+
+# --------------------------------------------------------------------------- #
+# pre-engine byte-identity pin: RecoveryConfig.none() under churn
+# --------------------------------------------------------------------------- #
+def test_recovery_none_matches_pre_policy_engine_seed_path():
+    """Pin that the policy engine changed nothing for unarmed configs.
+
+    The signature hash below was captured on the commit *before* the policy
+    engine (cancel-on-start, load gates, adaptive controller) landed.  If
+    this test fails, the refactor perturbed the legacy no-recovery event
+    stream — a determinism regression, not a golden refresh.
+    """
+    import hashlib
+
+    res = ResilienceConfig(
+        churn=ChurnConfig(server_mtbf_s=1800.0, server_mttr_s=300.0,
+                          building_cut_rate_per_day=8.0,
+                          building_cut_duration_s=300.0,
+                          master_mtbf_s=1200.0, master_mttr_s=60.0,
+                          wan_flap_rate_per_day=12.0, wan_flap_duration_s=120.0),
+        detector=DetectorConfig(heartbeat_interval_s=1.0, timeout_s=2.5),
+        recovery=RecoveryConfig.none(),
+        enable_churn=True,
+    )
+    mw = DF3Middleware(MiddlewareConfig(
+        n_districts=2, buildings_per_district=1, rooms_per_building=2,
+        dc_nodes=2, seed=11, start_time=T0, enable_filler=False,
+        resilience=res))
+    reqs = [EdgeRequest(cycles=0.2 * GHZ, time=T0 + 20.0 + 60.0 * i,
+                        deadline_s=60.0, source="district-0/building-0",
+                        input_bytes=2e3)
+            for i in range(30)]
+    cloud = [CloudRequest(cycles=2e12, time=T0 + 120.0 + 500.0 * i, cores=2)
+             for i in range(4)]
+    mw.inject(reqs)
+    mw.inject(cloud)
+    mw.run_until(T0 + 6 * HOUR)
+    log = mw.resilience.log
+    sig = (
+        log.server_failures, log.server_repairs, log.master_failures,
+        log.wan_flaps, round(log.wasted_cycles, 6),
+        tuple(round(x, 9) for x in log.detection_latencies_s),
+        tuple((r.status.value, round(r.completed_at, 9), r.executed_on)
+              for r in reqs + cloud),
+        mw.engine.events_executed,
+    )
+    digest = hashlib.sha256(repr(sig).encode()).hexdigest()
+    assert digest == ("39590e19dbeb5f5733b06ad2e571617f"
+                      "001e6ba7be17246ee265db4573fe5d31")

@@ -151,3 +151,117 @@ def test_chaos_rerun_is_byte_identical():
 
 def test_chaos_seed_changes_the_storm():
     assert signature(*run_chaos(seed=23)) != signature(*run_chaos(seed=24))
+
+
+# --------------------------------------------------------------------------- #
+# cancel-on-start cloning under the same storms
+# --------------------------------------------------------------------------- #
+def run_chaos_cancel_on_start(seed=17):
+    """The fault storm against a city whose edge flow is cancel-on-start
+    cloned (every request below the threshold spawns a speculative sibling
+    that must be cancelled the instant the other member starts)."""
+    from repro.core.resilience import (
+        DetectorConfig,
+        RecoveryConfig,
+        ResilienceConfig,
+    )
+
+    res = ResilienceConfig(
+        detector=DetectorConfig(heartbeat_interval_s=1.0, timeout_s=2.5),
+        recovery=RecoveryConfig(retry=True, clone=True,
+                                clone_deadline_threshold_s=150.0,
+                                clone_cancel_on="start"),
+        enable_churn=False,  # the planner below is the only fault source
+    )
+    mw = DF3Middleware(MiddlewareConfig(
+        n_districts=N_DISTRICTS, buildings_per_district=1, rooms_per_building=2,
+        dc_nodes=2, seed=3, start_time=T0, enable_filler=False, resilience=res))
+    rt = mw.resilience
+    names = [w.name for d in sorted(mw.clusters) for w in mw.clusters[d].workers]
+
+    # faults route through the runtime hooks (detection-gated salvage), the
+    # same entry points the stochastic churn model uses
+    dispatch = {
+        "crash": rt.on_server_failure,
+        "recover": rt.on_server_recovery,
+        "wan_down": lambda _: rt.on_wan_down(),
+        "wan_up": lambda _: rt.on_wan_up(),
+        "master_down": rt.on_master_failure,
+        "master_up": rt.on_master_recovery,
+    }
+    for t, op, arg in plan_faults(names, seed):
+        mw.engine.schedule_at(t, lambda op=op, arg=arg: dispatch[op](arg))
+
+    edge_reqs = [
+        EdgeRequest(cycles=2 * GHZ, time=T0 + 30.0 + 150.0 * i, deadline_s=120.0,
+                    source=f"district-{i % N_DISTRICTS}/building-0",
+                    input_bytes=2e3)
+        for i in range(40)
+    ]
+    mw.inject(edge_reqs)
+
+    mw.run_until(T0 + STORM_S)
+    for s in sorted(rt.injector.down_servers):
+        rt.on_server_recovery(s)
+    if rt.injector.wan_partitioned:
+        rt.on_wan_up()
+    for d in range(N_DISTRICTS):
+        if rt.injector.master_is_down(d):
+            rt.on_master_recovery(d)
+    mw.run_until(T0 + STORM_S + HOUR)
+    return mw, rt, edge_reqs
+
+
+def cs_signature(mw, rt, edge_reqs):
+    log = rt.log
+    return (
+        tuple((r.status.value, r.completed_at, r.executed_on)
+              for r in edge_reqs),
+        (log.server_failures, log.clones_spawned, log.clone_wins,
+         log.clone_waste_cycles, log.failure_waste_cycles,
+         tuple(sorted(log.policy_decisions.items()))),
+        tuple(w.free_cores for d in sorted(mw.clusters)
+              for w in mw.clusters[d].workers),
+    )
+
+
+def test_cancel_on_start_chaos_invariants():
+    mw, rt, edge_reqs = run_chaos_cancel_on_start()
+    assert rt.log.server_failures > 0
+    assert rt.log.clones_spawned == len(edge_reqs)  # all below the threshold
+
+    # exactly-once completion per *logical* request: one terminal record per
+    # primary, and no clone id ever reaches a terminal ledger
+    records = Counter()
+    for sched in mw.schedulers.values():
+        for r in sched.completed_edge:
+            records[r.request_id] += 1
+        for r in sched.expired_edge:
+            records[r.request_id] += 1
+    assert not any(rid.endswith("#clone") for rid in records)
+    for r in edge_reqs:
+        assert r.finished
+        assert records[r.request_id] == 1
+
+    # no orphaned sibling holds cores after cancellation, and capacity
+    # conservation held through every crash/cancel interleaving
+    for d in sorted(mw.clusters):
+        for w in mw.clusters[d].workers:
+            assert 0 <= w.free_cores <= w.n_cores
+            assert w.free_cores == w.n_cores  # everything drained post-heal
+            assert not any(t.task_id.endswith("#clone")
+                           for t in w.running_tasks)
+
+    # cancel-on-start means the sibling never burned cycles
+    assert rt.log.clone_waste_cycles == 0.0
+    assert rt.log.policy_decisions["cancel_sibling"] >= 1
+
+
+def test_cancel_on_start_chaos_rerun_is_byte_identical():
+    assert (cs_signature(*run_chaos_cancel_on_start(seed=23))
+            == cs_signature(*run_chaos_cancel_on_start(seed=23)))
+
+
+def test_cancel_on_start_chaos_seed_changes_the_storm():
+    assert (cs_signature(*run_chaos_cancel_on_start(seed=23))
+            != cs_signature(*run_chaos_cancel_on_start(seed=24)))
