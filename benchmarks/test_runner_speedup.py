@@ -1,15 +1,25 @@
-"""Bench the sweep runner: serial vs ``--jobs 4`` vs warm cache.
+"""Bench the sweep runner: flat serial vs DAG ``--jobs 4`` vs warm cache.
 
-Times the A6 churn sweep (15 independent points, the repo's largest) through
-:class:`repro.runner.SweepRunner` three ways and emits
-``benchmarks/results/BENCH_runner.json`` — serial/parallel/warm wall-clock,
-speedups and byte-identity — which CI uploads as the ``runner-bench``
-artifact.
+Times the A6 churn sweep (21 grid cells + 1 shared workload-plan prefix, the
+repo's largest) through :class:`repro.runner.SweepRunner` and emits
+``benchmarks/results/BENCH_runner.json`` — wall-clock per path, speedups,
+node-dedup counts and byte-identity — which CI uploads as the
+``runner-bench`` artifact.
 
-The ≥2× parallel-speedup assertion is gated on ``os.cpu_count() >= 4``: on a
-single-core runner four workers cannot beat one, and the artifact records
-that honestly instead of asserting fiction.  The warm-cache speedup holds on
-any machine — a fully cached sweep only unpickles and reduces.
+Honesty rules for the record (they used to be broken — the file carried a
+0.87× "speedup" measured on a 1-core runner as if it were a result):
+
+* ``cpu_count`` is always recorded;
+* the ≥2× parallel-speedup assertion fires only when ``os.cpu_count() >= 4``;
+  on smaller boxes the ``parallel_speedup`` field is the literal string
+  ``"skipped_insufficient_cores"`` (the raw measurement moves to
+  ``measured_parallel_speedup`` for forensics, clearly not a claim);
+* the shared-prefix dedup is asserted unconditionally: the DAG run must
+  compute each prefix exactly once (``computed_nodes == points + prefixes``),
+  on any machine — dedup is a property of the graph, not of the host.
+
+The warm-cache speedup also holds on any machine — a fully cached sweep
+only unpickles and reduces.
 """
 
 import json
@@ -35,40 +45,59 @@ def _timed(runner):
 def test_runner_speedup(tmp_path):
     cache = ResultCache(tmp_path / "bench_cache")
 
-    serial_s, serial = _timed(SweepRunner(jobs=1, cache=None))
-    parallel_s, parallel = _timed(SweepRunner(jobs=JOBS, cache=cache))
-    warm_s, warm = _timed(SweepRunner(jobs=1, cache=cache))
+    # the reference bytes: the historical flat serial path
+    serial_s, serial = _timed(SweepRunner(jobs=1, cache=None, backend="flat"))
+    parallel_s, parallel = _timed(
+        SweepRunner(jobs=JOBS, cache=cache, backend="dag"))
+    warm_s, warm = _timed(SweepRunner(jobs=1, cache=cache, backend="dag"))
 
-    # determinism contract: all three paths render the same bytes
+    # determinism contract: all paths (and both backends) render one text
     assert parallel.result.text == serial.result.text
     assert warm.result.text == serial.result.text
     assert serial.points == parallel.points == warm.points
     assert parallel.computed == parallel.points and parallel.cached == 0
     assert warm.fully_cached
 
+    # shared-prefix dedup (acceptance criterion): the DAG run computed each
+    # prefix node exactly once — 21 grid cells + 1 shared workload plan
+    assert parallel.nodes == parallel.points + 1
+    assert parallel.computed_nodes == parallel.nodes
+    assert warm.computed_nodes == 0
+
     cpus = os.cpu_count() or 1
-    parallel_speedup = serial_s / parallel_s
+    measured_speedup = serial_s / parallel_s
     cache_speedup = serial_s / warm_s
 
     # a fully cached sweep only unpickles and reduces — fast everywhere
     assert cache_speedup >= 2.0, f"warm cache only {cache_speedup:.2f}x"
-    if cpus >= JOBS:
-        assert parallel_speedup >= 2.0, (
-            f"--jobs {JOBS} only {parallel_speedup:.2f}x on {cpus} CPUs"
+    speedup_asserted = cpus >= JOBS
+    if speedup_asserted:
+        assert measured_speedup >= 2.0, (
+            f"--jobs {JOBS} only {measured_speedup:.2f}x on {cpus} CPUs"
         )
 
+    stats = parallel.backend_stats
     bench = {
         "experiment": SWEEP.experiment_id,
         "seed": SEED,
+        "backend": "dag",
         "points": serial.points,
+        "nodes": parallel.nodes,
+        "computed_nodes": parallel.computed_nodes,
+        "prefix_nodes": parallel.nodes - parallel.points,
         "jobs": JOBS,
         "cpu_count": cpus,
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),
         "warm_cache_s": round(warm_s, 3),
-        "parallel_speedup": round(parallel_speedup, 2),
+        # never record a sub-1x figure from an undersized box as a result
+        "parallel_speedup": (round(measured_speedup, 2) if speedup_asserted
+                             else "skipped_insufficient_cores"),
+        "measured_parallel_speedup": round(measured_speedup, 2),
         "cache_speedup": round(cache_speedup, 2),
-        "parallel_speedup_asserted": cpus >= JOBS,
+        "parallel_speedup_asserted": speedup_asserted,
+        "worker_deaths": stats.worker_deaths if stats else 0,
+        "chunks_dispatched": stats.chunks_dispatched if stats else 0,
         "byte_identical": True,
     }
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -14,16 +14,22 @@ Parallelism and caching (see DESIGN.md, "Sweep runner")::
     python -m repro run all                  # warm runs reuse .repro_cache/
     python -m repro run all --no-cache       # force recomputation
     python -m repro run E3 --cache-dir /tmp/c
+    python -m repro run A6 --backend flat    # historical flat point-pool
 
 Sweep-shaped experiments (those exporting a ``SWEEP`` spec) decompose into
 independent points executed by :class:`repro.runner.SweepRunner`; completed
 points are stored content-addressed under ``--cache-dir`` (default
 ``.repro_cache/``), keyed by experiment id + point spec + code version, so a
-re-run only recomputes what changed.  ``--jobs 1`` (the default) executes
-points inline in points order — byte-identical to the historical serial
-runner — and any ``--jobs`` produces byte-identical tables, because results
-are always reassembled in points order.  Runs with observability flags
-bypass the cache: an instrumented run must actually execute to have
+re-run only recomputes what changed.  ``--backend dag`` (the default, or
+``$REPRO_BACKEND``) additionally lifts each sweep's shared prefix stage —
+workload plans, city blueprints — into upstream task-graph nodes computed
+once, cached per node, and fanned out to the sweep points; ``--jobs N``
+then executes the pending subgraph over a work-stealing worker pool.
+``--jobs 1`` (the default) executes nodes inline in deterministic graph
+order — byte-identical to the historical serial runner — and any
+backend × jobs × cache combination produces byte-identical tables, because
+results are always reassembled in points order.  Runs with observability
+flags bypass the cache: an instrumented run must actually execute to have
 something to observe.
 
 Observability (see DESIGN.md, "Observability") — any combination of::
@@ -240,6 +246,9 @@ def main(argv=None) -> int:
                            "'vector'; outputs are byte-identical either way)")
     runp.add_argument("--jobs", type=int, default=1, metavar="N",
                       help="worker processes for sweep experiments (default 1)")
+    runp.add_argument("--backend", choices=("flat", "dag"), default=None,
+                      help="sweep execution backend (default: $REPRO_BACKEND "
+                           "or 'dag'; outputs are byte-identical either way)")
     runp.add_argument("--no-cache", action="store_true",
                       help="neither read nor write the result cache")
     runp.add_argument("--cache-dir", metavar="PATH",
@@ -384,7 +393,8 @@ def main(argv=None) -> int:
         obs = _build_obs(args, eid, multi)  # fresh bundle per experiment
         # an instrumented run must execute to have something to observe
         runner = SweepRunner(jobs=args.jobs,
-                             cache=None if obs is not None else cache)
+                             cache=None if obs is not None else cache,
+                             backend=args.backend)
         t0 = time.time()
         with obs_mod.obs_session(obs) if obs is not None else nullcontext():
             try:

@@ -16,7 +16,7 @@ from repro.experiments.common import ExperimentResult, mid_month_start, small_ci
 from repro.metrics.collectors import TimeSeries
 from repro.metrics.report import Table
 from repro.runner.runner import run_sweep
-from repro.runner.spec import SweepPoint, SweepSpec
+from repro.runner.spec import SweepPoint, SweepPrefix, SweepSpec
 from repro.sim.calendar import DAY, HOUR
 
 __all__ = ["run", "SWEEP"]
@@ -29,10 +29,22 @@ _WINDOWS_H = (
 )
 
 
-def _dr_cell(seed: int) -> Dict[str, float]:
+def _city_blueprint(seed: int):
+    """A4's shared prefix: the resolved city-construction kwargs.
+
+    Pure data (and globally inert — no request ids, no rng), so the DAG
+    backend caches it per node and hands it to the sim cell; the flat
+    backend recomputes it inline, byte-identically.
+    """
+    return (("seed", seed), ("start_time", mid_month_start(1)))
+
+
+def _dr_cell(seed: int, blueprint=None) -> Dict[str, float]:
     """Simulate the capped day; returns the window means + comfort summary."""
+    if blueprint is None:
+        blueprint = _city_blueprint(seed)
     t0 = mid_month_start(1)
-    mw = small_city(seed=seed, start_time=t0)
+    mw = small_city(**dict(blueprint))
     cap_holder = {"w": 0.0}
 
     def apply_cap() -> None:
@@ -70,6 +82,16 @@ def sweep_points(seed: int = 71) -> List[SweepPoint]:
         experiment_id="A4", point_id="capped-day",
         cell="repro.experiments.a4_demand_response:_dr_cell",
         params=(("seed", seed),),
+        needs=(("blueprint", "city-blueprint"),),
+    )]
+
+
+def sweep_prefixes(seed: int = 71) -> List[SweepPrefix]:
+    """The city blueprint the capped-day cell builds from."""
+    return [SweepPrefix(
+        experiment_id="A4", prefix_id="city-blueprint",
+        cell="repro.experiments.a4_demand_response:_city_blueprint",
+        params=(("seed", seed),),
     )]
 
 
@@ -99,7 +121,8 @@ def sweep_reduce(cells: Dict[str, Any], seed: int = 71) -> ExperimentResult:
     )
 
 
-SWEEP = SweepSpec("A4", points=sweep_points, reduce=sweep_reduce)
+SWEEP = SweepSpec("A4", points=sweep_points, reduce=sweep_reduce,
+                  prefixes=sweep_prefixes)
 
 
 def run(seed: int = 71) -> ExperimentResult:

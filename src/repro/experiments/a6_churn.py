@@ -59,12 +59,18 @@ from repro.core.scheduling.base import SaturationPolicy
 from repro.experiments.common import ExperimentResult, mid_month_start, small_city
 from repro.metrics.report import Table
 from repro.runner.runner import run_sweep
-from repro.runner.spec import SweepPoint, SweepSpec
+from repro.runner.spec import SweepPoint, SweepPrefix, SweepSpec
 from repro.sim.calendar import DAY, HOUR
 from repro.sim.rng import RngRegistry
 from repro.workloads.edge import EdgeWorkloadConfig, EdgeWorkloadGenerator
 
 __all__ = ["run", "BUNDLES", "MTBF_LEVELS_S", "SWEEP"]
+
+#: building names of the canonical 2×2 small city, in middleware order —
+#: a pure formula (see repro.core.middleware), so the workload plan prefix
+#: can be computed without constructing a city
+_BUILDINGS = tuple(f"district-{d}/building-{b}"
+                   for d in range(2) for b in range(2))
 
 #: the recovery bundles compared (order = report order)
 BUNDLES = {
@@ -106,31 +112,58 @@ def _resilience(mtbf_s: float, recovery: RecoveryConfig) -> ResilienceConfig:
     )
 
 
-def _build_cell(seed: int, mtbf_s: float, recovery: RecoveryConfig):
+def _edge_config() -> EdgeWorkloadConfig:
+    return EdgeWorkloadConfig(
+        rate_per_hour=120.0, mean_megacycles=400.0,
+        # deadlines loose enough that a detected crash (+2.5 s) or a
+        # short master flap (+ backoff) is still recoverable
+        deadline_classes=((2.0, 0.4), (5.0, 0.4), (15.0, 0.2)),
+    )
+
+
+def _workload_plan(seed: int):
+    """A6's shared prefix: the day of edge traffic as per-building plans.
+
+    Identical for all 21 (MTBF, bundle) cells — the grid varies resilience,
+    not workload — so the DAG backend computes it once and fans it out.
+    Pure data, globally inert: rng streams are name-keyed per building and
+    no request objects (hence no request ids) exist until each cell
+    materializes the plan locally.
+    """
+    t0 = mid_month_start(1)
+    rngs = RngRegistry(seed)
+    return tuple(
+        (bname,
+         EdgeWorkloadGenerator(rngs.stream(f"edge-{bname}"), source=bname,
+                               config=_edge_config()).plan(t0, t0 + DAY))
+        for bname in _BUILDINGS
+    )
+
+
+def _build_cell(seed: int, mtbf_s: float, recovery: RecoveryConfig,
+                plan=None):
     """Build one (MTBF level, bundle) cell: city + injected workloads.
 
     Split from :func:`_run_cell` so step-wise drivers (the service layer's
     determinism tests) can advance the identical simulation in slices.
-    Returns ``(mw, t0, edge, cloud)``; the cell's horizon is
-    ``t0 + DAY + 2 * HOUR``.
+    ``plan`` optionally injects the precomputed :func:`_workload_plan`
+    (the DAG backend's shared prefix); when ``None`` the identical plan is
+    computed inline.  Returns ``(mw, t0, edge, cloud)``; the cell's horizon
+    is ``t0 + DAY + 2 * HOUR``.
     """
     t0 = mid_month_start(1)
     mw = small_city(seed=seed, start_time=t0,
                     saturation_policy=SaturationPolicy.QUEUE,
                     resilience=_resilience(mtbf_s, recovery))
 
+    if plan is None:
+        plan = _workload_plan(seed)
     rngs = RngRegistry(seed)
     edge = []
-    for bname in mw.buildings:
-        gen = EdgeWorkloadGenerator(
-            rngs.stream(f"edge-{bname}"), source=bname,
-            config=EdgeWorkloadConfig(
-                rate_per_hour=120.0, mean_megacycles=400.0,
-                # deadlines loose enough that a detected crash (+2.5 s) or a
-                # short master flap (+ backoff) is still recoverable
-                deadline_classes=((2.0, 0.4), (5.0, 0.4), (15.0, 0.2)),
-            ))
-        edge.extend(gen.generate(t0, t0 + DAY))
+    for bname, building_plan in plan:
+        gen = EdgeWorkloadGenerator(rngs.stream(f"edge-{bname}"),
+                                    source=bname, config=_edge_config())
+        edge.extend(gen.materialize(building_plan))
     mw.inject(edge)
 
     # ten 16-core ~2.5 h batch jobs: each monopolises one Q.rad, and at the
@@ -166,9 +199,10 @@ def _finish_cell(mw, edge, cloud) -> Dict[str, float]:
     }
 
 
-def _run_cell(seed: int, mtbf_s: float, recovery: RecoveryConfig) -> Dict[str, float]:
+def _run_cell(seed: int, mtbf_s: float, recovery: RecoveryConfig,
+              plan=None) -> Dict[str, float]:
     """One (MTBF level, bundle) city-day; returns its metrics row."""
-    mw, t0, edge, cloud = _build_cell(seed, mtbf_s, recovery)
+    mw, t0, edge, cloud = _build_cell(seed, mtbf_s, recovery, plan=plan)
     mw.run_until(t0 + DAY + 2 * HOUR)
     return _finish_cell(mw, edge, cloud)
 
@@ -181,10 +215,21 @@ def sweep_points(seed: int = 101) -> List[SweepPoint]:
             point_id=f"{mtbf_label}/{policy}",
             cell="repro.experiments.a6_churn:_run_cell",
             params=(("seed", seed), ("mtbf_s", mtbf_s), ("recovery", recovery)),
+            needs=(("plan", "workload-plan"),),
         )
         for mtbf_label, mtbf_s in MTBF_LEVELS_S.items()
         for policy, recovery in BUNDLES.items()
     ]
+
+
+def sweep_prefixes(seed: int = 101) -> List[SweepPrefix]:
+    """The shared workload plan every grid cell consumes."""
+    return [SweepPrefix(
+        experiment_id="A6",
+        prefix_id="workload-plan",
+        cell="repro.experiments.a6_churn:_workload_plan",
+        params=(("seed", seed),),
+    )]
 
 
 def _pareto_front(level: Dict[str, Dict[str, float]]) -> List[str]:
@@ -254,7 +299,8 @@ def sweep_reduce(cells: Dict[str, Any], seed: int = 101) -> ExperimentResult:
     )
 
 
-SWEEP = SweepSpec("A6", points=sweep_points, reduce=sweep_reduce)
+SWEEP = SweepSpec("A6", points=sweep_points, reduce=sweep_reduce,
+                  prefixes=sweep_prefixes)
 
 
 def run(seed: int = 101) -> ExperimentResult:

@@ -24,7 +24,7 @@ from repro.experiments.common import ExperimentResult, mid_month_start, small_ci
 from repro.metrics.latency import LatencyStats
 from repro.metrics.report import Table
 from repro.runner.runner import run_sweep
-from repro.runner.spec import SweepPoint, SweepSpec
+from repro.runner.spec import SweepPoint, SweepPrefix, SweepSpec
 from repro.sim.calendar import DAY
 from repro.sim.rng import RngRegistry
 from repro.workloads.edge import EdgeWorkloadConfig, EdgeWorkloadGenerator
@@ -35,17 +35,42 @@ __all__ = ["run", "SWEEP"]
 DISTRICT_STEPS = (1, 2, 4)
 
 
-def _scale_point(n_districts: int, seed: int, sim_days: float) -> Dict[str, float]:
+def _workload_plan(seed: int, sim_days: float):
+    """E14's shared prefix: edge plans for the *largest* city's buildings.
+
+    Rng streams are name-keyed per building, so the plan of
+    ``district-0/building-1`` is identical no matter how many districts the
+    consuming point simulates — smaller points just materialize the subset
+    of buildings they actually have.
+    """
+    t0 = mid_month_start(1)
+    rngs = RngRegistry(seed)
+    names = [f"district-{d}/building-{b}"
+             for d in range(max(DISTRICT_STEPS)) for b in range(2)]
+    return tuple(
+        (bname,
+         EdgeWorkloadGenerator(rngs.stream(f"edge-{bname}"), source=bname,
+                               config=EdgeWorkloadConfig(rate_per_hour=60.0)
+                               ).plan(t0, t0 + sim_days * DAY))
+        for bname in names
+    )
+
+
+def _scale_point(n_districts: int, seed: int, sim_days: float,
+                 plan=None) -> Dict[str, float]:
     t0 = mid_month_start(1)
     mw = small_city(seed=seed, start_time=t0, n_districts=n_districts,
                     buildings_per_district=2, rooms_per_building=3,
                     saturation_policy=SaturationPolicy.PREEMPT)
+    if plan is None:
+        plan = _workload_plan(seed, sim_days)
+    plans = dict(plan)
     rngs = RngRegistry(seed)
     edge = []
     for bname in mw.buildings:
         gen = EdgeWorkloadGenerator(rngs.stream(f"edge-{bname}"), source=bname,
                                     config=EdgeWorkloadConfig(rate_per_hour=60.0))
-        edge.extend(gen.generate(t0, t0 + sim_days * DAY))
+        edge.extend(gen.materialize(plans[bname]))
     mw.inject(edge)
     wall0 = time.perf_counter()
     mw.run_until(t0 + (sim_days + 0.05) * DAY)
@@ -72,9 +97,19 @@ def sweep_points(seed: int = 83, sim_days: float = 0.25) -> List[SweepPoint]:
             point_id=f"districts={n}",
             cell="repro.experiments.e14_scale:_scale_point",
             params=(("n_districts", n), ("seed", seed), ("sim_days", sim_days)),
+            needs=(("plan", "workload-plan"),),
         )
         for n in DISTRICT_STEPS
     ]
+
+
+def sweep_prefixes(seed: int = 83, sim_days: float = 0.25) -> List[SweepPrefix]:
+    """The union workload plan every scale point draws its buildings from."""
+    return [SweepPrefix(
+        experiment_id="E14", prefix_id="workload-plan",
+        cell="repro.experiments.e14_scale:_workload_plan",
+        params=(("seed", seed), ("sim_days", sim_days)),
+    )]
 
 
 def sweep_reduce(cells: Dict[str, Any], seed: int = 83,
@@ -98,7 +133,8 @@ def sweep_reduce(cells: Dict[str, Any], seed: int = 83,
     )
 
 
-SWEEP = SweepSpec("E14", points=sweep_points, reduce=sweep_reduce)
+SWEEP = SweepSpec("E14", points=sweep_points, reduce=sweep_reduce,
+                  prefixes=sweep_prefixes)
 
 
 def run(seed: int = 83, sim_days: float = 0.25) -> ExperimentResult:

@@ -17,16 +17,27 @@ from repro.core.pricing import SeasonalPricing
 from repro.experiments.common import ExperimentResult, mid_month_start, small_city
 from repro.metrics.report import Table
 from repro.runner.runner import run_sweep
-from repro.runner.spec import SweepPoint, SweepSpec
+from repro.runner.spec import SweepPoint, SweepPrefix, SweepSpec
 from repro.sim.calendar import DAY, MONTH_LENGTHS, month_name
 
 __all__ = ["run", "SWEEP"]
 
 
-def _capacity_cell(seed: int, days: float, month: int, boilers: int) -> float:
+def _fleet_blueprint(seed: int, boilers: int):
+    """E3's shared prefix: one fleet flavour's city kwargs (sans month).
+
+    Each of the two flavours (with/without digital boilers) is consumed by
+    its twelve month points; the cell adds the month-specific start time.
+    """
+    return (("seed", seed), ("boilers_per_district", boilers))
+
+
+def _capacity_cell(seed: int, days: float, month: int, boilers: int,
+                   blueprint=None) -> float:
     """Extrapolated core-hours of one (month, fleet flavour) sample window."""
-    mw = small_city(seed=seed, start_time=mid_month_start(month),
-                    boilers_per_district=boilers)
+    if blueprint is None:
+        blueprint = _fleet_blueprint(seed, boilers)
+    mw = small_city(start_time=mid_month_start(month), **dict(blueprint))
     mw.run_until(mw.engine.now + days * DAY)
     sampled = mw.smartgrid.monthly_capacity_core_hours().get(month, 0.0)
     return sampled * MONTH_LENGTHS[month - 1] / days
@@ -47,9 +58,24 @@ def sweep_points(days_per_month: float = 1.0, seed: int = 19) -> List[SweepPoint
             cell="repro.experiments.e3_seasonal_capacity:_capacity_cell",
             params=(("seed", seed), ("days", days_per_month),
                     ("month", month), ("boilers", boilers)),
+            needs=(("blueprint", f"fleet/boilers={boilers}"),),
         )
         for boilers in (0, 1)
         for month in range(1, 13)
+    ]
+
+
+def sweep_prefixes(days_per_month: float = 1.0,
+                   seed: int = 19) -> List[SweepPrefix]:
+    """One blueprint per fleet flavour, each feeding twelve month points."""
+    return [
+        SweepPrefix(
+            experiment_id="E3",
+            prefix_id=f"fleet/boilers={boilers}",
+            cell="repro.experiments.e3_seasonal_capacity:_fleet_blueprint",
+            params=(("seed", seed), ("boilers", boilers)),
+        )
+        for boilers in (0, 1)
     ]
 
 
@@ -90,7 +116,8 @@ def sweep_reduce(cells: Dict[str, Any], days_per_month: float = 1.0,
     )
 
 
-SWEEP = SweepSpec("E3", points=sweep_points, reduce=sweep_reduce)
+SWEEP = SweepSpec("E3", points=sweep_points, reduce=sweep_reduce,
+                  prefixes=sweep_prefixes)
 
 
 def run(days_per_month: float = 1.0, seed: int = 19) -> ExperimentResult:

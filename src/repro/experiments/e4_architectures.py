@@ -16,7 +16,7 @@ from repro.core.scheduling.base import SaturationPolicy
 from repro.experiments.common import ExperimentResult, mid_month_start, small_city
 from repro.metrics.report import Table
 from repro.runner.runner import run_sweep
-from repro.runner.spec import SweepPoint, SweepSpec
+from repro.runner.spec import SweepPoint, SweepPrefix, SweepSpec
 from repro.sim.calendar import HOUR, MINUTE
 from repro.sim.rng import RngRegistry
 from repro.workloads.edge import EdgeWorkloadConfig, EdgeWorkloadGenerator
@@ -34,7 +34,37 @@ _VARIANTS = (
 _GHZ = 1e9
 
 
-def _scenario(architecture: str, dedicated: int, burst: bool, seed: int) -> Dict[str, float]:
+def _edge_gen(rngs: RngRegistry) -> EdgeWorkloadGenerator:
+    return EdgeWorkloadGenerator(
+        rngs.stream("e4-edge"), source="district-0/building-0",
+        config=EdgeWorkloadConfig(rate_per_hour=240.0),
+    )
+
+
+def _workload_plan(seed: int):
+    """E4's shared prefix: cloud draws + steady and burst edge plans.
+
+    Identical for all eight scenarios (they vary architecture and whether
+    the burst is *injected*, not the draws).  The burst plan is drawn after
+    the steady plan from the same named stream — the order the historical
+    cells consumed it — so steady cells simply ignore it.
+    """
+    t0 = mid_month_start(1)
+    rngs = RngRegistry(seed)
+    rng = rngs.stream("e4-cloud")
+    cloud = tuple(
+        (float(rng.uniform(0.8e13, 1.2e13)),
+         t0 + float(rng.uniform(0, 1.0 * HOUR)))
+        for _ in range(400)
+    )
+    edge_gen = _edge_gen(rngs)
+    steady = edge_gen.plan(t0, t0 + 2 * HOUR)
+    burst = edge_gen.plan_burst(t0 + HOUR, n=400, spacing_s=0.05)
+    return (cloud, steady, burst)
+
+
+def _scenario(architecture: str, dedicated: int, burst: bool, seed: int,
+              plan=None) -> Dict[str, float]:
     t0 = mid_month_start(1)
     mw = small_city(
         seed=seed, start_time=t0, architecture=architecture,
@@ -42,24 +72,20 @@ def _scenario(architecture: str, dedicated: int, burst: bool, seed: int) -> Dict
         saturation_policy=SaturationPolicy.QUEUE, enable_filler=False,
         dc_nodes=0,
     )
-    rngs = RngRegistry(seed)
+    if plan is None:
+        plan = _workload_plan(seed)
+    cloud_plan, steady_plan, burst_plan = plan
     # DCC background sized to ≈ the whole fleet's 2-hour cycle budget, so
     # the cluster is genuinely contended (the §III-B "cluster is full" regime)
-    cloud: List[CloudRequest] = []
-    rng = rngs.stream("e4-cloud")
-    for i in range(400):
-        cloud.append(CloudRequest(
-            cycles=float(rng.uniform(0.8e13, 1.2e13)),
-            time=t0 + float(rng.uniform(0, 1.0 * HOUR)),
-            cores=1,  # single-core jobs pack the fleet with no fragmentation
-        ))
-    edge_gen = EdgeWorkloadGenerator(
-        rngs.stream("e4-edge"), source="district-0/building-0",
-        config=EdgeWorkloadConfig(rate_per_hour=240.0),
-    )
-    edge = edge_gen.generate(t0, t0 + 2 * HOUR)
+    cloud: List[CloudRequest] = [
+        CloudRequest(cycles=cycles, time=time, cores=1)
+        for cycles, time in cloud_plan
+        # single-core jobs pack the fleet with no fragmentation
+    ]
+    edge_gen = _edge_gen(RngRegistry(seed))
+    edge = edge_gen.materialize(steady_plan)
     if burst:
-        burst_reqs = edge_gen.generate_burst(t0 + HOUR, n=400, spacing_s=0.05)
+        burst_reqs = edge_gen.materialize(burst_plan)
         # a real burst comes from many devices at once — give each its own
         # radio so the cluster, not one uplink, is what saturates
         for i, r in enumerate(burst_reqs):
@@ -86,10 +112,20 @@ def sweep_points(seed: int = 23) -> List[SweepPoint]:
             cell="repro.experiments.e4_architectures:_scenario",
             params=(("architecture", arch), ("dedicated", pool),
                     ("burst", burst), ("seed", seed)),
+            needs=(("plan", "workload-plan"),),
         )
         for burst in (False, True)
         for vid, arch, pool, _ in _VARIANTS
     ]
+
+
+def sweep_prefixes(seed: int = 23) -> List[SweepPrefix]:
+    """The shared workload plan all eight scenarios consume."""
+    return [SweepPrefix(
+        experiment_id="E4", prefix_id="workload-plan",
+        cell="repro.experiments.e4_architectures:_workload_plan",
+        params=(("seed", seed),),
+    )]
 
 
 def sweep_reduce(cells: Dict[str, Any], seed: int = 23) -> ExperimentResult:
@@ -114,7 +150,8 @@ def sweep_reduce(cells: Dict[str, Any], seed: int = 23) -> ExperimentResult:
     )
 
 
-SWEEP = SweepSpec("E4", points=sweep_points, reduce=sweep_reduce)
+SWEEP = SweepSpec("E4", points=sweep_points, reduce=sweep_reduce,
+                  prefixes=sweep_prefixes)
 
 
 def run(seed: int = 23) -> ExperimentResult:

@@ -28,20 +28,46 @@ cache hit all yield byte-identical ``ExperimentResult.text`` (locked in by
 
 from __future__ import annotations
 
+from repro.runner.backend import (
+    BackendStats,
+    InlineBackend,
+    NodeExecutionError,
+    ProcessBackend,
+    WorkerCrashError,
+)
 from repro.runner.cache import ResultCache
+from repro.runner.graph import (
+    GraphCycleError,
+    TaskGraph,
+    TaskNode,
+    graph_of,
+    node_key,
+)
 from repro.runner.hashing import code_version, stable_hash
-from repro.runner.runner import RunReport, SweepRunner, run_sweep
-from repro.runner.spec import SweepPoint, SweepSpec, sweep_of
+from repro.runner.runner import BACKENDS, RunReport, SweepRunner, run_sweep
+from repro.runner.spec import SweepPoint, SweepPrefix, SweepSpec, sweep_of
 from repro.runner.worker import init_worker
 
 __all__ = [
+    "BACKENDS",
+    "BackendStats",
+    "GraphCycleError",
+    "InlineBackend",
+    "NodeExecutionError",
+    "ProcessBackend",
     "ResultCache",
     "RunReport",
     "SweepPoint",
+    "SweepPrefix",
     "SweepRunner",
     "SweepSpec",
+    "TaskGraph",
+    "TaskNode",
+    "WorkerCrashError",
     "code_version",
+    "graph_of",
     "init_worker",
+    "node_key",
     "run_sweep",
     "stable_hash",
     "sweep_of",

@@ -1,0 +1,364 @@
+"""Graph execution backends: inline, and chunked work-stealing processes.
+
+Both backends execute a *pending subset* of a :class:`~repro.runner.graph.TaskGraph`
+given the values already known (cache hits), calling back into the runner as
+each node completes so per-node cache writes happen immediately.  They share
+one determinism contract: node **values** are a pure function of the graph,
+so execution order, worker assignment, chunking, retries — none of it can
+leak into results, and observability merge-back always happens in graph
+order, never completion order.
+
+* :class:`InlineBackend` — runs pending nodes in deterministic topological
+  order in this process under the ambient observability bundle.  With the
+  flat runner's ``jobs=1`` path this *is* the reference serial execution.
+* :class:`ProcessBackend` — the multicore path.  The parent keeps the DAG's
+  ready frontier flowing into one **shared task queue**; idle workers steal
+  the next chunk regardless of which worker computed its upstreams (there is
+  no static partition to go idle on).  Chunks amortize IPC; every chunk is
+  ``claim``-acknowledged by its thief before execution so the parent knows
+  exactly which nodes die with a worker.  Workers stamp a shared heartbeat
+  array from a daemon thread; the parent combines ``Process.is_alive()``
+  with heartbeat staleness to detect crashed or frozen workers, re-enqueues
+  their claimed-but-unfinished nodes (each node is retried at most
+  ``retry_limit`` times — default exactly once), and respawns replacement
+  workers within a death budget.  Because cells are pure, an occasional
+  double execution (watchdog re-enqueue racing a slow worker) is harmless:
+  the first ``done`` message wins, duplicates are dropped.
+
+A cell that *raises* is never retried: the run is deterministic, the same
+exception would recur on any worker, so the parent aborts with
+:class:`NodeExecutionError` carrying the worker's traceback.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs as obs_mod
+from repro.runner.graph import TaskGraph
+from repro.runner.worker import dag_worker_main
+
+__all__ = [
+    "BackendStats",
+    "InlineBackend",
+    "NodeExecutionError",
+    "ProcessBackend",
+    "WorkerCrashError",
+]
+
+
+class NodeExecutionError(RuntimeError):
+    """A node's cell raised inside a worker (deterministic — not retried)."""
+
+    def __init__(self, node_id: str, message: str, worker_traceback: str = ""):
+        self.node_id = node_id
+        self.worker_traceback = worker_traceback
+        super().__init__(f"node {node_id!r} failed: {message}\n{worker_traceback}")
+
+
+class WorkerCrashError(RuntimeError):
+    """A node exhausted its retry budget across worker crashes."""
+
+    def __init__(self, node_id: str, attempts: int):
+        self.node_id = node_id
+        self.attempts = attempts
+        super().__init__(
+            f"node {node_id!r} lost to {attempts} worker crash(es) — "
+            "retry budget exhausted"
+        )
+
+
+@dataclass
+class BackendStats:
+    """What one graph execution did, for reports, benchmarks and tests."""
+
+    executed: int = 0                 # first completions (cache misses run)
+    chunks_dispatched: int = 0
+    worker_deaths: int = 0
+    retried_nodes: int = 0            # re-enqueues after worker deaths
+    respawned_workers: int = 0
+    duplicate_results: int = 0        # late results discarded (idempotent)
+    nodes_per_worker: Dict[int, int] = field(default_factory=dict)
+    last_heartbeat: Dict[int, float] = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------------- #
+class InlineBackend:
+    """Execute pending nodes inline, in deterministic topological order."""
+
+    def __init__(self, obs: Optional[obs_mod.Observability] = None):
+        self.obs = obs
+
+    def execute(
+        self,
+        graph: TaskGraph,
+        pending: Sequence[str],
+        values: Dict[str, Any],
+        on_complete: Callable[[str, Any], None],
+    ) -> BackendStats:
+        stats = BackendStats()
+        ambient = self.obs if self.obs is not None else obs_mod.get_obs()
+        tracing = ambient.tracer.enabled
+        pending_set = set(pending)
+        for nid in graph.order():
+            if nid not in pending_set:
+                continue
+            if tracing:
+                # same id hygiene as the workers: traced ids are a pure
+                # function of the node, not of prior nodes' request counts
+                from repro.core.requests import reset_ids
+                reset_ids()
+            value = graph[nid].execute(values)
+            values[nid] = value
+            on_complete(nid, value)
+            stats.executed += 1
+        return stats
+
+
+# --------------------------------------------------------------------------- #
+class ProcessBackend:
+    """Chunked work-stealing execution over a pool of worker processes."""
+
+    def __init__(
+        self,
+        jobs: int,
+        obs: Optional[obs_mod.Observability] = None,
+        chunk_size: Optional[int] = None,
+        heartbeat_interval_s: float = 0.2,
+        hang_timeout_s: Optional[float] = None,
+        stall_timeout_s: float = 30.0,
+        retry_limit: int = 1,
+        poll_s: float = 0.05,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retry_limit < 0:
+            raise ValueError(f"retry_limit must be >= 0, got {retry_limit}")
+        self.jobs = jobs
+        self.obs = obs
+        self.chunk_size = chunk_size
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.hang_timeout_s = hang_timeout_s
+        self.stall_timeout_s = stall_timeout_s
+        self.retry_limit = retry_limit
+        self.poll_s = poll_s
+
+    # ------------------------------------------------------------------ #
+    def _chunk(self, ready: List[str]) -> List[List[str]]:
+        """Split the ready frontier into steal-sized chunks.
+
+        Auto-sizing aims at ~4 chunks per worker wave: big enough to
+        amortize pickling, small enough that a fast worker can steal work a
+        slow one would otherwise sit on.
+        """
+        if not ready:
+            return []
+        size = self.chunk_size
+        if size is None:
+            size = max(1, min(8, (len(ready) + 4 * self.jobs - 1)
+                              // (4 * self.jobs)))
+        return [ready[i:i + size] for i in range(0, len(ready), size)]
+
+    def execute(
+        self,
+        graph: TaskGraph,
+        pending: Sequence[str],
+        values: Dict[str, Any],
+        on_complete: Callable[[str, Any], None],
+    ) -> BackendStats:
+        import multiprocessing as mp
+
+        bundle = self.obs if self.obs is not None else obs_mod.get_obs()
+        want_metrics = bundle.metrics_enabled
+        want_profile = bundle.profiler is not None
+        want_trace = bundle.tracer.enabled
+        trace_kinds = getattr(bundle.tracer, "kinds", None)
+
+        stats = BackendStats()
+        pending_set = set(pending)
+        pending_order = [nid for nid in graph.order() if nid in pending_set]
+        done: set = set()
+        dispatched: set = set()
+        retries: Dict[str, int] = {}
+        chunk_nodes: Dict[int, List[str]] = {}
+        chunk_claims: Dict[int, int] = {}          # chunk id → worker id
+        merge_back: Dict[str, Tuple[Optional[obs_mod.MetricsRegistry],
+                                    Optional[obs_mod.Profiler],
+                                    Optional[list]]] = {}
+        chunk_ids = itertools.count()
+        respawn_budget = self.jobs
+        watchdog_rounds = 3
+
+        ctx = mp.get_context()
+        task_q: Any = ctx.Queue()
+        result_q: Any = ctx.Queue()
+        heartbeats = ctx.Array("d", [time.time()] * (self.jobs * 2))
+        workers: Dict[int, Any] = {}
+        dead: set = set()
+
+        def _spawn(slot: int) -> None:
+            proc = ctx.Process(
+                target=dag_worker_main,
+                args=(slot, task_q, result_q, heartbeats,
+                      self.heartbeat_interval_s, want_metrics, want_profile,
+                      want_trace, trace_kinds),
+                name=f"dag-worker-{slot}",
+                daemon=True,
+            )
+            proc.start()
+            workers[slot] = proc
+
+        def _dispatch() -> None:
+            ready = [nid for nid in pending_order
+                     if nid not in done and nid not in dispatched
+                     and all(up in values for up in graph[nid].upstream_ids)]
+            for chunk in self._chunk(ready):
+                cid = next(chunk_ids)
+                chunk_nodes[cid] = list(chunk)
+                task_q.put(("run", cid, [
+                    (graph[nid],
+                     {up: values[up] for up in graph[nid].upstream_ids})
+                    for nid in chunk
+                ]))
+                dispatched.update(chunk)
+                stats.chunks_dispatched += 1
+
+        def _reenqueue(lost: List[str], count_retry: bool) -> None:
+            for nid in lost:
+                if count_retry:
+                    retries[nid] = retries.get(nid, 0) + 1
+                    stats.retried_nodes += 1
+                    if retries[nid] > self.retry_limit:
+                        raise WorkerCrashError(nid, retries[nid])
+                dispatched.discard(nid)
+
+        def _lost_nodes(slot: int) -> List[str]:
+            lost: List[str] = []
+            for cid, wid in chunk_claims.items():
+                if wid != slot:
+                    continue
+                lost.extend(nid for nid in chunk_nodes[cid]
+                            if nid not in done and nid not in lost)
+            return lost
+
+        def _check_workers() -> None:
+            now = time.time()
+            deaths_before = stats.worker_deaths
+            for slot, proc in list(workers.items()):
+                if slot in dead:
+                    continue
+                hung = (self.hang_timeout_s is not None
+                        and now - heartbeats[slot] > self.hang_timeout_s)
+                if proc.is_alive() and not hung:
+                    continue
+                if proc.is_alive():  # frozen: reclaim its work forcibly
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+                dead.add(slot)
+                stats.worker_deaths += 1
+                _reenqueue(_lost_nodes(slot), count_retry=True)
+                if (respawn_budget - stats.respawned_workers > 0
+                        and len(done) < len(pending_order)):
+                    new_slot = max(workers) + 1
+                    if new_slot < len(heartbeats):
+                        heartbeats[new_slot] = time.time()
+                        _spawn(new_slot)
+                        stats.respawned_workers += 1
+            if all(slot in dead for slot in workers) \
+                    and len(done) < len(pending_order):
+                raise WorkerCrashError("<all workers dead>",
+                                       stats.worker_deaths)
+            if stats.worker_deaths > deaths_before:
+                _dispatch()  # reclaimed nodes go back out immediately
+
+        try:
+            for slot in range(self.jobs):
+                _spawn(slot)
+            _dispatch()
+            last_progress = time.time()
+            deaths_at_last_progress = 0
+            while len(done) < len(pending_order):
+                try:
+                    msg = result_q.get(timeout=self.poll_s)
+                except queue_mod.Empty:
+                    _check_workers()
+                    stalled = time.time() - last_progress > self.stall_timeout_s
+                    if stalled and stats.worker_deaths > deaths_at_last_progress:
+                        # a death raced the claim ack: its chunk may be gone
+                        # from the queue without ever being claimed.  Cells
+                        # are pure, so conservatively re-enqueue everything
+                        # unfinished that no live worker has claimed.
+                        if watchdog_rounds == 0:
+                            raise WorkerCrashError("<stalled>",
+                                                   stats.worker_deaths)
+                        watchdog_rounds -= 1
+                        live_claims = {nid for cid, wid in chunk_claims.items()
+                                       if wid in workers and wid not in dead
+                                       for nid in chunk_nodes[cid]}
+                        _reenqueue([nid for nid in pending_order
+                                    if nid not in done
+                                    and nid not in live_claims],
+                                   count_retry=False)
+                        last_progress = time.time()
+                        _dispatch()
+                    continue
+                kind = msg[0]
+                if kind == "claim":
+                    _, wid, cid, _members = msg
+                    chunk_claims[cid] = wid
+                    last_progress = time.time()
+                elif kind == "start":
+                    _, wid, _nid = msg
+                    stats.last_heartbeat[wid] = time.time()
+                    last_progress = time.time()
+                elif kind == "done":
+                    _, wid, nid, value, registry, profiler, records = msg
+                    if nid in done:
+                        stats.duplicate_results += 1
+                        continue
+                    done.add(nid)
+                    values[nid] = value
+                    merge_back[nid] = (registry, profiler, records)
+                    on_complete(nid, value)
+                    stats.executed += 1
+                    stats.nodes_per_worker[wid] = \
+                        stats.nodes_per_worker.get(wid, 0) + 1
+                    last_progress = time.time()
+                    deaths_at_last_progress = stats.worker_deaths
+                    _dispatch()
+                elif kind == "error":
+                    _, wid, nid, message, tb = msg
+                    raise NodeExecutionError(nid, message, tb)
+                # "bye" and unknown kinds: ignore
+        finally:
+            for slot, proc in workers.items():
+                if proc.is_alive():
+                    task_q.put(("stop",))
+            deadline = time.time() + 2.0
+            for proc in workers.values():
+                proc.join(timeout=max(0.0, deadline - time.time()))
+            for proc in workers.values():
+                if proc.is_alive():
+                    proc.terminate()
+            task_q.close()
+            result_q.close()
+
+        for slot in workers:
+            stats.last_heartbeat.setdefault(slot, heartbeats[slot])
+            stats.last_heartbeat[slot] = max(stats.last_heartbeat[slot],
+                                             heartbeats[slot])
+
+        # deterministic merge-back: graph order, never completion order
+        for nid in pending_order:
+            registry, profiler, records = merge_back.get(nid, (None, None, None))
+            if registry is not None:
+                bundle.registry.merge(registry)
+            if profiler is not None and bundle.profiler is not None:
+                bundle.profiler.merge(profiler)
+            if records:
+                bundle.tracer.absorb(records)
+        return stats

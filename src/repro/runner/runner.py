@@ -21,21 +21,48 @@ The execution pipeline for a sweep-shaped experiment (one exporting a
 Experiments without a ``SWEEP`` spec still benefit: their whole
 :class:`~repro.experiments.common.ExperimentResult` is cached under
 (code version, experiment id, kwargs), so a warm ``run all`` skips them too.
+
+**Backends.**  ``backend="dag"`` (the default, overridable via the
+``REPRO_BACKEND`` environment variable) routes the sweep through
+:func:`~repro.runner.graph.graph_of`: shared prefix stages become upstream
+nodes computed once and cached per node (:func:`~repro.runner.graph.node_key`
+folds upstream digests into each key), and ``jobs>1`` executes the pending
+subgraph on the work-stealing :class:`~repro.runner.backend.ProcessBackend`.
+``backend="flat"`` preserves the historical point-pool pipeline above.  The
+two backends are byte-identical for every jobs/cache combination — point
+cells recompute their prefixes inline when no value is injected, so both
+paths execute the same pure functions (locked in by
+``tests/test_runner_equivalence.py`` and the golden harness).
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs as obs_mod
+from repro.runner.backend import BackendStats, InlineBackend, ProcessBackend
 from repro.runner.cache import ResultCache
+from repro.runner.graph import TaskGraph, graph_of, node_key
 from repro.runner.hashing import code_version, stable_hash
 from repro.runner.spec import SweepPoint, SweepSpec, sweep_of
 from repro.runner.worker import init_worker, run_point_task
 
-__all__ = ["RunReport", "SweepRunner", "point_key", "reassemble", "run_sweep"]
+__all__ = ["BACKENDS", "RunReport", "SweepRunner", "point_key", "reassemble",
+           "run_sweep"]
+
+BACKENDS = ("flat", "dag")
+
+
+def default_backend() -> str:
+    """The backend used when none is specified: $REPRO_BACKEND or ``dag``."""
+    backend = os.environ.get("REPRO_BACKEND", "dag")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"REPRO_BACKEND must be one of {BACKENDS}, got {backend!r}")
+    return backend
 
 
 def point_key(point: SweepPoint) -> str:
@@ -67,12 +94,24 @@ def reassemble(
 
 @dataclass
 class RunReport:
-    """What one experiment run did: the result plus cache/execution counts."""
+    """What one experiment run did: the result plus cache/execution counts.
+
+    ``points``/``computed``/``cached`` count **sweep points** under every
+    backend, so reports stay comparable across ``flat`` and ``dag``.  The
+    node-level fields are only populated by the DAG backend: ``nodes`` is the
+    full graph size (points + prefixes), ``computed_nodes`` the nodes
+    actually executed, ``cached_nodes`` the nodes served from the per-node
+    cache — which is how tests assert a shared prefix ran *exactly once*.
+    """
 
     result: Any
     points: int = 0        # sweep points in the decomposition (0 = non-sweep)
     computed: int = 0      # points (or whole results) actually executed
     cached: int = 0        # points (or whole results) served from the cache
+    nodes: int = 0           # DAG only: total graph nodes (points + prefixes)
+    computed_nodes: int = 0  # DAG only: nodes executed (incl. prefixes)
+    cached_nodes: int = 0    # DAG only: nodes served from the cache
+    backend_stats: Optional[BackendStats] = None
 
     @property
     def fully_cached(self) -> bool:
@@ -94,10 +133,16 @@ class SweepRunner:
     jobs: int = 1
     cache: Optional[ResultCache] = None
     obs: Optional[obs_mod.Observability] = None
+    backend: Optional[str] = None   # None → $REPRO_BACKEND or "dag"
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.backend is None:
+            self.backend = default_backend()
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}")
 
     # ------------------------------------------------------------------ #
     def run_experiment(self, fn: Callable[..., Any], **kwargs: Any) -> RunReport:
@@ -121,6 +166,8 @@ class SweepRunner:
 
     def run_spec(self, spec: SweepSpec, **kwargs: Any) -> RunReport:
         """Decompose → probe cache → execute pending → reduce in order."""
+        if self.backend == "dag":
+            return self._run_spec_dag(spec, **kwargs)
         points = spec.make_points(**kwargs)
         outcomes: Dict[str, Any] = {}
         pending: List[Tuple[SweepPoint, Optional[str]]] = []
@@ -141,6 +188,83 @@ class SweepRunner:
             points=len(points),
             computed=len(pending),
             cached=len(points) - len(pending),
+        )
+
+    def _run_spec_dag(self, spec: SweepSpec, **kwargs: Any) -> RunReport:
+        """Graph build → probe per-node cache → execute subgraph → reduce.
+
+        Cache probing is **points-first**: only the ancestors of cache-missed
+        points are needed, so a fully warm run executes nothing (prefixes
+        included) and a partially warm run computes each needed prefix at
+        most once.  ``on_complete`` persists every node's value the moment
+        it lands, so a crash mid-sweep still leaves finished nodes cached.
+        """
+        graph = graph_of(spec, **kwargs)
+        memo: Dict[str, str] = {}
+        keys: Dict[str, Optional[str]] = {}
+        values: Dict[str, Any] = {}
+        outcomes: Dict[str, Any] = {}
+        point_nodes = graph.points()
+
+        def probe(node_id: str) -> bool:
+            """Key the node, try the cache; True (and record value) on hit."""
+            key = node_key(graph, node_id, memo) if self.cache is not None \
+                else None
+            keys[node_id] = key
+            if key is not None:
+                hit, value = self.cache.get(key)
+                if hit:
+                    values[node_id] = value
+                    return True
+            return False
+
+        pending_points: List[str] = []
+        for node in point_nodes:
+            if probe(node.node_id):
+                outcomes[node.node_id] = values[node.node_id]
+            else:
+                pending_points.append(node.node_id)
+
+        pending: List[str] = []
+        cached_nodes = len(point_nodes) - len(pending_points)
+        if pending_points:
+            needed_upstream = graph.ancestors(pending_points)
+            for nid in graph.node_ids:     # deterministic declaration order
+                if nid in needed_upstream:
+                    if probe(nid):
+                        cached_nodes += 1
+                    else:
+                        pending.append(nid)
+            pending.extend(pending_points)
+
+        stats: Optional[BackendStats] = None
+        if pending:
+            def on_complete(nid: str, value: Any) -> None:
+                key = keys.get(nid)
+                if key is not None and self.cache is not None:
+                    self.cache.put(key, value)
+                if graph[nid].kind == "point":
+                    outcomes[nid] = value
+
+            if self.jobs == 1:
+                engine: Any = InlineBackend(obs=self.obs)
+            else:
+                engine = ProcessBackend(self.jobs, obs=self.obs)
+            stats = engine.execute(graph, pending, values, on_complete)
+
+        missing = [n.node_id for n in point_nodes if n.node_id not in outcomes]
+        if missing:
+            raise KeyError(f"missing outcomes for points: {missing}")
+        cells = {n.node_id: outcomes[n.node_id] for n in point_nodes}
+        return RunReport(
+            result=spec.reduce(cells, **kwargs),
+            points=len(point_nodes),
+            computed=len(pending_points),
+            cached=len(point_nodes) - len(pending_points),
+            nodes=len(graph),
+            computed_nodes=stats.executed if stats is not None else 0,
+            cached_nodes=cached_nodes,
+            backend_stats=stats,
         )
 
     # ------------------------------------------------------------------ #
@@ -201,11 +325,14 @@ class SweepRunner:
 
 
 def run_sweep(spec: SweepSpec, jobs: int = 1,
-              cache: Optional[ResultCache] = None, **kwargs: Any) -> Any:
+              cache: Optional[ResultCache] = None,
+              backend: Optional[str] = None, **kwargs: Any) -> Any:
     """Run one sweep spec and return its ``ExperimentResult``.
 
     ``run_sweep(SWEEP, **kwargs)`` with the defaults is the drop-in body for
     an experiment module's ``run()``: serial, uncached, byte-identical to
-    the pre-runner implementation.
+    the pre-runner implementation (under either backend — that equivalence
+    is the repo's core determinism contract).
     """
-    return SweepRunner(jobs=jobs, cache=cache).run_spec(spec, **kwargs).result
+    return SweepRunner(jobs=jobs, cache=cache,
+                       backend=backend).run_spec(spec, **kwargs).result

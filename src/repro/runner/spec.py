@@ -22,15 +22,70 @@ Contract:
   tuples and frozen dataclasses all qualify;
 * ``reduce`` receives cells keyed by ``point_id`` **in points order** no
   matter which worker finished first, and must be a pure function of them.
+
+**Prefix stage** (the task-DAG extension).  A spec may additionally export a
+``prefixes`` factory declaring shared upstream work — workload plans, city
+blueprints, warm-up — as :class:`SweepPrefix` nodes::
+
+    def sweep_prefixes(seed: int = 101) -> List[SweepPrefix]:
+        return [SweepPrefix("A6", "workload-plan",
+                            "repro.experiments.a6_churn:_workload_plan",
+                            params=(("seed", seed),))]
+
+    SWEEP = SweepSpec("A6", points=sweep_points, reduce=sweep_reduce,
+                      prefixes=sweep_prefixes)
+
+A point opts into a prefix via ``needs=(("plan", "workload-plan"),)``: under
+the DAG backend the prefix cell runs **once**, its value is cached per node
+and injected into each consuming point's cell as the named kwarg.  The cell
+must accept that kwarg with a ``None`` default and recompute the prefix
+itself when unset — that is what keeps the flat backend (and the historical
+serial path) byte-identical: ``cell(p, plan=None)`` computes exactly
+``prefix(...)`` inline, so both backends execute the same pure functions.
+
+Prefix cells must be **pure and globally inert**: deterministic in their
+params, touching no process-global state (in particular the request-id
+counter — a prefix that constructed request objects would shift every
+downstream id and break byte-identity between backends).
 """
 
 from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-__all__ = ["SweepPoint", "SweepSpec", "sweep_of"]
+__all__ = ["SweepPoint", "SweepPrefix", "SweepSpec", "sweep_of"]
+
+
+@dataclass(frozen=True)
+class SweepPrefix:
+    """A shared upstream stage of a sweep (city construction, workload plan).
+
+    Computed once per distinct ``params`` under the DAG backend and fanned
+    out to every point that ``needs`` it; never executed by the flat backend
+    (whose point cells recompute it inline).  The cell must be pure: same
+    params → same value, no process-global side effects.
+    """
+
+    experiment_id: str
+    prefix_id: str
+    cell: str
+    params: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if ":" not in self.cell:
+            raise ValueError(f"cell must be 'module:function', got {self.cell!r}")
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    def resolve(self) -> Callable[..., Any]:
+        """Import and return the prefix cell function."""
+        module_name, _, func_name = self.cell.partition(":")
+        return getattr(importlib.import_module(module_name), func_name)
+
+    def execute(self) -> Any:
+        """Run the prefix cell in this process."""
+        return self.resolve()(**dict(self.params))
 
 
 @dataclass(frozen=True)
@@ -39,18 +94,23 @@ class SweepPoint:
 
     ``cell`` is a ``"package.module:function"`` reference rather than a
     callable so the spec pickles by name and hashes stably; ``params`` is a
-    sorted tuple of ``(name, value)`` kwargs for that function.
+    sorted tuple of ``(name, value)`` kwargs for that function.  ``needs``
+    optionally maps extra kwarg names to :class:`SweepPrefix` ids whose
+    values the DAG backend injects (the flat backend leaves those kwargs at
+    their ``None`` defaults and the cell recomputes them inline).
     """
 
     experiment_id: str
     point_id: str
     cell: str
     params: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+    needs: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         if ":" not in self.cell:
             raise ValueError(f"cell must be 'module:function', got {self.cell!r}")
         object.__setattr__(self, "params", tuple(sorted(self.params)))
+        object.__setattr__(self, "needs", tuple(sorted(self.needs)))
 
     def resolve(self) -> Callable[..., Any]:
         """Import and return the cell function this point references."""
@@ -64,11 +124,17 @@ class SweepPoint:
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """An experiment's decomposition: points factory + deterministic reduce."""
+    """An experiment's decomposition: points factory + deterministic reduce.
+
+    ``prefixes`` optionally declares the shared upstream stage (see the
+    module docstring); specs without one decompose into a flat fan-out
+    under either backend.
+    """
 
     experiment_id: str
     points: Callable[..., List[SweepPoint]]
     reduce: Callable[..., Any]
+    prefixes: Optional[Callable[..., List["SweepPrefix"]]] = None
 
     def make_points(self, **kwargs: Any) -> List[SweepPoint]:
         """Build the point list for one run, validating id uniqueness."""
@@ -84,6 +150,23 @@ class SweepSpec:
                 raise ValueError(f"duplicate point id {p.point_id!r}")
             seen[p.point_id] = p
         return points
+
+    def make_prefixes(self, **kwargs: Any) -> List["SweepPrefix"]:
+        """Build the prefix list for one run (empty without a prefix stage)."""
+        if self.prefixes is None:
+            return []
+        prefixes = self.prefixes(**kwargs)
+        seen: Dict[str, SweepPrefix] = {}
+        for p in prefixes:
+            if p.experiment_id != self.experiment_id:
+                raise ValueError(
+                    f"prefix {p.prefix_id!r} belongs to {p.experiment_id!r}, "
+                    f"not {self.experiment_id!r}"
+                )
+            if p.prefix_id in seen:
+                raise ValueError(f"duplicate prefix id {p.prefix_id!r}")
+            seen[p.prefix_id] = p
+        return prefixes
 
 
 def sweep_of(fn: Callable[..., Any]) -> SweepSpec | None:

@@ -17,12 +17,15 @@ interleaved by wall clock.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+import threading
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs as obs_mod
 from repro.runner.spec import SweepPoint
 
-__all__ = ["init_worker", "run_point_task"]
+__all__ = ["dag_worker_main", "init_worker", "run_node_task", "run_point_task"]
 
 
 def init_worker() -> None:
@@ -66,3 +69,85 @@ def run_point_task(
         value = point.execute()
     records = tracer.records if tracer is not None else None
     return point.point_id, value, registry, profiler, records
+
+
+# --------------------------------------------------------------------------- #
+# task-DAG backend: per-node task + the work-stealing worker loop
+# --------------------------------------------------------------------------- #
+def run_node_task(
+    node, upstream: Dict[str, Any], want_metrics: bool, want_profile: bool,
+    want_trace: bool = False, trace_kinds: Optional[frozenset] = None,
+) -> Tuple[str, Any, Optional[obs_mod.MetricsRegistry],
+           Optional[obs_mod.Profiler],
+           Optional[List[obs_mod.TraceRecord]]]:
+    """Execute one :class:`~repro.runner.graph.TaskNode` with its upstream
+    values injected; same observability hygiene as :func:`run_point_task`."""
+    if not (want_metrics or want_profile or want_trace):
+        return node.node_id, node.execute(upstream), None, None, None
+    registry = obs_mod.MetricsRegistry() if want_metrics else None
+    profiler = obs_mod.Profiler() if want_profile else None
+    tracer = obs_mod.Tracer(kinds=trace_kinds) if want_trace else None
+    if want_trace:
+        # traced ids must be a pure function of the node, not of which
+        # worker ran it or how many nodes that worker saw before
+        from repro.core.requests import reset_ids
+        reset_ids()
+    bundle = obs_mod.Observability(tracer=tracer, registry=registry,
+                                   profiler=profiler)
+    with obs_mod.obs_session(bundle):
+        value = node.execute(upstream)
+    records = tracer.records if tracer is not None else None
+    return node.node_id, value, registry, profiler, records
+
+
+def dag_worker_main(worker_id: int, task_q, result_q, heartbeats,
+                    heartbeat_interval_s: float,
+                    want_metrics: bool, want_profile: bool,
+                    want_trace: bool, trace_kinds: Optional[frozenset]) -> None:
+    """Main loop of one DAG worker process.
+
+    Steals chunks from the shared ``task_q`` (any idle worker takes the next
+    chunk — there is no per-worker assignment), acknowledges each chunk with
+    a ``claim`` message *before* executing it (so the parent knows which
+    nodes die with this process), emits ``start``/``done`` per node, and
+    stamps ``heartbeats[worker_id]`` from a daemon thread every
+    ``heartbeat_interval_s`` so the parent can tell a frozen process from a
+    slow node.  A cell that raises is reported as an ``error`` message — the
+    run is deterministic, so re-running it elsewhere would fail identically
+    and the parent aborts instead of retrying.
+    """
+    init_worker()
+    stop_beat = threading.Event()
+
+    def _beat() -> None:
+        while not stop_beat.is_set():
+            heartbeats[worker_id] = time.time()
+            stop_beat.wait(heartbeat_interval_s)
+
+    beat = threading.Thread(target=_beat, name=f"dag-heartbeat-{worker_id}",
+                            daemon=True)
+    beat.start()
+    try:
+        while True:
+            msg = task_q.get()
+            if msg[0] == "stop":
+                result_q.put(("bye", worker_id))
+                return
+            _, chunk_id, tasks = msg
+            result_q.put(("claim", worker_id, chunk_id,
+                          [node.node_id for node, _ in tasks]))
+            for node, upstream in tasks:
+                result_q.put(("start", worker_id, node.node_id))
+                try:
+                    node_id, value, registry, profiler, records = run_node_task(
+                        node, upstream, want_metrics, want_profile,
+                        want_trace, trace_kinds)
+                except BaseException as exc:  # deterministic failure: report
+                    result_q.put(("error", worker_id, node.node_id,
+                                  f"{type(exc).__name__}: {exc}",
+                                  traceback.format_exc()))
+                    continue
+                result_q.put(("done", worker_id, node_id, value,
+                              registry, profiler, records))
+    finally:
+        stop_beat.set()

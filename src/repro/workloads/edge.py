@@ -14,7 +14,7 @@ detection — all share this shape.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -22,6 +22,10 @@ from repro.core.requests import EdgeMode, EdgeRequest
 from repro.workloads.arrivals import DiurnalProfile
 
 __all__ = ["EdgeWorkloadConfig", "EdgeWorkloadGenerator"]
+
+# one planned request: (arrival time, cycles, deadline_s, EdgeMode value).
+# Pure data — no request ids are consumed until materialization.
+EdgePlan = Tuple[Tuple[float, float, float, str], ...]
 
 _GHZ = 1e9
 
@@ -86,12 +90,44 @@ class EdgeWorkloadGenerator:
             raise ValueError("burst needs n >= 0 and spacing >= 0")
         return [self._make(t0 + i * spacing_s) for i in range(n)]
 
-    def _make(self, t: float) -> EdgeRequest:
+    # ------------------------------------------------------------------ #
+    # plan / materialize split (task-DAG shared prefixes)
+    # ------------------------------------------------------------------ #
+    def plan(self, t0: float, t1: float) -> EdgePlan:
+        """The pure-data draw plan of ``generate`` — same rng consumption,
+        no :class:`EdgeRequest` construction.
+
+        ``materialize(plan(t0, t1))`` equals ``generate(t0, t1)`` request for
+        request.  The split lets a sweep's shared workload become an upstream
+        DAG node: planning consumes the rng stream but is *globally inert*
+        (no request-id allocation), so the plan can be computed once in any
+        process and fanned out to every sweep point, which materializes the
+        requests locally in its own id order.
+        """
+        times = self.profile.sample(self.rng, t0, t1)
+        return tuple(self._draw(t) for t in times)
+
+    def plan_burst(self, t0: float, n: int, spacing_s: float = 0.05) -> EdgePlan:
+        """The pure-data draw plan of ``generate_burst``."""
+        if n < 0 or spacing_s < 0:
+            raise ValueError("burst needs n >= 0 and spacing >= 0")
+        return tuple(self._draw(t0 + i * spacing_s) for i in range(n))
+
+    def materialize(self, plan: EdgePlan) -> List[EdgeRequest]:
+        """Construct the planned requests (consumes request ids, no rng)."""
+        return [self._build(*entry) for entry in plan]
+
+    def _draw(self, t: float) -> Tuple[float, float, float, str]:
         cfg = self.config
         mu = np.log(cfg.mean_megacycles * 1e6) - 0.5 * cfg.sigma_log**2
         cycles = float(self.rng.lognormal(mu, cfg.sigma_log))
         deadline = float(self.rng.choice(self._deadlines, p=self._deadline_p))
         mode = EdgeMode.DIRECT if self.rng.random() < cfg.direct_fraction else EdgeMode.INDIRECT
+        return (float(t), cycles, deadline, mode.value)
+
+    def _build(self, t: float, cycles: float, deadline: float,
+               mode: str) -> EdgeRequest:
+        cfg = self.config
         return EdgeRequest(
             cycles=cycles,
             time=t,
@@ -99,7 +135,10 @@ class EdgeWorkloadGenerator:
             input_bytes=cfg.input_kb * 1e3,
             output_bytes=cfg.output_kb * 1e3,
             deadline_s=deadline,
-            mode=mode,
+            mode=EdgeMode(mode),
             source=self.source,
             privacy_sensitive=cfg.privacy_sensitive,
         )
+
+    def _make(self, t: float) -> EdgeRequest:
+        return self._build(*self._draw(t))

@@ -75,3 +75,44 @@ def test_golden_output(eid, fn, update_golden):
         f"{eid} output drifted from tests/golden/{eid}.txt; if intentional, "
         "regenerate with --update-golden and commit the diff"
     )
+
+
+# --------------------------------------------------------------------------- #
+# backend cross-product: every sweep-shaped experiment matches its golden
+# fixture under flat and dag, serial and parallel, cold and warm cache.
+# (Non-sweep experiments have no backend dimension: run_experiment falls
+# through to whole-result execution either way, already pinned above.)
+# --------------------------------------------------------------------------- #
+_SWEEP_IDS = ("A4", "E4", "E14", "E3", "A6")
+
+
+def _sweep_params():
+    for eid in _SWEEP_IDS:
+        marks = [pytest.mark.dag] + (
+            [pytest.mark.slow] if eid in SLOW_IDS else [])
+        yield pytest.param(eid, id=eid, marks=marks)
+
+
+@pytest.mark.parametrize("eid", _sweep_params())
+def test_golden_identical_across_backends(eid, tmp_path):
+    """flat serial ≡ dag serial ≡ dag --jobs 2 ≡ dag warm cache ≡ fixture."""
+    from repro.runner import ResultCache, SweepRunner
+
+    golden = (GOLDEN_DIR / f"{eid}.txt").read_text(encoding="utf-8")
+    _, fn = _registry()[eid]
+    import importlib
+    spec = getattr(importlib.import_module(fn.__module__), "SWEEP")
+
+    flat = SweepRunner(jobs=1, backend="flat").run_spec(spec)
+    assert str(flat.result) + "\n" == golden
+
+    cache = ResultCache(tmp_path / "cache")
+    dag_par = SweepRunner(jobs=2, cache=cache,
+                          backend="dag").run_spec(spec)
+    assert str(dag_par.result) + "\n" == golden
+    assert dag_par.computed == dag_par.points       # cold: all points ran
+    assert dag_par.computed_nodes == dag_par.nodes  # prefixes exactly once
+
+    warm = SweepRunner(jobs=1, cache=cache, backend="dag").run_spec(spec)
+    assert str(warm.result) + "\n" == golden
+    assert warm.fully_cached and warm.computed_nodes == 0

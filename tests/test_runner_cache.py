@@ -44,6 +44,35 @@ def test_cache_survives_corrupt_entries(tmp_path):
     assert not hit and value is None  # corrupt entry degrades to a miss
 
 
+def test_corrupt_node_entry_degrades_to_miss_and_recomputes(tmp_path):
+    """DAG path: corrupting one per-node cache entry silently recomputes
+    just that node (and its prefix ancestor) on the next run."""
+    import repro.experiments.e3_seasonal_capacity as e3
+    from repro.runner.graph import graph_of, node_key
+
+    cache = ResultCache(tmp_path / "dagcache")
+    spec = e3.SWEEP
+    kwargs = dict(days_per_month=0.02, seed=5)
+    cold = SweepRunner(jobs=1, cache=cache, backend="dag").run_spec(
+        spec, **kwargs)
+    assert cold.computed == cold.points == 24
+    assert cold.computed_nodes == 26        # 24 months + 2 fleet blueprints
+
+    # corrupt exactly one point node's entry on disk
+    graph = graph_of(spec, **kwargs)
+    victim = graph.points()[0].node_id
+    cache._path(node_key(graph, victim)).write_bytes(b"\x00 not a pickle")
+
+    warm = SweepRunner(jobs=1, cache=cache, backend="dag").run_spec(
+        spec, **kwargs)
+    assert warm.result.text == cold.result.text
+    assert warm.computed == 1               # only the corrupted point re-ran
+    assert warm.cached == 23
+    # its blueprint prefix ancestor was a cache hit, not a recompute
+    assert warm.computed_nodes == 1
+    assert warm.cached_nodes == 24          # 23 points + the needed prefix
+
+
 def test_cache_clear(tmp_path):
     cache = ResultCache(tmp_path)
     for i in range(5):

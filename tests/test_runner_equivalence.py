@@ -48,6 +48,52 @@ def test_serial_parallel_cached_equivalence(tmp_path, mod, kwargs):
     assert warm.result.text == serial.result.text
 
 
+@pytest.mark.dag
+@pytest.mark.parametrize("mod,kwargs", FAST_SWEEPS)
+def test_backend_cross_equivalence(tmp_path, mod, kwargs):
+    """flat × dag × serial × parallel × warm cache: one text, byte for byte."""
+    reference = SweepRunner(jobs=1, backend="flat").run_spec(
+        mod.SWEEP, **kwargs).result.text
+
+    flat_cache = ResultCache(tmp_path / "flat")
+    dag_cache = ResultCache(tmp_path / "dag")
+    runs = {
+        "flat/jobs=2": SweepRunner(jobs=2, cache=flat_cache, backend="flat"),
+        "dag/jobs=1": SweepRunner(jobs=1, backend="dag"),
+        "dag/jobs=2": SweepRunner(jobs=2, cache=dag_cache, backend="dag"),
+        "dag/warm": SweepRunner(jobs=1, cache=dag_cache, backend="dag"),
+        "flat/warm": SweepRunner(jobs=1, cache=flat_cache, backend="flat"),
+    }
+    for label, runner in runs.items():
+        report = runner.run_spec(mod.SWEEP, **kwargs)
+        assert report.result.text == reference, f"{label} diverged"
+        if label.endswith("warm"):
+            assert report.fully_cached, f"{label} recomputed something"
+
+
+@pytest.mark.dag
+def test_dag_backend_deduplicates_shared_prefixes():
+    """E3's two fleet blueprints each run once for their twelve months."""
+    report = SweepRunner(jobs=1, backend="dag").run_spec(
+        e3_seasonal_capacity.SWEEP, days_per_month=0.05)
+    assert report.points == 24
+    assert report.nodes == 26               # + 2 per-flavour blueprints
+    assert report.computed_nodes == 26      # each prefix computed exactly once
+
+
+@pytest.mark.dag
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "flat")
+    assert SweepRunner().backend == "flat"
+    monkeypatch.setenv("REPRO_BACKEND", "dag")
+    assert SweepRunner().backend == "dag"
+    monkeypatch.delenv("REPRO_BACKEND")
+    assert SweepRunner().backend == "dag"   # the default
+    monkeypatch.setenv("REPRO_BACKEND", "bogus")
+    with pytest.raises(ValueError, match="REPRO_BACKEND"):
+        SweepRunner()
+
+
 @pytest.mark.parametrize("mod,kwargs", FAST_SWEEPS)
 def test_cache_key_depends_on_kwargs(tmp_path, mod, kwargs):
     """A different seed must never hit the other seed's cache entries."""
@@ -69,6 +115,19 @@ def test_cli_jobs_byte_identical(tmp_path, capsys):
     assert main(["run", "E14", "--jobs", "2", "--no-cache"]) == 0
     parallel = capsys.readouterr().out.split("(E14 completed")[0]
     assert parallel == serial
+
+
+@pytest.mark.dag
+def test_cli_backend_flag_byte_identical(capsys):
+    """`run E4 --backend flat` ≡ `--backend dag`, serial and parallel."""
+    blocks = {}
+    for backend in ("flat", "dag"):
+        for jobs in ("1", "2"):
+            assert main(["run", "E4", "--backend", backend,
+                         "--jobs", jobs, "--no-cache"]) == 0
+            blocks[f"{backend}/{jobs}"] = \
+                capsys.readouterr().out.split("(E4 completed")[0]
+    assert len(set(blocks.values())) == 1, blocks.keys()
 
 
 def test_parallel_trace_merge_byte_identical():
