@@ -7,6 +7,7 @@ Usage::
     python -m repro run all              # run every experiment
     python -m repro run E5 --seed 123    # override the seed
     python -m repro run E14 --kernel scalar   # reference (non-vectorised) kernel
+    python -m repro run E3 --kernel surrogate # district-aggregate surrogate tier
 
 Parallelism and caching (see DESIGN.md, "Sweep runner")::
 
@@ -241,9 +242,12 @@ def main(argv=None) -> int:
                       help="print per-subsystem wall-clock profile")
     runp.add_argument("--metrics-out", metavar="PATH", default=None,
                       help="write the metrics registry snapshot as JSON")
-    runp.add_argument("--kernel", choices=("scalar", "vector"), default=None,
+    runp.add_argument("--kernel", choices=("scalar", "vector", "surrogate"),
+                      default=None,
                       help="simulation kernel (default: $REPRO_KERNEL or "
-                           "'vector'; outputs are byte-identical either way)")
+                           "'vector'; scalar/vector are byte-identical, "
+                           "surrogate is tolerance-budgeted — see "
+                           "repro.thermal.budget)")
     runp.add_argument("--jobs", type=int, default=1, metavar="N",
                       help="worker processes for sweep experiments (default 1)")
     runp.add_argument("--backend", choices=("flat", "dag"), default=None,
@@ -286,7 +290,8 @@ def main(argv=None) -> int:
                       help="trace ring-buffer capacity (default 65536)")
     srvp.add_argument("--start-paused", action="store_true",
                       help="boot holding at t0; resume via POST /api/control")
-    srvp.add_argument("--kernel", choices=("scalar", "vector"), default=None,
+    srvp.add_argument("--kernel", choices=("scalar", "vector", "surrogate"),
+                      default=None,
                       help="simulation kernel (default: $REPRO_KERNEL or "
                            "'vector')")
     srvp.add_argument("--verbose", action="store_true",

@@ -97,6 +97,11 @@ class FaultInjector:
         rather than the omniscient instant of the fault.
         """
         server, district = self._find(server_name)
+        sur = getattr(self.mw, "surrogate", None)
+        if sur is not None:
+            # churn-affected districts leave the aggregate model before the
+            # fault lands: the crash must hit real per-server state
+            sur.ensure_live(district, reason="churn")
         killed = server.kill_all()
         if hard:
             server.fail()

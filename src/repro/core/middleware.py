@@ -59,6 +59,7 @@ from repro.sim.rng import RngRegistry
 from repro.thermal.building import Building, RoomConfig, ThermostatSchedule
 from repro.thermal.comfort import ComfortTracker
 from repro.thermal.fused import FusedCityThermal
+from repro.thermal.surrogate import SurrogateConfig, SurrogateController
 from repro.thermal.heat_island import HeatIslandLedger, OutdoorHeatSource
 from repro.thermal.hydronics import WaterLoop, WaterLoopConfig
 from repro.thermal.rc_model import RoomThermalParams
@@ -68,7 +69,7 @@ __all__ = ["MiddlewareConfig", "DF3Middleware", "resolve_kernel"]
 
 _GHZ = 1e9
 
-_KERNELS = ("scalar", "vector")
+_KERNELS = ("scalar", "vector", "surrogate")
 
 
 def resolve_kernel(value: Optional[str] = None) -> str:
@@ -76,9 +77,11 @@ def resolve_kernel(value: Optional[str] = None) -> str:
 
     ``value`` is :attr:`MiddlewareConfig.kernel`; when None the
     ``REPRO_KERNEL`` environment variable applies (how the CLI's ``--kernel``
-    flag reaches pool workers), and the default is ``"vector"``.  Both
-    kernels are byte-identical by contract (DESIGN.md §2.13); ``"scalar"``
-    is the reference implementation.
+    flag reaches pool workers), and the default is ``"vector"``.  The scalar
+    and vector kernels are byte-identical by contract (DESIGN.md §2.13);
+    ``"scalar"`` is the reference implementation.  The ``"surrogate"`` tier
+    (DESIGN.md §2.18) trades a declared tolerance budget
+    (:mod:`repro.thermal.budget`) for district-aggregate speed.
     """
     kernel = value or os.environ.get("REPRO_KERNEL") or "vector"
     if kernel not in _KERNELS:
@@ -122,9 +125,13 @@ class MiddlewareConfig:
     #: arm churn + recovery (None = no resilience machinery at all; runs are
     #: byte-identical to builds without the subsystem)
     resilience: Optional[ResilienceConfig] = None
-    #: simulation kernel: "scalar" | "vector" | None (= ``REPRO_KERNEL`` env
-    #: or the "vector" default).  Outputs are byte-identical either way.
+    #: simulation kernel: "scalar" | "vector" | "surrogate" | None
+    #: (= ``REPRO_KERNEL`` env or the "vector" default).  Scalar and vector
+    #: outputs are byte-identical; surrogate is tolerance-budgeted.
     kernel: Optional[str] = None
+    #: surrogate-tier knobs (warm-up window, sample size, checkpoint cadence);
+    #: only consulted when the resolved kernel is "surrogate"
+    surrogate: Optional[SurrogateConfig] = None
 
     def __post_init__(self) -> None:
         if self.kernel is not None and self.kernel not in _KERNELS:
@@ -158,11 +165,12 @@ class DF3Middleware:
             tracer=self.obs.tracer if self.obs.tracer.enabled else None,
             profiler=self.obs.profiler,
         )
-        #: resolved kernel for this city ("scalar" | "vector"); resolved
-        #: before any server exists, because servers adopt the engine's
-        #: incremental-accounting mode at construction time
+        #: resolved kernel for this city ("scalar" | "vector" | "surrogate");
+        #: resolved before any server exists, because servers adopt the
+        #: engine's incremental-accounting mode at construction time.  The
+        #: surrogate tier runs on the vector substrate (bank + fused arrays).
         self.kernel = resolve_kernel(cfg.kernel)
-        self.engine.incremental_accounting = self.kernel == "vector"
+        self.engine.incremental_accounting = self.kernel != "scalar"
         self.rngs = RngRegistry(cfg.seed)
         self.cal = SimCalendar()
         self.weather = Weather(
@@ -203,7 +211,7 @@ class DF3Middleware:
         self._filler_ids = itertools.count()
         self.filler_completed = 0
 
-        bank = FleetRegulatorBank() if self.kernel == "vector" else None
+        bank = FleetRegulatorBank() if self.kernel != "scalar" else None
         self._bank: Optional[FleetRegulatorBank] = bank
         #: bank index → (qrad, district); only populated on the vector kernel
         self._bank_entries: List[Tuple[QRad, int]] = []
@@ -211,6 +219,7 @@ class DF3Middleware:
         self._district_boilers: Dict[int, List[DigitalBoiler]] = {}
         #: (bank version, {qrad name → heat wanted}) for _qrad_wanted_map
         self._wanted_cache: Tuple[int, Dict[str, bool]] = (-1, {})
+        self._bank_entry_names: Optional[Tuple[str, ...]] = None
 
         for d in range(cfg.n_districts):
             cluster = Cluster(ClusterConfig(name=f"district-{d}", district=d))
@@ -274,7 +283,7 @@ class DF3Middleware:
                 offloader=self.offloader,
                 decision_system=decision,
                 worker_priority=self._worker_priority,
-                incremental_scans=self.kernel == "vector",
+                incremental_scans=self.kernel != "scalar",
                 obs=self.obs,
             )
             if cfg.architecture == "shared":
@@ -327,6 +336,17 @@ class DF3Middleware:
                 group="df3-tick")
         else:
             self.engine.add_process("df3-tick", cfg.thermal_tick_s, self._tick)
+
+        #: reduced-order tier (kernel == "surrogate" only); constructed after
+        #: the fused substrate so it can validate fleet homogeneity
+        self.surrogate: Optional[SurrogateController] = None
+        if self.kernel == "surrogate":
+            if self._fused_thermal is None:
+                raise ValueError(
+                    "surrogate kernel requires a fusable city "
+                    "(uncoupled rooms, one weather, uniform sub-stepping)"
+                )
+            self.surrogate = SurrogateController(self, cfg.surrogate)
 
         self.resilience: Optional[RecoveryRuntime] = None
         if cfg.resilience is not None:
@@ -441,10 +461,13 @@ class DF3Middleware:
         """
         bank = self._bank
         if self._wanted_cache[0] != bank.version:
-            mask = bank.heat_wanted_mask().tolist()
+            names = self._bank_entry_names
+            if names is None:
+                names = self._bank_entry_names = tuple(
+                    e[0].name for e in self._bank_entries)
             self._wanted_cache = (
                 bank.version,
-                {e[0].name: w for e, w in zip(self._bank_entries, mask)},
+                dict(zip(names, bank.heat_wanted_mask().tolist())),
             )
         return self._wanted_cache[1]
 
@@ -479,6 +502,11 @@ class DF3Middleware:
         same setpoints — and fires the observers in the same attach order the
         scalar loop would.
         """
+        sur = self.surrogate
+        if sur is not None and sur.begin_tick(now):
+            sur.tick_regulation(now, dt)
+            self.smartgrid.tick(now, dt)
+            return
         temps_parts = []
         for bname, building in self.buildings.items():
             temps = building.temperatures
@@ -491,6 +519,10 @@ class DF3Middleware:
 
     def _tick_workload(self, now: float, dt: float) -> None:
         """Stage 3+4: hybrid migration off cold servers, then filler."""
+        if self.surrogate is not None and self.surrogate.switched:
+            # drain + power off newly aggregated districts; quiesced servers
+            # report 0 free cores, so migration/filler skip them naturally
+            self.surrogate.quiesce_pending()
         vec = self._bank is not None
         if self.config.hybrid_migration:
             if vec:
@@ -505,6 +537,17 @@ class DF3Middleware:
 
     def _tick_thermal(self, now: float, dt: float) -> None:
         """Stage 5+6: thermal fabric advances, then metric sampling."""
+        sur = self.surrogate
+        if sur is not None and sur.switched:
+            sur.tick_thermal(now, dt)
+            hod = self.cal.hour_of_day(now)
+            for boiler in self.boilers:
+                boiler.thermal_step(now, dt, hod)
+            if self.datacenter is not None:
+                self.datacenter.account_heat(dt)
+            if self.obs.active:
+                self._tick_metrics(now)
+            return
         if self._fused_thermal is not None:
             self._tick_thermal_vec(now, dt)
             return
@@ -534,6 +577,8 @@ class DF3Middleware:
         """
         fused = self._fused_thermal
         p_heat = fused.step(now, dt)
+        if self.surrogate is not None:
+            self.surrogate.record_warmup(p_heat)
         month = self.cal.month(now)
         setpoints = self._bank.setpoints
         if fused.uniform:
@@ -723,6 +768,8 @@ class DF3Middleware:
                         if self._wants_heat(w)
                     ),
                 )
+        if self.surrogate is not None:
+            self.surrogate.ensure_live(district, reason="cloud")
         self.dcc_gateways[district].submit(req)
 
     def _route_cloud_vec(self) -> int:
@@ -759,6 +806,8 @@ class DF3Middleware:
         d = self._district_of(req.source)
         if d not in self.edge_gateways:
             raise ValueError(f"no such district {d}")
+        if self.surrogate is not None:
+            self.surrogate.ensure_live(d, reason="edge")
         target = None
         if direct_target is not None:
             target = self.clusters[d].worker(direct_target)
@@ -828,11 +877,19 @@ class DF3Middleware:
         return misses / n
 
     def fleet_energy_j(self) -> float:
-        """Electrical energy of all DF servers so far (J)."""
+        """Electrical energy of all DF servers so far (J).
+
+        Under the surrogate kernel, quiesced districts draw no metered power;
+        their calibrated modelled energy is added so the fleet total stays a
+        like-for-like aggregate (within the declared budget).
+        """
         servers = self._all_servers
         for s in servers:
             s.sync()
-        return sum(s.energy_j for s in servers)
+        total = sum(s.energy_j for s in servers)
+        if self.surrogate is not None:
+            total += self.surrogate.modeled_energy_j
+        return total
 
     def total_cycles_executed(self) -> float:
         """Cycles executed by the DF fleet so far."""

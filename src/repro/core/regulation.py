@@ -345,3 +345,42 @@ class FleetRegulatorBank:
         for reg in self.regulators:
             if reg.observer is not None:
                 reg.observer(reg)
+
+    def update_subset(self, dt_s: float, room_temps_c: Sequence[float],
+                      idx: "np.ndarray") -> None:
+        """One PI step for the regulators at ``idx`` only (attach order).
+
+        The surrogate kernel's live districts tick through this path while
+        aggregate districts are advanced by the reduced-order model.  Every
+        gathered elementwise expression mirrors :meth:`update_all` — numpy
+        fancy indexing preserves per-element IEEE-754 results — so a subset
+        update produces, at those indices, exactly the floats a full
+        :meth:`update_all` (and hence the scalar reference) would have.
+        """
+        if not self._frozen:
+            raise RuntimeError("freeze() the bank before update_subset")
+        if dt_s <= 0:
+            raise ValueError(f"dt must be > 0, got {dt_s}")
+        idx = np.asarray(idx, dtype=np.intp)
+        temps = np.asarray(room_temps_c, dtype=np.float64)
+        if temps.shape != idx.shape:
+            raise ValueError(
+                f"expected {idx.shape[0]} temperatures, got {temps.shape}"
+            )
+        err = self._setpoint[idx] - temps
+        self._last_error[idx] = err
+        integral = self._integral[idx] + err * dt_s / 3600.0
+        np.minimum(integral, self._int_limit[idx], out=integral)
+        np.maximum(integral, self._neg_int_limit[idx], out=integral)
+        self._integral[idx] = integral
+        u = self._kp[idx] * err
+        u += self._ki[idx] * integral
+        np.minimum(u, 1.0, out=u)
+        np.maximum(u, 0.0, out=u)
+        self._power_fraction[idx] = u
+        self.version += 1
+        regs = self.regulators
+        for i in idx.tolist():
+            reg = regs[i]
+            if reg.observer is not None:
+                reg.observer(reg)

@@ -63,6 +63,9 @@ class SmartGridManager:
         self._pmax_w: Optional[np.ndarray] = None
         self._ncores: Optional[np.ndarray] = None
         self._min_on: Optional[np.ndarray] = None
+        #: surrogate kernel only: False entries are quiesced (their district
+        #: is aggregate-modelled) — excluded from actuation and filler
+        self._actuation_mask: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     def register(self, server, regulator) -> None:
@@ -141,15 +144,38 @@ class SmartGridManager:
         return cores
 
     def heat_wanted_servers(self) -> List[object]:
-        """Heater servers whose regulator currently requests heat."""
+        """Heater servers whose regulator currently requests heat.
+
+        Quiesced servers (actuation mask False) never appear: their heat is
+        aggregate-modelled, so they must not attract filler compute.
+        """
         if self._bank is not None:
             fleet = self._fleet
-            return [fleet[i].server for i in self._bank.heat_wanted_indices().tolist()]
+            mask = self._bank.heat_wanted_mask()
+            if self._actuation_mask is not None:
+                mask = mask & self._actuation_mask
+            return [fleet[i].server for i in np.flatnonzero(mask).tolist()]
         return [e.server for e in self._fleet if e.regulator.heat_wanted]
 
     # ------------------------------------------------------------------ #
     # grid negotiation
     # ------------------------------------------------------------------ #
+    def set_actuation_mask(self, mask: Optional[np.ndarray]) -> None:
+        """Limit per-server actuation to the True entries of ``mask``.
+
+        The surrogate kernel masks aggregate districts out of DVFS/power
+        actuation and filler targeting while it models their heat; passing
+        ``None`` clears the mask.  Fleet-level signals (authorised power,
+        capacity logs) intentionally keep covering the whole fleet — they are
+        aggregate views, and the bank rows of masked districts carry the
+        aggregate command.
+        """
+        if mask is not None and len(mask) != len(self._fleet):
+            raise ValueError(
+                f"mask has {len(mask)} entries, fleet has {len(self._fleet)}"
+            )
+        self._actuation_mask = mask
+
     def set_grid_cap(self, cap_w: Optional[float]) -> None:
         """Apply (or clear) a demand-response power cap from the operator."""
         if cap_w is not None and cap_w < 0:
@@ -205,7 +231,14 @@ class SmartGridManager:
         event stream (DESIGN.md §2.13).
         """
         bank = self._bank
+        act = self._actuation_mask
+        fleet = self._fleet
         wanted = bank.heat_wanted_mask().tolist()
+        # masked entries take neither branch, so iterating only the True
+        # indices (ascending, same visit order) is behaviour-identical and
+        # keeps the per-tick loop O(live) under the surrogate tier
+        indices = (range(len(fleet)) if act is None
+                   else np.flatnonzero(act).tolist())
         # scalar: max(power_fraction, min_on_fraction) per regulator
         budget = np.maximum(bank.power_fraction, self._min_on)
         if self._shared_scales is not None:
@@ -217,8 +250,8 @@ class SmartGridManager:
                                 side="right") - 1,
                 0,
             ).tolist()
-            for i, e in enumerate(self._fleet):
-                server = e.server
+            for i in indices:
+                server = fleet[i].server
                 if wanted[i]:
                     if not server.enabled:
                         server.power_on()
@@ -227,8 +260,8 @@ class SmartGridManager:
                     server.power_off()
             return
         budget = budget.tolist()
-        for i, e in enumerate(self._fleet):
-            server = e.server
+        for i in indices:
+            server = fleet[i].server
             if wanted[i]:
                 if not server.enabled:
                     server.power_on()

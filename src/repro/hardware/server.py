@@ -406,6 +406,25 @@ class ComputeServer:
         self._reschedule_completion()
         return task
 
+    def preempt_kind(self, kind: str) -> List[Task]:
+        """Preempt every running task whose ``metadata["kind"]`` matches.
+
+        One sync and one completion reschedule for the whole batch — the
+        per-task :meth:`preempt` loop is quadratic in reschedules, which the
+        surrogate tier's switch-time quiesce of a full fleet cannot afford.
+        """
+        self.sync()
+        tasks = [t for t in self._running.values()
+                 if t.metadata.get("kind") == kind]
+        for t in tasks:
+            del self._running[t.task_id]
+            t.state = TaskState.PREEMPTED
+            self._busy_cores -= t.cores
+        if tasks:
+            self._power_cache = None
+            self._reschedule_completion()
+        return tasks
+
     def kill_all(self) -> List[Task]:
         """Kill every running task (e.g. crash injection); returns them."""
         self.sync()

@@ -43,7 +43,7 @@ from repro.runner.graph import (
     graph_of,
     node_key,
 )
-from repro.runner.hashing import code_version, stable_hash
+from repro.runner.hashing import code_version, kernel_cache_tag, stable_hash
 from repro.runner.runner import BACKENDS, RunReport, SweepRunner, run_sweep
 from repro.runner.spec import SweepPoint, SweepPrefix, SweepSpec, sweep_of
 from repro.runner.worker import init_worker
@@ -67,6 +67,7 @@ __all__ = [
     "code_version",
     "graph_of",
     "init_worker",
+    "kernel_cache_tag",
     "node_key",
     "run_sweep",
     "stable_hash",

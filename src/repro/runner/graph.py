@@ -40,7 +40,7 @@ from typing import (
     Tuple,
 )
 
-from repro.runner.hashing import code_version, stable_hash
+from repro.runner.hashing import code_version, kernel_cache_tag, stable_hash
 from repro.runner.spec import SweepSpec
 
 __all__ = [
@@ -273,8 +273,8 @@ def node_key(graph: TaskGraph, node_id: str,
         (kwarg, node_key(graph, nid, memo)) for kwarg, nid in node.needs
     )
     key = stable_hash((
-        "node", code_version(), node.experiment_id, node.kind, node.cell,
-        node.params, upstream_digests,
+        "node", code_version(), kernel_cache_tag(), node.experiment_id,
+        node.kind, node.cell, node.params, upstream_digests,
     ))
     memo[node_id] = key
     return key

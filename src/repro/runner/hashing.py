@@ -21,7 +21,7 @@ import hashlib
 from pathlib import Path
 from typing import Any, Optional
 
-__all__ = ["canonical", "stable_hash", "code_version"]
+__all__ = ["canonical", "stable_hash", "code_version", "kernel_cache_tag"]
 
 
 def canonical(obj: Any) -> str:
@@ -74,6 +74,21 @@ def canonical(obj: Any) -> str:
 def stable_hash(obj: Any) -> str:
     """Hex SHA-256 of :func:`canonical`, stable across processes and runs."""
     return hashlib.sha256(canonical(obj).encode("utf-8")).hexdigest()
+
+
+def kernel_cache_tag() -> str:
+    """Cache namespace of the active simulation kernel.
+
+    The scalar and vector kernels are byte-identical by contract, so their
+    results may share cache entries — the tag is empty.  The surrogate tier
+    is tolerance-budgeted, not identical: its results must never be served
+    from (or poison) the exact kernels' cache, so it gets its own namespace.
+    Read from the environment, like the kernel resolution itself, so sweep
+    worker processes agree with the parent.
+    """
+    import os
+
+    return "surrogate" if os.environ.get("REPRO_KERNEL") == "surrogate" else ""
 
 
 _CODE_VERSION: Optional[str] = None

@@ -46,7 +46,7 @@ from repro import obs as obs_mod
 from repro.runner.backend import BackendStats, InlineBackend, ProcessBackend
 from repro.runner.cache import ResultCache
 from repro.runner.graph import TaskGraph, graph_of, node_key
-from repro.runner.hashing import code_version, stable_hash
+from repro.runner.hashing import code_version, kernel_cache_tag, stable_hash
 from repro.runner.spec import SweepPoint, SweepSpec, sweep_of
 from repro.runner.worker import init_worker, run_point_task
 
@@ -66,14 +66,18 @@ def default_backend() -> str:
 
 
 def point_key(point: SweepPoint) -> str:
-    """Cache key of one sweep point (content-addressed, code-versioned)."""
-    return stable_hash(("point", code_version(), point))
+    """Cache key of one sweep point (content-addressed, code-versioned).
+
+    Kernel-namespaced: surrogate-tier results never share entries with the
+    byte-identical exact kernels (see :func:`kernel_cache_tag`).
+    """
+    return stable_hash(("point", code_version(), kernel_cache_tag(), point))
 
 
 def result_key(experiment_id: str, kwargs: Dict[str, Any]) -> str:
     """Cache key of a whole-experiment result (the non-sweep fallback)."""
-    return stable_hash(("result", code_version(), experiment_id,
-                        tuple(sorted(kwargs.items()))))
+    return stable_hash(("result", code_version(), kernel_cache_tag(),
+                        experiment_id, tuple(sorted(kwargs.items()))))
 
 
 def reassemble(

@@ -68,6 +68,19 @@ class RngRegistry:
         """Names of streams created so far."""
         return iter(sorted(self._streams))
 
+    def stream_states(self) -> Dict[str, dict]:
+        """Snapshot of every created stream's bit-generator state.
+
+        For stream-isolation regression tests: because each stream's seed
+        derives from ``(root seed, name)`` and not draw order, creating or
+        consuming a *new* stream must leave every other name's state here
+        unchanged — assert the snapshots are equal.
+        """
+        return {
+            name: gen.bit_generator.state
+            for name, gen in self._streams.items()
+        }
+
     def __contains__(self, name: str) -> bool:
         return name in self._streams
 

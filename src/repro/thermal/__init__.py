@@ -7,20 +7,38 @@ over a heating season) is regenerated entirely from these models plus the heat
 regulator of :mod:`repro.core.regulation`.
 """
 
+from repro.thermal.budget import (
+    AGGREGATE_ENERGY_RESIDUAL_REL,
+    COMFORT_VIOLATION_RATE_TOL,
+    DISTRICT_MEAN_TEMP_TOL_C,
+    FLEET_ENERGY_REL_TOL,
+)
 from repro.thermal.building import Building, Room, RoomConfig, ThermostatSchedule
 from repro.thermal.calibration import FirstOrderRC, fit_first_order
 from repro.thermal.comfort import ComfortStats, ComfortTracker
 from repro.thermal.heat_island import HeatIslandLedger, OutdoorHeatSource
 from repro.thermal.hydronics import DrawProfile, WaterLoop, WaterLoopConfig
 from repro.thermal.rc_model import RCNetwork, RoomThermalParams
+from repro.thermal.surrogate import (
+    DistrictAggregateModel,
+    DistrictZoom,
+    SurrogateConfig,
+    SurrogateController,
+)
 from repro.thermal.weather import Weather, WeatherConfig
 
 __all__ = [
+    "AGGREGATE_ENERGY_RESIDUAL_REL",
     "Building",
+    "COMFORT_VIOLATION_RATE_TOL",
     "ComfortStats",
     "ComfortTracker",
+    "DISTRICT_MEAN_TEMP_TOL_C",
+    "DistrictAggregateModel",
+    "DistrictZoom",
     "DrawProfile",
     "FirstOrderRC",
+    "FLEET_ENERGY_REL_TOL",
     "fit_first_order",
     "HeatIslandLedger",
     "OutdoorHeatSource",
@@ -28,6 +46,8 @@ __all__ = [
     "Room",
     "RoomConfig",
     "RoomThermalParams",
+    "SurrogateConfig",
+    "SurrogateController",
     "ThermostatSchedule",
     "WaterLoop",
     "WaterLoopConfig",

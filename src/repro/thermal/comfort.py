@@ -119,16 +119,20 @@ class ComfortTracker:
         cold = np.maximum(-err, 0.0).mean(axis=1)
         hot = np.maximum(err - self.band_c, 0.0).mean(axis=1)
         monthly = self._monthly_temp.setdefault(month, []) if month is not None else None
-        for i in range(temps.shape[0]):
+        # the fold stays sequential row by row (rounding order is part of the
+        # contract); tolist() yields the same doubles as per-element float()
+        mean_t_l = mean_t.tolist()
+        for ib, sq, mt, cd, ht in zip(in_band.tolist(), sq_err.tolist(),
+                                      mean_t_l, cold.tolist(), hot.tolist()):
             self._seconds += dt
             self._n_samples += 1
-            self._in_band_weight += dt * float(in_band[i])
-            self._sq_err_weight += dt * float(sq_err[i])
-            self._temp_weight += dt * float(mean_t[i])
-            self._cold_dh += hours * float(cold[i])
-            self._hot_dh += hours * float(hot[i])
-            if monthly is not None:
-                monthly.append(float(mean_t[i]))
+            self._in_band_weight += dt * ib
+            self._sq_err_weight += dt * sq
+            self._temp_weight += dt * mt
+            self._cold_dh += hours * cd
+            self._hot_dh += hours * ht
+        if monthly is not None:
+            monthly.extend(mean_t_l)
 
     def result(self) -> ComfortStats:
         """Reduce to :class:`ComfortStats`; raises if nothing was recorded."""

@@ -116,3 +116,56 @@ def test_golden_identical_across_backends(eid, tmp_path):
     warm = SweepRunner(jobs=1, cache=cache, backend="dag").run_spec(spec)
     assert str(warm.result) + "\n" == golden
     assert warm.fully_cached and warm.computed_nodes == 0
+
+
+# --------------------------------------------------------------------------- #
+# vector-kernel byte pin: the surrogate tier rides on the vector substrate
+# (FleetRegulatorBank, FusedCityThermal, actuation masks, update_subset), so
+# this PR-independent digest proves the vector kernel's own trajectory is
+# untouched — independent of --update-golden, like the A6 textual pin above.
+# --------------------------------------------------------------------------- #
+VECTOR_KERNEL_DIGEST = \
+    "b9e4cc346990f68f1a2ef90e543e9688b227882531392b7dccdffbd30469a124"
+
+
+def test_vector_kernel_bytes_pinned():
+    """End-to-end vector run (edge load, filler, comfort, smartgrid ledgers)
+    hashes to the digest recorded before the surrogate tier landed."""
+    import hashlib
+
+    from repro.core.scheduling.base import SaturationPolicy
+    from repro.experiments.common import mid_month_start, small_city
+    from repro.workloads.edge import EdgeWorkloadConfig, EdgeWorkloadGenerator
+
+    DAY = 86400.0
+    mw = small_city(kernel="vector", seed=1234, start_time=mid_month_start(1),
+                    n_districts=2, saturation_policy=SaturationPolicy.PREEMPT)
+    t0 = mw.engine.now
+    for bname in mw.buildings:
+        gen = EdgeWorkloadGenerator(mw.rngs.stream(f"edge-{bname}"),
+                                    source=bname,
+                                    config=EdgeWorkloadConfig(rate_per_hour=30.0))
+        mw.inject(gen.generate(t0, t0 + 0.1 * DAY))
+    mw.run_until(t0 + 0.12 * DAY)
+
+    comfort = mw.comfort.result()
+    sig = {
+        "edge": sorted((r.time, r.source, r.started_at, r.completed_at,
+                        r.executed_on) for r in mw.completed_edge()),
+        "expired": sorted((r.time, r.source) for r in mw.expired_edge()),
+        "energy": mw.fleet_energy_j(),
+        "cycles": mw.total_cycles_executed(),
+        "filler": mw.filler_completed,
+        "events": mw.engine.events_executed,
+        "comfort": (comfort.hours_tracked, comfort.time_in_band,
+                    comfort.rmse_c, comfort.mean_temp_c,
+                    comfort.cold_degree_hours, comfort.overheat_degree_hours),
+        "useful": mw.ledger._useful_heat_j,
+        "cap": sorted(mw.smartgrid.capacity_log.items()),
+        "ebl": sorted(mw.smartgrid.energy_budget_log.items()),
+    }
+    digest = hashlib.sha256(repr(sig).encode()).hexdigest()
+    assert digest == VECTOR_KERNEL_DIGEST, (
+        "the vector kernel's byte-level behaviour changed — the surrogate "
+        "tier must be additive; investigate before repinning"
+    )

@@ -9,6 +9,12 @@ tick.  This module holds that promise under fire:
   on/off) run under both kernels and must produce identical output
   signatures: request multisets, fleet energy, executed cycles, comfort
   statistics, smart-grid logs, event counts;
+* **surrogate tolerance fuzz** (DESIGN.md §2.18) — seeded-random cities run
+  under ``surrogate`` vs ``vector`` and every metric of the declared budget
+  (:mod:`repro.thermal.budget`) is asserted against *those constants*:
+  per-district time-mean temperature, comfort-violation rate, fleet energy.
+  Sample districts are exempt from the budget because they must match the
+  vector kernel **byte-for-byte** — asserted separately;
 * **perf-regression guard** — the placement-scan op counter
   (``scan_key_evals``) proves the vector scheduler evaluates priority keys
   only for workers with free capacity, while the scalar reference pays for
@@ -31,8 +37,10 @@ from repro.core.resilience.config import ResilienceConfig
 from repro.core.scheduling.base import SaturationPolicy
 from repro.experiments.common import mid_month_start, small_city
 from repro.hardware.server import Task
+from repro.thermal import budget
 from repro.thermal.comfort import ComfortTracker
 from repro.thermal.fused import FusedCityThermal
+from repro.thermal.surrogate import SurrogateConfig
 from repro.workloads.edge import EdgeWorkloadConfig, EdgeWorkloadGenerator
 
 DAY = 86400.0
@@ -118,6 +126,161 @@ def test_kernels_agree_on_random_configs(cfg):
     sig_scalar = _signature(_run(cfg, "scalar"))
     sig_vector = _signature(_run(cfg, "vector"))
     assert sig_scalar == sig_vector
+
+
+# --------------------------------------------------------------------------- #
+# surrogate tier: tolerance fuzz against the declared budget (DESIGN.md §2.18)
+# --------------------------------------------------------------------------- #
+def _surrogate_configs(n: int, seed: int = 20260807):
+    """Seeded-random surrogate-eligible cities (see EXPERIMENTS.md).
+
+    Resilience is off (churn materialises districts, which is covered by its
+    own test) and every city has >= 2 districts so the aggregate model
+    actually engages.
+    """
+    rng = random.Random(seed)
+    configs = []
+    for _ in range(n):
+        arch = rng.choice(["shared", "dedicated"])
+        cfg = dict(
+            seed=rng.randrange(10_000),
+            start_time=mid_month_start(rng.choice([1, 4, 10])),
+            n_districts=rng.randint(2, 4),
+            buildings_per_district=rng.randint(1, 2),
+            rooms_per_building=rng.randint(2, 3),
+            architecture=arch,
+            saturation_policy=rng.choice(
+                [SaturationPolicy.QUEUE, SaturationPolicy.PREEMPT]),
+            enable_filler=True,
+            thermal_tick_s=600.0,
+        )
+        if arch == "dedicated":
+            cfg["dedicated_per_cluster"] = 1
+        configs.append(cfg)
+    return configs
+
+
+SURROGATE_CONFIGS = _surrogate_configs(4)
+SUR_TIER = SurrogateConfig(warmup_ticks=4, sample_districts=1)
+SUR_TICKS = 20
+
+
+def _run_tracked(cfg_kwargs: dict, kernel: str, load_buildings,
+                 rate_per_hour: float = 30.0):
+    """Run ``SUR_TICKS`` thermal ticks recording per-district mean temps.
+
+    Edge load targets only ``load_buildings`` (the surrogate run's sample
+    districts), so aggregate districts stay aggregated — the regime the
+    tolerance budget is stated for.
+    """
+    kw = dict(cfg_kwargs)
+    if kernel == "surrogate":
+        kw["surrogate"] = SUR_TIER
+    mw = small_city(kernel=kernel, **kw)
+    t0 = mw.engine.now
+    tick = mw.config.thermal_tick_s
+    for bname in load_buildings:
+        gen = EdgeWorkloadGenerator(
+            mw.rngs.stream(f"edge-{bname}"),
+            source=bname,
+            config=EdgeWorkloadConfig(rate_per_hour=rate_per_hour),
+        )
+        mw.inject(gen.generate(t0, t0 + SUR_TICKS * tick))
+    nd = mw.config.n_districts
+    means = []
+    for k in range(1, SUR_TICKS + 1):
+        mw.run_until(t0 + k * tick + 1.0)
+        grid = np.asarray(mw._fused_thermal.t_air).reshape(nd, -1)
+        means.append(grid.mean(axis=1))
+    return mw, np.asarray(means)
+
+
+def _sample_buildings(cfg_kwargs: dict):
+    """The surrogate run's sample districts' buildings for this config."""
+    probe = small_city(kernel="surrogate",
+                       **dict(cfg_kwargs, surrogate=SUR_TIER))
+    return probe.surrogate.sample_districts, [
+        f"district-{d}/building-{b}"
+        for d in probe.surrogate.sample_districts
+        for b in range(cfg_kwargs.get("buildings_per_district", 2))
+    ]
+
+
+@pytest.mark.parametrize("cfg", SURROGATE_CONFIGS,
+                         ids=[f"sur{i}" for i in range(len(SURROGATE_CONFIGS))])
+def test_surrogate_within_declared_budget(cfg):
+    """Every budget metric is asserted against the constants in
+    ``repro.thermal.budget`` — tightening the budget is a one-line diff
+    there, and a silently drifting surrogate fails here."""
+    _samples, load = _sample_buildings(cfg)
+    mw_s, means_s = _run_tracked(cfg, "surrogate", load)
+    mw_v, means_v = _run_tracked(cfg, "vector", load)
+    assert mw_s.surrogate.switched
+    assert mw_s.surrogate.agg_ids, "no aggregate district: budget test is vacuous"
+
+    # metric 1: per-district time-mean air temperature
+    dev_c = np.abs(means_s.mean(axis=0) - means_v.mean(axis=0))
+    assert dev_c.max() <= budget.DISTRICT_MEAN_TEMP_TOL_C, dev_c
+
+    # metric 2: comfort-violation rate (1 − time_in_band)
+    viol_s = 1.0 - mw_s.comfort.result().time_in_band
+    viol_v = 1.0 - mw_v.comfort.result().time_in_band
+    assert abs(viol_s - viol_v) <= budget.COMFORT_VIOLATION_RATE_TOL
+
+    # metric 3: fleet electrical energy (modelled replaces metered)
+    e_s, e_v = mw_s.fleet_energy_j(), mw_v.fleet_energy_j()
+    assert e_v > 0
+    assert abs(e_s - e_v) / e_v <= budget.FLEET_ENERGY_REL_TOL
+
+
+def test_surrogate_sample_district_byte_identical_to_vector():
+    """Sample districts run the exact path end to end: their per-room
+    temperature and regulator trajectories must equal the vector kernel's
+    bit for bit, tick by tick — the exactness half of the budget contract."""
+    cfg = dict(seed=29, start_time=mid_month_start(1), n_districts=3,
+               buildings_per_district=2, rooms_per_building=3,
+               saturation_policy=SaturationPolicy.QUEUE,
+               thermal_tick_s=600.0)
+    samples, load = _sample_buildings(cfg)
+    rpd = cfg["buildings_per_district"] * cfg["rooms_per_building"]
+    idx = np.concatenate([np.arange(d * rpd, (d + 1) * rpd) for d in samples])
+    runs = {}
+    for kernel in ("surrogate", "vector"):
+        kw = dict(cfg, surrogate=SUR_TIER) if kernel == "surrogate" else cfg
+        mw = small_city(kernel=kernel, **kw)
+        t0 = mw.engine.now
+        for bname in load:
+            gen = EdgeWorkloadGenerator(
+                mw.rngs.stream(f"edge-{bname}"),
+                source=bname,
+                config=EdgeWorkloadConfig(rate_per_hour=30.0),
+            )
+            mw.inject(gen.generate(t0, t0 + SUR_TICKS * 600.0))
+        temps, pf = [], []
+        for k in range(1, SUR_TICKS + 1):
+            mw.run_until(t0 + k * 600.0 + 1.0)
+            temps.append(np.asarray(mw._fused_thermal.t_air)[idx].copy())
+            pf.append(np.asarray(mw._bank.power_fraction)[idx].copy())
+        edge = sorted(
+            (r.time, r.source, r.started_at, r.completed_at, r.executed_on)
+            for r in mw.completed_edge()
+        )
+        runs[kernel] = (np.asarray(temps), np.asarray(pf), edge)
+    assert np.array_equal(runs["surrogate"][0], runs["vector"][0])
+    assert np.array_equal(runs["surrogate"][1], runs["vector"][1])
+    assert runs["surrogate"][2] == runs["vector"][2]
+
+
+def test_kernel_flag_reaches_surrogate_layer():
+    sur = small_city(kernel="surrogate")
+    assert sur.kernel == "surrogate"
+    assert sur.engine.incremental_accounting
+    assert all(s.incremental_scans for s in sur.schedulers.values())
+    assert sur._bank is not None and sur._fused_thermal is not None
+    assert sur.surrogate is not None
+    assert small_city(kernel="vector").surrogate is None
+    with pytest.raises(ValueError, match="kernel"):
+        MiddlewareConfig(kernel="bogus")
 
 
 def test_kernel_flag_reaches_every_layer():

@@ -103,6 +103,47 @@ def test_cache_key_depends_on_kwargs(tmp_path, mod, kwargs):
     assert other.cached == 0
 
 
+def test_surrogate_kernel_serial_parallel_cached_equivalence(
+        tmp_path, monkeypatch):
+    """The determinism contract holds under the surrogate tier too: jobs=1,
+    jobs=2, flat, dag and a warm cache hit all emit one text byte for byte
+    when ``REPRO_KERNEL=surrogate`` (workers inherit the env var)."""
+    monkeypatch.setenv("REPRO_KERNEL", "surrogate")
+    reference = SweepRunner(jobs=1, backend="flat").run_spec(
+        e14_scale.SWEEP).result.text
+
+    cache = ResultCache(tmp_path / "cache")
+    runs = {
+        "flat/jobs=2": SweepRunner(jobs=2, cache=cache, backend="flat"),
+        "dag/jobs=1": SweepRunner(jobs=1, backend="dag"),
+        "flat/warm": SweepRunner(jobs=1, cache=cache, backend="flat"),
+    }
+    for label, runner in runs.items():
+        report = runner.run_spec(e14_scale.SWEEP)
+        assert report.result.text == reference, f"{label} diverged"
+        if label.endswith("warm"):
+            assert report.fully_cached, f"{label} recomputed something"
+
+
+def test_surrogate_kernel_namespaces_the_cache(tmp_path, monkeypatch):
+    """A vector-warmed cache must never serve surrogate runs (the outputs
+    legitimately differ within the tolerance budget), and vice versa — the
+    kernel tag is part of every point/result/node key."""
+    cache = ResultCache(tmp_path / "cache")
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    SweepRunner(jobs=1, cache=cache).run_spec(e14_scale.SWEEP)
+
+    monkeypatch.setenv("REPRO_KERNEL", "surrogate")
+    cold = SweepRunner(jobs=1, cache=cache).run_spec(e14_scale.SWEEP)
+    assert cold.cached == 0                  # vector entries invisible
+    warm = SweepRunner(jobs=1, cache=cache).run_spec(e14_scale.SWEEP)
+    assert warm.fully_cached                 # surrogate entries round-trip
+
+    monkeypatch.delenv("REPRO_KERNEL")
+    back = SweepRunner(jobs=1, cache=cache).run_spec(e14_scale.SWEEP)
+    assert back.fully_cached                 # vector entries still intact
+
+
 def _completion_lines(out: str):
     """[(experiment id, detail)] from the CLI's per-experiment status lines."""
     return re.findall(r"\((\w+) completed in [\d.]+s(.*?)\)", out)
