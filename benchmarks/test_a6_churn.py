@@ -14,9 +14,7 @@ under 10% of legacy first-completion cloning's wasted gigacycles — the
 acceptance bar of the policy-engine PR.
 """
 
-import json
-from pathlib import Path
-
+import bench_schema
 import pytest
 from conftest import RESULTS_DIR, record, run_once
 
@@ -77,32 +75,29 @@ def test_a6_churn(benchmark):
             assert p in BUNDLES
 
     # ---- machine-readable artifact for CI ------------------------------- #
-    bench = {
-        "experiment": "A6",
-        "seed": 101,
-        "policies": list(BUNDLES),
-        "levels": {
-            label: {
-                policy: {
-                    "served_in_deadline_rate": cell["served_rate"],
-                    "wasted_gcycles": cell["wasted_gcycles"],
-                    "clone_waste_gcycles": cell["clone_waste_gcycles"],
-                    "failure_waste_gcycles": cell["failure_waste_gcycles"],
-                    "detection_latency_p50_s": cell["detect_p50_s"],
-                    "detection_latency_p99_s": cell["detect_p99_s"],
-                    "cloud_done": cell["cloud_done"],
-                    "server_failures": cell["server_failures"],
-                    "clones": cell["clones"],
-                    "clone_skips": cell["clone_skips"],
-                    "policy_switches": cell["policy_switches"],
-                }
-                for policy, cell in d[label].items()
-            }
-            for label in MTBF_LEVELS_S
-        },
-        "pareto_frontier": d["pareto"],
-    }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = Path(RESULTS_DIR) / "BENCH_resilience.json"
-    out.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n",
-                   encoding="utf-8")
+    rows = [
+        {
+            "mtbf": label,
+            "policy": policy,
+            "served_in_deadline_rate": cell["served_rate"],
+            "wasted_gcycles": cell["wasted_gcycles"],
+            "clone_waste_gcycles": cell["clone_waste_gcycles"],
+            "failure_waste_gcycles": cell["failure_waste_gcycles"],
+            "detection_latency_p50_s": cell["detect_p50_s"],
+            "detection_latency_p99_s": cell["detect_p99_s"],
+            "cloud_done": cell["cloud_done"],
+            "server_failures": cell["server_failures"],
+            "clones": cell["clones"],
+            "clone_skips": cell["clone_skips"],
+            "policy_switches": cell["policy_switches"],
+        }
+        for label in MTBF_LEVELS_S
+        for policy, cell in d[label].items()
+    ]
+    bench_schema.write_bench(
+        RESULTS_DIR / "BENCH_resilience.json",
+        bench_schema.envelope(
+            "resilience", rows,
+            context={"experiment": "A6", "seed": 101,
+                     "policies": list(BUNDLES),
+                     "pareto_frontier": d["pareto"]}))

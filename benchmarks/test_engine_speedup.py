@@ -32,10 +32,10 @@ records its numbers honestly (rows labeled ``skipped_insufficient_cores``)
 instead of flaking.
 """
 
-import json
 import os
 import time
 
+import bench_schema
 from conftest import RESULTS_DIR
 
 from repro.core.scheduling.base import SaturationPolicy
@@ -146,7 +146,7 @@ def test_engine_speedup():
             f"fleet (need >= {MIN_SPEEDUP_16X}x)"
         )
 
-    _update_bench({
+    _update_bench("sizes", rows, {
         "experiment": "ENGINE",
         "seed": SEED,
         "repeats": REPEATS,
@@ -154,24 +154,16 @@ def test_engine_speedup():
         "load_days": LOAD_DAYS,
         "drain_days": DRAIN_DAYS,
         "rate_per_hour": RATE_PER_HOUR,
-        "cpu_count": cpus,
         "speedup_asserted": cpus >= 2,
         "min_speedup_16x": MIN_SPEEDUP_16X,
         "outputs_identical": all_identical,
-        "sizes": rows,
     })
 
 
-def _update_bench(section: dict) -> None:
-    """Merge one test's keys into BENCH_engine.json (tests run separately)."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_engine.json"
-    bench = {}
-    if out.exists():
-        bench = json.loads(out.read_text(encoding="utf-8"))
-    bench.update(section)
-    out.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n",
-                   encoding="utf-8")
+def _update_bench(section: str, rows: list, context: dict) -> None:
+    """Merge one test's rows into BENCH_engine.json (tests run separately)."""
+    bench_schema.merge_section(RESULTS_DIR / "BENCH_engine.json", "engine",
+                               section, rows, context)
 
 
 def _sample_building_names(n_districts: int):
@@ -238,12 +230,11 @@ def test_surrogate_speedup():
             f"{big['fleet_multiplier']} fleet (need >= {MIN_SUR_SPEEDUP_256X}x)"
         )
 
-    _update_bench({
+    _update_bench("surrogate_sizes", rows, {
         "surrogate_repeats": SUR_REPEATS,
         "surrogate_load_days": SUR_LOAD_DAYS,
         "surrogate_warmup_ticks": SUR_TIER.warmup_ticks,
         "surrogate_sample_districts": SUR_TIER.sample_districts,
         "min_surrogate_speedup_256x": MIN_SUR_SPEEDUP_256X,
         "surrogate_speedup_asserted": asserted,
-        "surrogate_sizes": rows,
     })

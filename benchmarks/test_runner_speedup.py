@@ -22,11 +22,10 @@ The warm-cache speedup also holds on any machine — a fully cached sweep
 only unpickles and reduces.
 """
 
-import json
 import os
 import time
-from pathlib import Path
 
+import bench_schema
 from conftest import RESULTS_DIR
 
 from repro.experiments.a6_churn import SWEEP
@@ -77,16 +76,11 @@ def test_runner_speedup(tmp_path):
         )
 
     stats = parallel.backend_stats
-    bench = {
-        "experiment": SWEEP.experiment_id,
-        "seed": SEED,
-        "backend": "dag",
+    row = {
         "points": serial.points,
         "nodes": parallel.nodes,
         "computed_nodes": parallel.computed_nodes,
         "prefix_nodes": parallel.nodes - parallel.points,
-        "jobs": JOBS,
-        "cpu_count": cpus,
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),
         "warm_cache_s": round(warm_s, 3),
@@ -98,9 +92,14 @@ def test_runner_speedup(tmp_path):
         "parallel_speedup_asserted": speedup_asserted,
         "worker_deaths": stats.worker_deaths if stats else 0,
         "chunks_dispatched": stats.chunks_dispatched if stats else 0,
+        "chunk_steals": stats.chunk_steals if stats else 0,
+        "queue_depth_peak": stats.queue_depth_peak if stats else 0,
         "byte_identical": True,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = Path(RESULTS_DIR) / "BENCH_runner.json"
-    out.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n",
-                   encoding="utf-8")
+    bench_schema.write_bench(
+        RESULTS_DIR / "BENCH_runner.json",
+        bench_schema.envelope(
+            "runner", [row],
+            context={"experiment": SWEEP.experiment_id, "seed": SEED,
+                     "backend": "dag", "jobs": JOBS},
+            cpu_count=cpus))

@@ -25,6 +25,7 @@ import urllib.error
 import urllib.request
 from pathlib import Path
 
+import bench_schema
 from conftest import RESULTS_DIR
 
 REPO = Path(__file__).resolve().parent.parent
@@ -134,13 +135,11 @@ def test_service_throughput():
             proc.send_signal(signal.SIGKILL)
             proc.wait(timeout=10)
 
-    bench = {
-        "sim_days": SIM_DAYS,
+    row = {
         "startup_to_healthy_s": round(startup_s, 3),
         "sse_events": n_events,
         "sse_stream_s": round(stream_s, 3),
         "sse_events_per_s": round(n_events / stream_s, 1),
-        "sse_event_kinds": dict(sorted(kinds.items())),
         "injections": N_INJECTIONS,
         "inject_rtt_ms_p50": round(
             statistics.median(latencies) * 1e3, 2),
@@ -148,8 +147,9 @@ def test_service_throughput():
         "steady_state_rss_mib": round(rss_kib / 1024, 1),
         "clean_shutdown": True,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out_path = Path(RESULTS_DIR) / "BENCH_service.json"
-    out_path.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n",
-                        encoding="utf-8")
+    bench = bench_schema.envelope(
+        "service", [row],
+        context={"sim_days": SIM_DAYS,
+                 "sse_event_kinds": dict(sorted(kinds.items()))})
+    bench_schema.write_bench(RESULTS_DIR / "BENCH_service.json", bench)
     print(f"\n{json.dumps(bench, indent=2, sort_keys=True)}\n")

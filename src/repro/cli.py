@@ -56,6 +56,20 @@ buffer); ``--slo`` evaluates the default service-level objectives over the
 trace and prints the compliance table (breach/burn-rate records are
 appended to the trace first, so reports see them).
 
+Orchestration-plane observability (DESIGN.md §2.19)::
+
+    python -m repro run A6 --jobs 4 --progress        # live frontier line
+    python -m repro run A6 --report-json run.json     # RunReport as JSON
+    python -m repro report t.jsonl --run-report run.json -o report.html
+    python -m repro diff base.json candidate.json     # perf-regression radar
+
+``--progress`` paints one live stderr line (computed/cached counts, in-flight
+nodes, worker deaths and retries) fed by the backend; ``--report-json``
+writes the full :class:`~repro.runner.RunReport` (node counts, backend stats,
+worker timeline) for ``repro report --run-report`` and ``repro diff``, which
+compares two run/report/bench artifacts with tolerance bands and exits 1 on
+regressions.
+
 With several experiments (``run all``), per-experiment output files get the
 experiment id injected before the suffix (``t-F3.jsonl``).
 
@@ -67,6 +81,7 @@ Instrumentation never changes them: tracing and metrics only *observe*.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -151,6 +166,25 @@ def _parse_kinds(spec: Optional[str]):
         return None
     kinds = frozenset(k.strip() for k in spec.split(",") if k.strip())
     return kinds or None
+
+
+def _progress_printer(eid: str):
+    """Live one-line progress feed on stderr (``repro run --progress``)."""
+    def emit(ev: Dict[str, object]) -> None:
+        if ev.get("phase") == "plan":
+            line = (f"{eid}: {ev.get('points', 0)} points — "
+                    f"{ev.get('cached', 0)} cached, "
+                    f"{ev.get('pending', 0)} pending")
+        else:
+            line = (f"{eid}: {ev.get('done', 0)}/{ev.get('total', 0)} "
+                    f"computed · {ev.get('inflight', 0)} in flight · "
+                    f"{ev.get('workers', 1)} worker(s)")
+            if ev.get("deaths"):
+                line += f" · {ev['deaths']} worker death(s)"
+            if ev.get("retries"):
+                line += f" · {ev['retries']} retried"
+        print(f"\r\x1b[2K{line}", end="", file=sys.stderr, flush=True)
+    return emit
 
 
 def _build_obs(args, eid: str, multi: bool) -> Optional[obs_mod.Observability]:
@@ -253,6 +287,12 @@ def main(argv=None) -> int:
     runp.add_argument("--backend", choices=("flat", "dag"), default=None,
                       help="sweep execution backend (default: $REPRO_BACKEND "
                            "or 'dag'; outputs are byte-identical either way)")
+    runp.add_argument("--progress", action="store_true",
+                      help="live progress line on stderr (frontier / computed"
+                           " / cached, worker deaths and retries)")
+    runp.add_argument("--report-json", metavar="PATH", default=None,
+                      help="write the RunReport (points, nodes, backend "
+                           "stats, timings) as JSON")
     runp.add_argument("--no-cache", action="store_true",
                       help="neither read nor write the result cache")
     runp.add_argument("--cache-dir", metavar="PATH",
@@ -305,6 +345,22 @@ def main(argv=None) -> int:
                       help="report title (default: derived from the trace name)")
     repp.add_argument("--slowest", type=int, default=5, metavar="N",
                       help="span waterfalls for the N slowest requests")
+    repp.add_argument("--run-report", metavar="PATH", default=None,
+                      help="RunReport JSON (from run --report-json) to render "
+                           "as the orchestration Gantt/counters panel")
+    difp = sub.add_parser(
+        "diff", help="perf-regression radar: structurally compare two "
+                     "run/report/bench JSON artifacts with tolerance bands")
+    difp.add_argument("base", help="baseline artifact (JSON or JSONL)")
+    difp.add_argument("candidate", help="candidate artifact to compare")
+    difp.add_argument("--rel-tol", type=float, default=0.2, metavar="F",
+                      help="relative tolerance band for timing/speedup keys "
+                           "(default 0.2 = ±20%%)")
+    difp.add_argument("--abs-floor", type=float, default=0.25, metavar="F",
+                      help="ignore timing deltas smaller than this absolute "
+                           "amount (default 0.25)")
+    difp.add_argument("--json", metavar="PATH", default=None,
+                      help="also write the diff report as JSON")
     args = parser.parse_args(argv)
 
     if args.command == "serve":
@@ -351,11 +407,36 @@ def main(argv=None) -> int:
         if not trace.exists():
             print(f"no such trace file: {trace}", file=sys.stderr)
             return 2
+        run_report = None
+        if args.run_report is not None:
+            rr = Path(args.run_report)
+            if not rr.exists():
+                print(f"no such run report: {rr}", file=sys.stderr)
+                return 2
+            run_report = json.loads(rr.read_text(encoding="utf-8"))
         title = args.title or f"DF3 run report — {trace.stem}"
         p = report_from_jsonl(trace, args.out, title=title,
-                              slowest_n=args.slowest)
+                              slowest_n=args.slowest, run_report=run_report)
         print(f"report → {p} ({p.stat().st_size / 1024:.0f} KiB)")
         return 0
+
+    if args.command == "diff":
+        from repro.obs.diff import diff_files
+
+        try:
+            diff = diff_files(args.base, args.candidate,
+                              rel_tol=args.rel_tol, abs_floor=args.abs_floor)
+        except (OSError, ValueError) as exc:
+            print(f"cannot diff: {exc}", file=sys.stderr)
+            return 2
+        if args.json is not None:
+            out = Path(args.json)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(json.dumps(diff.to_dict(), indent=2,
+                                      sort_keys=True) + "\n",
+                           encoding="utf-8")
+        print(diff.render())
+        return 0 if diff.ok else 1
 
     if args.command == "list":
         width = max(len(k) for k in EXPERIMENTS)
@@ -399,13 +480,17 @@ def main(argv=None) -> int:
         # an instrumented run must execute to have something to observe
         runner = SweepRunner(jobs=args.jobs,
                              cache=None if obs is not None else cache,
-                             backend=args.backend)
+                             backend=args.backend,
+                             progress=(_progress_printer(eid)
+                                       if args.progress else None))
         t0 = time.time()
         with obs_mod.obs_session(obs) if obs is not None else nullcontext():
             try:
                 report = runner.run_experiment(fn, **kwargs)
             except TypeError:
                 report = runner.run_experiment(fn)  # no seed parameter
+        if args.progress:
+            print(file=sys.stderr)      # finish the live progress line
         result = report.result
         print(result)
         if report.points:
@@ -414,6 +499,13 @@ def main(argv=None) -> int:
         else:
             detail = "; result cached" if report.cached else ""
         print(f"({eid} completed in {time.time() - t0:.1f}s{detail})")
+        if args.report_json is not None:
+            if not report.experiment:       # non-sweep runs don't know it
+                report.experiment = eid
+            rp = _out_path(args.report_json, eid, multi)
+            rp.write_text(json.dumps(report.to_dict(), indent=2,
+                                     sort_keys=True) + "\n", encoding="utf-8")
+            print(f"  run report → {rp}")
         _write_artefacts(args, obs, result, eid, multi)
         print()
     if cache is not None and cache.stats.hits + cache.stats.misses:

@@ -230,11 +230,153 @@ def _sample_series(records: Sequence[TraceRecord], name: str, key: str,
             for r in records if r.name == name and key in r.args]
 
 
+def _stat_cards(items: Sequence[Tuple[str, object]]) -> str:
+    cells = "".join(
+        f"<div class='card'><div class='slo-name'>{_esc(label)}</div>"
+        f"<div class='slo-num'>{_esc(value)}</div></div>"
+        for label, value in items)
+    return f"<div class='cards'>{cells}</div>"
+
+
+def _gantt_panel(run_report: Dict[str, object]) -> str:
+    """Worker × node execution timeline from a run report's backend stats.
+
+    Fed by ``repro run --report-json`` output (``RunReport.to_dict()``): the
+    wall-clock node lifecycle rows the :class:`~repro.runner.backend`
+    backends collect.  Each worker is one lane; a node's bar spans
+    ``start_s → done_s`` with the queued span (``enqueue_s → start_s``)
+    drawn as a pale lead-in.  Retried nodes (``attempts > 1``) are outlined
+    in the failure colour.
+    """
+    stats = run_report.get("backend_stats") or {}
+    timeline = stats.get("timeline") or [] if isinstance(stats, dict) else []
+    cards = []
+    if isinstance(stats, dict) and stats:
+        cards = [
+            ("nodes executed", stats.get("executed", 0)),
+            ("chunks dispatched", stats.get("chunks_dispatched", 0)),
+            ("chunk steals", stats.get("chunk_steals", 0)),
+            ("queue depth peak", stats.get("queue_depth_peak", 0)),
+            ("worker deaths", stats.get("worker_deaths", 0)),
+            ("nodes retried", stats.get("retried_nodes", 0)),
+            ("workers respawned", stats.get("respawned_workers", 0)),
+            ("heartbeat staleness max",
+             f"{float(stats.get('heartbeat_max_staleness_s', 0.0)):.2f}s"),
+        ]
+    parts: List[str] = []
+    rows = [r for r in timeline
+            if isinstance(r, dict) and r.get("done_s") is not None]
+    if rows:
+        t_end = max(float(r["done_s"]) for r in rows) or 1e-9
+        workers = sorted({int(r.get("worker") or 0) for r in rows})
+        lane = {w: i for i, w in enumerate(workers)}
+        pad_l, pad_r, pad_t, lane_h = 70, 14, 30, 26
+        iw = _W - pad_l - pad_r
+        height = pad_t + len(workers) * (lane_h + 4) + 30
+        parts.append(
+            f'<svg viewBox="0 0 {_W} {height}" role="img" '
+            f'aria-label="worker-node timeline">'
+            f'<text x="10" y="18" class="ct">Worker × node timeline '
+            f'({len(rows)} nodes, {_fmt_s(t_end)} wall)</text>')
+        for w in workers:
+            y = pad_t + lane[w] * (lane_h + 4)
+            parts.append(f'<text x="{pad_l - 6}" y="{y + lane_h / 2 + 4}" '
+                         f'class="tick" text-anchor="end">w{w}</text>')
+        for i, r in enumerate(rows):
+            w = int(r.get("worker") or 0)
+            y = pad_t + lane[w] * (lane_h + 4)
+            start = float(r.get("start_s", r.get("enqueue_s", 0.0)) or 0.0)
+            done = float(r["done_s"])
+            enq = float(r.get("enqueue_s", start) or start)
+            x0 = pad_l + iw * enq / t_end
+            xs = pad_l + iw * start / t_end
+            xw = max(iw * (done - start) / t_end, 1.5)
+            if xs - x0 > 0.5:   # queued lead-in
+                parts.append(
+                    f'<rect x="{x0:.1f}" y="{y + 7}" '
+                    f'width="{xs - x0:.1f}" height="{lane_h - 14}" '
+                    f'fill="{_GRID}"/>')
+            retried = int(r.get("attempts", 1) or 1) > 1
+            stroke = f' stroke="{_BAD}" stroke-width="1.5"' if retried else ""
+            shade = _ramp(0.25 + 0.6 * ((done - start) / t_end))
+            label = (f"{r.get('node', '?')} [{r.get('kind', '?')}] w{w}: "
+                     f"{_fmt_s(done - start)}"
+                     + (f" ({r.get('attempts')} attempts)" if retried else ""))
+            parts.append(
+                f'<rect x="{xs:.1f}" y="{y + 3}" width="{xw:.1f}" '
+                f'height="{lane_h - 6}" rx="3" fill="{shade}"{stroke}>'
+                f'<title>{_esc(label)}</title></rect>')
+        parts.append(f'<text x="{pad_l}" y="{height - 6}" class="tick">0'
+                     f'</text><text x="{_W - pad_r}" y="{height - 6}" '
+                     f'class="tick" text-anchor="end">{_fmt_s(t_end)}</text>')
+        parts.append("</svg>")
+    if not cards and not parts:
+        return ""
+    header = ""
+    if run_report.get("experiment"):
+        header = (f"<p class='muted'>{_esc(run_report['experiment'])} · "
+                  f"backend {_esc(run_report.get('backend', '?'))} · "
+                  f"jobs {_esc(run_report.get('jobs', '?'))} · "
+                  f"{_esc(run_report.get('computed', 0))} computed / "
+                  f"{_esc(run_report.get('cached', 0))} cached points</p>")
+    return header + (_stat_cards(cards) if cards else "") + "".join(parts)
+
+
+def _surrogate_panel(records: Sequence[TraceRecord], t0: float) -> str:
+    """The surrogate tier's error-budget panel from its trace records.
+
+    ``surrogate.drift`` records carry the worst sample-vs-aggregate district
+    drift against the declared budget (``repro.thermal.budget``); the chart
+    plots drift as a share of that budget, with 100% as the break line.
+    Both ``surrogate.materialize`` and the historical ``…materialise``
+    spelling are counted.
+    """
+    sur = [r for r in records if r.kind == "surrogate"]
+    if not sur:
+        return ""
+    drifts = [r for r in sur if r.name == "surrogate.drift"]
+    n_mat = sum(1 for r in sur
+                if r.name in ("surrogate.materialize",
+                              "surrogate.materialise"))
+    n_zoom = sum(1 for r in sur if r.name == "surrogate.zoom")
+    switch = next((r for r in sur if r.name == "surrogate.switch"), None)
+    cards: List[Tuple[str, object]] = []
+    if switch is not None:
+        cards.append(("aggregated at switch",
+                      switch.args.get("aggregated",
+                                      switch.args.get("districts", "?"))))
+    if drifts:
+        last = drifts[-1]
+        budget_c = float(last.args.get("budget_c", 0.0)) or 1.0
+        worst = max(float(r.args.get("max_drift_c", 0.0)) for r in drifts)
+        cards.append(("worst drift",
+                      f"{worst:.3f}°C / {budget_c:.2f}°C budget"))
+        cards.append(("live districts", last.args.get("live", "?")))
+    cards.append(("materializations", n_mat))
+    cards.append(("zoom-ins", n_zoom))
+    parts = [_stat_cards(cards)]
+    if drifts:
+        budget_c = float(drifts[-1].args.get("budget_c", 0.0)) or 1.0
+        pts = [((r.ts - t0) / 3600.0,
+                float(r.args.get("max_drift_c", 0.0)) / budget_c)
+               for r in drifts]
+        parts.append(_line_chart(
+            pts, "Surrogate drift as share of declared budget",
+            target=1.0, target_label="error budget"))
+    return "".join(parts)
+
+
 def render_report(records: Iterable[TraceRecord],
                   title: str = "DF3 run report",
                   slos: Optional[Sequence[SLOSpec]] = None,
-                  slowest_n: int = 5) -> str:
-    """The whole report as one self-contained HTML string."""
+                  slowest_n: int = 5,
+                  run_report: Optional[Dict[str, object]] = None) -> str:
+    """The whole report as one self-contained HTML string.
+
+    ``run_report`` (a ``RunReport.to_dict()`` payload, e.g. loaded from
+    ``repro run --report-json``) adds the orchestration panel: backend
+    counters and the worker × node Gantt timeline.
+    """
     recs = list(records)
     report = SLOEngine(slos).evaluate(recs)
     idx = SpanIndex(recs)
@@ -308,6 +450,15 @@ def render_report(records: Iterable[TraceRecord],
             for a, n in sorted(policy_counts.items()))
         sections.append("<h2>Recovery policy decisions</h2>"
                         f"<div class='cards'>{cells}</div>")
+    surrogate = _surrogate_panel(recs, t0)
+    if surrogate:
+        sections.append("<h2>Surrogate error budget</h2>")
+        sections.append(surrogate)
+    if run_report:
+        gantt = _gantt_panel(run_report)
+        if gantt:
+            sections.append("<h2>Orchestration</h2>")
+            sections.append(gantt)
     hm = _heatmap(util, span_h)
     if hm:
         sections.append("<h2>Fleet utilisation</h2>")

@@ -74,24 +74,115 @@ class WorkerCrashError(RuntimeError):
 
 @dataclass
 class BackendStats:
-    """What one graph execution did, for reports, benchmarks and tests."""
+    """What one graph execution did, for reports, benchmarks and tests.
+
+    Two kinds of fields live here, with different determinism guarantees:
+
+    * **deterministic bookkeeping** — ``executed`` (and, at ``jobs=1``,
+      everything else) is a pure function of the graph;
+    * **wall-clock telemetry** — ``timeline`` rows and the queue/steal/
+      heartbeat counters record *how* this particular execution went
+      (worker assignment, claim/start/done wall times, staleness).  They
+      feed ``--progress``, ``RunReport.to_dict()`` and the report's
+      worker×node Gantt panel, and are deliberately kept **out of the
+      trace**, which must stay byte-identical across jobs counts.
+    """
 
     executed: int = 0                 # first completions (cache misses run)
     chunks_dispatched: int = 0
+    chunk_steals: int = 0             # chunks claim-acked by an idle worker
+    queue_depth_peak: int = 0         # max nodes dispatched-but-unfinished
     worker_deaths: int = 0
     retried_nodes: int = 0            # re-enqueues after worker deaths
     respawned_workers: int = 0
     duplicate_results: int = 0        # late results discarded (idempotent)
+    heartbeat_max_staleness_s: float = 0.0   # worst observed beat lag
     nodes_per_worker: Dict[int, int] = field(default_factory=dict)
     last_heartbeat: Dict[int, float] = field(default_factory=dict)
+    #: per-node lifecycle rows (graph order): node, kind, worker, attempts,
+    #: enqueue_s/claim_s/start_s/done_s relative to execute() start, and the
+    #: worker-measured wall_s of the winning attempt
+    timeline: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (int worker ids become string keys)."""
+        return {
+            "executed": self.executed,
+            "chunks_dispatched": self.chunks_dispatched,
+            "chunk_steals": self.chunk_steals,
+            "queue_depth_peak": self.queue_depth_peak,
+            "worker_deaths": self.worker_deaths,
+            "retried_nodes": self.retried_nodes,
+            "respawned_workers": self.respawned_workers,
+            "duplicate_results": self.duplicate_results,
+            "heartbeat_max_staleness_s": round(
+                self.heartbeat_max_staleness_s, 6),
+            "nodes_per_worker": {str(k): v
+                                 for k, v in self.nodes_per_worker.items()},
+            "last_heartbeat": {str(k): v
+                               for k, v in self.last_heartbeat.items()},
+            "timeline": [dict(row) for row in self.timeline],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "BackendStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            executed=int(d.get("executed", 0)),
+            chunks_dispatched=int(d.get("chunks_dispatched", 0)),
+            chunk_steals=int(d.get("chunk_steals", 0)),
+            queue_depth_peak=int(d.get("queue_depth_peak", 0)),
+            worker_deaths=int(d.get("worker_deaths", 0)),
+            retried_nodes=int(d.get("retried_nodes", 0)),
+            respawned_workers=int(d.get("respawned_workers", 0)),
+            duplicate_results=int(d.get("duplicate_results", 0)),
+            heartbeat_max_staleness_s=float(
+                d.get("heartbeat_max_staleness_s", 0.0)),
+            nodes_per_worker={int(k): int(v) for k, v in
+                              d.get("nodes_per_worker", {}).items()},
+            last_heartbeat={int(k): float(v) for k, v in
+                            d.get("last_heartbeat", {}).items()},
+            timeline=[dict(row) for row in d.get("timeline", [])],
+        )
+
+
+# --------------------------------------------------------------------------- #
+# deterministic runner spans
+#
+# Node spans are part of the trace byte-identity contract: a traced sweep
+# must produce record-for-record identical output at --jobs 1 and --jobs N.
+# Both backends therefore emit the SAME records in the SAME positions — one
+# ``runner.node`` record per executed node immediately before that node's own
+# cell records (InlineBackend: before executing; ProcessBackend: at the
+# deterministic graph-order merge-back), then one ``runner.sweep`` summary.
+# Record content is a pure function of the graph (ts is the node's execution
+# ordinal, never a wall time); everything wall-clock-dependent — worker ids,
+# claim/start/done times, retries — lives in BackendStats instead.
+# --------------------------------------------------------------------------- #
+def _emit_node_span(tracer, node, seq: int) -> None:
+    tracer.emit("runner", "runner.node", float(seq),
+                node=node.node_id, node_kind=node.kind,
+                experiment=node.experiment_id, seq=seq,
+                upstreams=len(node.upstream_ids), status="computed")
+
+
+def _emit_sweep_summary(tracer, graph: TaskGraph,
+                        pending_order: Sequence[str]) -> None:
+    prefixes = sum(1 for nid in pending_order
+                   if graph[nid].kind == "prefix")
+    tracer.emit("runner", "runner.sweep", float(len(pending_order)),
+                executed=len(pending_order), prefixes=prefixes,
+                points=len(pending_order) - prefixes, graph_nodes=len(graph))
 
 
 # --------------------------------------------------------------------------- #
 class InlineBackend:
     """Execute pending nodes inline, in deterministic topological order."""
 
-    def __init__(self, obs: Optional[obs_mod.Observability] = None):
+    def __init__(self, obs: Optional[obs_mod.Observability] = None,
+                 progress: Optional[Callable[[Dict[str, Any]], None]] = None):
         self.obs = obs
+        self.progress = progress
 
     def execute(
         self,
@@ -104,18 +195,37 @@ class InlineBackend:
         ambient = self.obs if self.obs is not None else obs_mod.get_obs()
         tracing = ambient.tracer.enabled
         pending_set = set(pending)
-        for nid in graph.order():
-            if nid not in pending_set:
-                continue
+        pending_order = [nid for nid in graph.order() if nid in pending_set]
+        t0 = time.perf_counter()
+        for seq, nid in enumerate(pending_order):
+            node = graph[nid]
             if tracing:
                 # same id hygiene as the workers: traced ids are a pure
                 # function of the node, not of prior nodes' request counts
                 from repro.core.requests import reset_ids
                 reset_ids()
-            value = graph[nid].execute(values)
+                _emit_node_span(ambient.tracer, node, seq)
+            start_s = time.perf_counter() - t0
+            value = node.execute(values)
+            done_s = time.perf_counter() - t0
             values[nid] = value
             on_complete(nid, value)
             stats.executed += 1
+            stats.nodes_per_worker[0] = stats.nodes_per_worker.get(0, 0) + 1
+            stats.timeline.append({
+                "node": nid, "kind": node.kind, "worker": 0, "attempts": 1,
+                "enqueue_s": round(start_s, 6), "claim_s": round(start_s, 6),
+                "start_s": round(start_s, 6), "done_s": round(done_s, 6),
+                "wall_s": round(done_s - start_s, 6),
+            })
+            if self.progress is not None:
+                self.progress({"done": stats.executed,
+                               "total": len(pending_order),
+                               "inflight": 0, "deaths": 0, "retries": 0,
+                               "workers": 1})
+        if tracing:
+            _emit_sweep_summary(ambient.tracer, graph, pending_order)
+        stats.queue_depth_peak = 1 if pending_order else 0
         return stats
 
 
@@ -133,6 +243,7 @@ class ProcessBackend:
         stall_timeout_s: float = 30.0,
         retry_limit: int = 1,
         poll_s: float = 0.05,
+        progress: Optional[Callable[[Dict[str, Any]], None]] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -146,6 +257,7 @@ class ProcessBackend:
         self.stall_timeout_s = stall_timeout_s
         self.retry_limit = retry_limit
         self.poll_s = poll_s
+        self.progress = progress
 
     # ------------------------------------------------------------------ #
     def _chunk(self, ready: List[str]) -> List[List[str]]:
@@ -184,6 +296,8 @@ class ProcessBackend:
         done: set = set()
         dispatched: set = set()
         retries: Dict[str, int] = {}
+        t0 = time.perf_counter()
+        events: Dict[str, Dict[str, Any]] = {}   # node id → timeline row
         chunk_nodes: Dict[int, List[str]] = {}
         chunk_claims: Dict[int, int] = {}          # chunk id → worker id
         merge_back: Dict[str, Tuple[Optional[obs_mod.MetricsRegistry],
@@ -212,6 +326,26 @@ class ProcessBackend:
             proc.start()
             workers[slot] = proc
 
+        def _rel() -> float:
+            return round(time.perf_counter() - t0, 6)
+
+        def _event(nid: str) -> Dict[str, Any]:
+            return events.setdefault(nid, {
+                "node": nid, "kind": graph[nid].kind, "worker": None,
+                "attempts": 0,
+            })
+
+        def _report_progress() -> None:
+            if self.progress is None:
+                return
+            self.progress({
+                "done": len(done), "total": len(pending_order),
+                "inflight": len(dispatched - done),
+                "deaths": stats.worker_deaths,
+                "retries": stats.retried_nodes,
+                "workers": sum(1 for s in workers if s not in dead),
+            })
+
         def _dispatch() -> None:
             ready = [nid for nid in pending_order
                      if nid not in done and nid not in dispatched
@@ -224,8 +358,14 @@ class ProcessBackend:
                      {up: values[up] for up in graph[nid].upstream_ids})
                     for nid in chunk
                 ]))
+                for nid in chunk:
+                    _event(nid)["enqueue_s"] = _rel()
                 dispatched.update(chunk)
                 stats.chunks_dispatched += 1
+            stats.queue_depth_peak = max(stats.queue_depth_peak,
+                                         len(dispatched - done))
+            if ready:
+                _report_progress()
 
         def _reenqueue(lost: List[str], count_retry: bool) -> None:
             for nid in lost:
@@ -251,6 +391,8 @@ class ProcessBackend:
             for slot, proc in list(workers.items()):
                 if slot in dead:
                     continue
+                stats.heartbeat_max_staleness_s = max(
+                    stats.heartbeat_max_staleness_s, now - heartbeats[slot])
                 hung = (self.hang_timeout_s is not None
                         and now - heartbeats[slot] > self.hang_timeout_s)
                 if proc.is_alive() and not hung:
@@ -273,6 +415,7 @@ class ProcessBackend:
                 raise WorkerCrashError("<all workers dead>",
                                        stats.worker_deaths)
             if stats.worker_deaths > deaths_before:
+                _report_progress()
                 _dispatch()  # reclaimed nodes go back out immediately
 
         try:
@@ -310,13 +453,22 @@ class ProcessBackend:
                 if kind == "claim":
                     _, wid, cid, _members = msg
                     chunk_claims[cid] = wid
+                    stats.chunk_steals += 1
+                    for member in chunk_nodes.get(cid, ()):
+                        ev = _event(member)
+                        ev["claim_s"] = _rel()
+                        ev["worker"] = wid
                     last_progress = time.time()
                 elif kind == "start":
-                    _, wid, _nid = msg
+                    _, wid, nid = msg
+                    ev = _event(nid)
+                    ev["start_s"] = _rel()
+                    ev["worker"] = wid
+                    ev["attempts"] += 1
                     stats.last_heartbeat[wid] = time.time()
                     last_progress = time.time()
                 elif kind == "done":
-                    _, wid, nid, value, registry, profiler, records = msg
+                    _, wid, nid, value, registry, profiler, records, wall_s = msg
                     if nid in done:
                         stats.duplicate_results += 1
                         continue
@@ -327,8 +479,13 @@ class ProcessBackend:
                     stats.executed += 1
                     stats.nodes_per_worker[wid] = \
                         stats.nodes_per_worker.get(wid, 0) + 1
+                    ev = _event(nid)
+                    ev["done_s"] = _rel()
+                    ev["worker"] = wid
+                    ev["wall_s"] = round(wall_s, 6)
                     last_progress = time.time()
                     deaths_at_last_progress = stats.worker_deaths
+                    _report_progress()
                     _dispatch()
                 elif kind == "error":
                     _, wid, nid, message, tb = msg
@@ -351,9 +508,16 @@ class ProcessBackend:
             stats.last_heartbeat.setdefault(slot, heartbeats[slot])
             stats.last_heartbeat[slot] = max(stats.last_heartbeat[slot],
                                              heartbeats[slot])
+        stats.timeline = [events[nid] for nid in pending_order
+                          if nid in events]
 
-        # deterministic merge-back: graph order, never completion order
-        for nid in pending_order:
+        # deterministic merge-back: graph order, never completion order.
+        # Runner node spans are emitted HERE (not at wall-clock completion)
+        # so the traced record sequence — span(n), cell records(n), … — is
+        # byte-identical to an InlineBackend run of the same pending set.
+        for seq, nid in enumerate(pending_order):
+            if want_trace:
+                _emit_node_span(bundle.tracer, graph[nid], seq)
             registry, profiler, records = merge_back.get(nid, (None, None, None))
             if registry is not None:
                 bundle.registry.merge(registry)
@@ -361,4 +525,6 @@ class ProcessBackend:
                 bundle.profiler.merge(profiler)
             if records:
                 bundle.tracer.absorb(records)
+        if want_trace:
+            _emit_sweep_summary(bundle.tracer, graph, pending_order)
         return stats

@@ -37,7 +37,9 @@ paths execute the same pure functions (locked in by
 
 from __future__ import annotations
 
+import hashlib
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -106,6 +108,11 @@ class RunReport:
     full graph size (points + prefixes), ``computed_nodes`` the nodes
     actually executed, ``cached_nodes`` the nodes served from the per-node
     cache — which is how tests assert a shared prefix ran *exactly once*.
+
+    ``to_dict``/``from_dict`` round-trip everything except the in-memory
+    ``result`` object itself, which is represented by ``result_digest``
+    (sha256 over the rendered ``result.text`` when present) so two runs can
+    be compared for outcome identity from their JSON reports alone.
     """
 
     result: Any
@@ -116,11 +123,63 @@ class RunReport:
     computed_nodes: int = 0  # DAG only: nodes executed (incl. prefixes)
     cached_nodes: int = 0    # DAG only: nodes served from the cache
     backend_stats: Optional[BackendStats] = None
+    experiment: str = ""   # experiment id (sweeps; CLI fills for non-sweeps)
+    backend: str = ""      # "flat" | "dag" ("" for direct construction)
+    jobs: int = 0          # worker processes the runner was configured with
+    wall_s: float = 0.0    # end-to-end run wall time (decompose → reduce)
+    result_digest: str = ""  # sha256 of the rendered result text
+
+    def __post_init__(self) -> None:
+        if not self.result_digest and self.result is not None:
+            text = getattr(self.result, "text", None)
+            payload = text if isinstance(text, str) else repr(self.result)
+            self.result_digest = hashlib.sha256(
+                payload.encode("utf-8")).hexdigest()
 
     @property
     def fully_cached(self) -> bool:
         """True when nothing had to be executed."""
         return self.computed == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready view of the run (everything but the result object)."""
+        return {
+            "experiment": self.experiment,
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "points": self.points,
+            "computed": self.computed,
+            "cached": self.cached,
+            "nodes": self.nodes,
+            "computed_nodes": self.computed_nodes,
+            "cached_nodes": self.cached_nodes,
+            "fully_cached": self.fully_cached,
+            "wall_s": round(self.wall_s, 6),
+            "result_digest": self.result_digest,
+            "backend_stats": (self.backend_stats.to_dict()
+                              if self.backend_stats is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunReport":
+        """Rebuild a report from :meth:`to_dict` output (``result`` is lost)."""
+        stats = payload.get("backend_stats")
+        return cls(
+            result=None,
+            points=int(payload.get("points", 0)),
+            computed=int(payload.get("computed", 0)),
+            cached=int(payload.get("cached", 0)),
+            nodes=int(payload.get("nodes", 0)),
+            computed_nodes=int(payload.get("computed_nodes", 0)),
+            cached_nodes=int(payload.get("cached_nodes", 0)),
+            backend_stats=(BackendStats.from_dict(stats)
+                           if stats is not None else None),
+            experiment=str(payload.get("experiment", "")),
+            backend=str(payload.get("backend", "")),
+            jobs=int(payload.get("jobs", 0)),
+            wall_s=float(payload.get("wall_s", 0.0)),
+            result_digest=str(payload.get("result_digest", "")),
+        )
 
 
 @dataclass
@@ -131,13 +190,18 @@ class SweepRunner:
     in points order in this process, so an uncached ``jobs=1`` run is
     *the* reference serial execution.  ``obs`` overrides the bundle that
     receives worker merge-back (defaults to the process-wide current one at
-    call time).
+    call time).  ``progress`` is an optional callback receiving small dicts
+    as the run advances — a ``{"phase": "plan", ...}`` event after cache
+    probing, then per-completion execution events from the backend
+    (``done``/``total``/``inflight``/``deaths``/``retries``/``workers``);
+    it is display-only telemetry and never influences execution.
     """
 
     jobs: int = 1
     cache: Optional[ResultCache] = None
     obs: Optional[obs_mod.Observability] = None
     backend: Optional[str] = None   # None → $REPRO_BACKEND or "dag"
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -149,6 +213,19 @@ class SweepRunner:
                 f"backend must be one of {BACKENDS}, got {self.backend!r}")
 
     # ------------------------------------------------------------------ #
+    def _emit_progress(self, event: Dict[str, Any]) -> None:
+        if self.progress is not None:
+            self.progress(event)
+
+    def _finish(self, report: RunReport, experiment: str,
+                t0: float) -> RunReport:
+        """Stamp provenance fields shared by every execution path."""
+        report.experiment = experiment
+        report.backend = self.backend or ""
+        report.jobs = self.jobs
+        report.wall_s = time.perf_counter() - t0
+        return report
+
     def run_experiment(self, fn: Callable[..., Any], **kwargs: Any) -> RunReport:
         """Run ``fn`` (an experiment ``run`` callable) through the runner.
 
@@ -158,20 +235,23 @@ class SweepRunner:
         spec = sweep_of(fn)
         if spec is not None:
             return self.run_spec(spec, **kwargs)
+        t0 = time.perf_counter()
         if self.cache is None:
-            return RunReport(result=fn(**kwargs), computed=1)
+            return self._finish(RunReport(result=fn(**kwargs), computed=1),
+                                "", t0)
         key = result_key(f"{fn.__module__}:{fn.__qualname__}", kwargs)
         hit, value = self.cache.get(key)
         if hit:
-            return RunReport(result=value, cached=1)
+            return self._finish(RunReport(result=value, cached=1), "", t0)
         value = fn(**kwargs)
         self.cache.put(key, value)
-        return RunReport(result=value, computed=1)
+        return self._finish(RunReport(result=value, computed=1), "", t0)
 
     def run_spec(self, spec: SweepSpec, **kwargs: Any) -> RunReport:
         """Decompose → probe cache → execute pending → reduce in order."""
         if self.backend == "dag":
             return self._run_spec_dag(spec, **kwargs)
+        t0 = time.perf_counter()
         points = spec.make_points(**kwargs)
         outcomes: Dict[str, Any] = {}
         pending: List[Tuple[SweepPoint, Optional[str]]] = []
@@ -184,15 +264,20 @@ class SweepRunner:
                     continue
             pending.append((p, key))
 
+        self._emit_progress({
+            "phase": "plan", "experiment": spec.experiment_id,
+            "points": len(points), "cached": len(points) - len(pending),
+            "pending": len(pending),
+        })
         if pending:
             self._execute(pending, outcomes)
         cells = reassemble(points, outcomes)
-        return RunReport(
+        return self._finish(RunReport(
             result=spec.reduce(cells, **kwargs),
             points=len(points),
             computed=len(pending),
             cached=len(points) - len(pending),
-        )
+        ), spec.experiment_id, t0)
 
     def _run_spec_dag(self, spec: SweepSpec, **kwargs: Any) -> RunReport:
         """Graph build → probe per-node cache → execute subgraph → reduce.
@@ -203,6 +288,7 @@ class SweepRunner:
         most once.  ``on_complete`` persists every node's value the moment
         it lands, so a crash mid-sweep still leaves finished nodes cached.
         """
+        t0 = time.perf_counter()
         graph = graph_of(spec, **kwargs)
         memo: Dict[str, str] = {}
         keys: Dict[str, Optional[str]] = {}
@@ -241,6 +327,12 @@ class SweepRunner:
                         pending.append(nid)
             pending.extend(pending_points)
 
+        self._emit_progress({
+            "phase": "plan", "experiment": spec.experiment_id,
+            "points": len(point_nodes),
+            "cached": len(point_nodes) - len(pending_points),
+            "pending": len(pending), "graph_nodes": len(graph),
+        })
         stats: Optional[BackendStats] = None
         if pending:
             def on_complete(nid: str, value: Any) -> None:
@@ -251,16 +343,18 @@ class SweepRunner:
                     outcomes[nid] = value
 
             if self.jobs == 1:
-                engine: Any = InlineBackend(obs=self.obs)
+                engine: Any = InlineBackend(obs=self.obs,
+                                            progress=self.progress)
             else:
-                engine = ProcessBackend(self.jobs, obs=self.obs)
+                engine = ProcessBackend(self.jobs, obs=self.obs,
+                                        progress=self.progress)
             stats = engine.execute(graph, pending, values, on_complete)
 
         missing = [n.node_id for n in point_nodes if n.node_id not in outcomes]
         if missing:
             raise KeyError(f"missing outcomes for points: {missing}")
         cells = {n.node_id: outcomes[n.node_id] for n in point_nodes}
-        return RunReport(
+        return self._finish(RunReport(
             result=spec.reduce(cells, **kwargs),
             points=len(point_nodes),
             computed=len(pending_points),
@@ -269,7 +363,7 @@ class SweepRunner:
             computed_nodes=stats.executed if stats is not None else 0,
             cached_nodes=cached_nodes,
             backend_stats=stats,
-        )
+        ), spec.experiment_id, t0)
 
     # ------------------------------------------------------------------ #
     def _execute(
@@ -280,7 +374,7 @@ class SweepRunner:
         if self.jobs == 1:
             ambient = self.obs if self.obs is not None else obs_mod.get_obs()
             tracing = ambient.tracer.enabled
-            for point, key in pending:
+            for done, (point, key) in enumerate(pending, start=1):
                 if tracing:
                     # same id hygiene as run_point_task: traced ids must be a
                     # pure function of the point, not of prior points' counts
@@ -290,6 +384,10 @@ class SweepRunner:
                 outcomes[point.point_id] = value
                 if key is not None and self.cache is not None:
                     self.cache.put(key, value)
+                self._emit_progress({
+                    "done": done, "total": len(pending), "inflight": 0,
+                    "deaths": 0, "retries": 0, "workers": 1,
+                })
             return
 
         bundle = self.obs if self.obs is not None else obs_mod.get_obs()
@@ -310,12 +408,18 @@ class SweepRunner:
             }
             # gather in submission order (workers still run concurrently);
             # reduce-order determinism is enforced again by reassemble()
-            for future, (point, key) in futures.items():
+            for done, (future, (point, key)) in enumerate(futures.items(),
+                                                          start=1):
                 point_id, value, registry, profiler, records = future.result()
                 outcomes[point_id] = value
                 merge_back[point_id] = (registry, profiler, records)
                 if key is not None and self.cache is not None:
                     self.cache.put(key, value)
+                self._emit_progress({
+                    "done": done, "total": len(pending),
+                    "inflight": len(pending) - done, "deaths": 0,
+                    "retries": 0, "workers": self.jobs,
+                })
 
         for point, _ in pending:  # merge in points order, not completion order
             registry, profiler, records = merge_back.get(

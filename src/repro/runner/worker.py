@@ -138,6 +138,7 @@ def dag_worker_main(worker_id: int, task_q, result_q, heartbeats,
                           [node.node_id for node, _ in tasks]))
             for node, upstream in tasks:
                 result_q.put(("start", worker_id, node.node_id))
+                wall0 = time.perf_counter()
                 try:
                     node_id, value, registry, profiler, records = run_node_task(
                         node, upstream, want_metrics, want_profile,
@@ -147,7 +148,10 @@ def dag_worker_main(worker_id: int, task_q, result_q, heartbeats,
                                   f"{type(exc).__name__}: {exc}",
                                   traceback.format_exc()))
                     continue
+                # the measured wall_s rides the done message into the
+                # parent's BackendStats timeline (never into the trace)
                 result_q.put(("done", worker_id, node_id, value,
-                              registry, profiler, records))
+                              registry, profiler, records,
+                              time.perf_counter() - wall0))
     finally:
         stop_beat.set()

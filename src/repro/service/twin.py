@@ -443,6 +443,10 @@ class DigitalTwin:
         }
         if self.mw.resilience is not None:
             out["resilience"] = self.mw.resilience.status_dict()
+        if getattr(self.mw, "surrogate", None) is not None:
+            # the surrogate tier's error-budget monitor rides the same
+            # telemetry: /api/state and every SSE "state" event carry it
+            out["surrogate"] = self.mw.surrogate.budget_status()
         return out
 
     def fleet_dict(self) -> Dict[str, Any]:

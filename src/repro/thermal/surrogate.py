@@ -45,6 +45,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.thermal import budget
+
 __all__ = ["SurrogateConfig", "DistrictAggregateModel", "SurrogateController",
            "DistrictZoom"]
 
@@ -248,6 +250,11 @@ class SurrogateController:
         #: (sim time, district, reason) for every on-demand materialisation
         self.materialised: List[Tuple[float, int, str]] = []
         self.modeled_energy_j = 0.0
+        # budget-monitor state (observability only; never feeds back into
+        # the simulation): rolling sample-vs-aggregate drift and zoom count
+        self.last_drift_c = 0.0
+        self.max_drift_c = 0.0
+        self.zooms = 0
         # filled at the switch
         self.agg_ids: List[int] = []
         self.fit_a: Dict[int, float] = {}
@@ -527,6 +534,22 @@ class SurrogateController:
         # --- SLO flagging: a drifting district zooms back in ---------------
         if self.agg_ids:
             dev = np.abs(self._sbar - self._t_air_bar)
+            drift = float(dev.max()) if dev.size else 0.0
+            self.last_drift_c = drift
+            if drift > self.max_drift_c:
+                self.max_drift_c = drift
+            if mw.obs.active:
+                # budget-monitor telemetry at checkpoint cadence: where the
+                # worst aggregate district sits inside the declared budget
+                if len(self._times) % self.config.checkpoint_every == 0:
+                    mw.obs.emit(
+                        "surrogate", "surrogate.drift", now,
+                        max_drift_c=round(drift, 6),
+                        budget_c=budget.DISTRICT_MEAN_TEMP_TOL_C,
+                        aggregated=len(self.agg_ids), live=len(self.live))
+                mw.obs.gauge("surrogate_drift_c").set(round(drift, 6))
+                mw.obs.gauge("surrogate_aggregated_districts").set(
+                    len(self.agg_ids))
             over = np.flatnonzero(dev > self.config.slo_zoom_threshold_c)
             for d in [self.agg_ids[i] for i in over.tolist()]:
                 self.ensure_live(d, reason="slo")
@@ -570,8 +593,10 @@ class SurrogateController:
             bank.regulators[i].apply_to_server(server)
         self.materialised.append((mw.engine.now, district, reason))
         if mw.obs.active:
-            mw.obs.emit("surrogate", "surrogate.materialise", mw.engine.now,
-                        district=district, reason=reason)
+            mw.obs.emit("surrogate", "surrogate.materialize", mw.engine.now,
+                        district=district, reason=reason,
+                        live=len(self.live), aggregated=len(self.agg_ids))
+            mw.obs.counter("surrogate_materializations").inc()
 
     # ------------------------------------------------------------------ #
     # lazy zoom-in: exact replay from the last checkpoint
@@ -620,6 +645,12 @@ class SurrogateController:
         """Lazy per-building materialisation; see :class:`DistrictZoom`."""
         if district not in self._tbar_hist:
             raise ValueError(f"district {district} was never aggregated")
+        self.zooms += 1
+        mw = self.mw
+        if mw.obs.active:
+            mw.obs.emit("surrogate", "surrogate.zoom", mw.engine.now,
+                        district=district, zooms=self.zooms)
+            mw.obs.counter("surrogate_zooms").inc()
         return DistrictZoom(self, district)
 
     # ------------------------------------------------------------------ #
@@ -638,3 +669,32 @@ class SurrogateController:
                 "live": d in self.live or not self.switched,
             }
         return view
+
+    def budget_status(self) -> Dict[str, object]:
+        """Where the surrogate sits inside its declared error budget.
+
+        JSON-ready: surfaced on the twin's ``/api/state`` (and hence the SSE
+        ``state`` feed) and rendered as the budget panel in HTML reports.
+        ``drift_budget_share`` is the worst observed sample-vs-aggregate
+        drift as a fraction of the declared district-mean tolerance — the
+        single number that says how much headroom the tier has left.
+        """
+        tol = budget.DISTRICT_MEAN_TEMP_TOL_C
+        return {
+            "switched": self.switched,
+            "live_districts": len(self.live),
+            "aggregated_districts": len(self.agg_ids),
+            "sample_districts": list(self.sample_districts),
+            "materializations": len(self.materialised),
+            "zooms": self.zooms,
+            "last_drift_c": round(self.last_drift_c, 6),
+            "max_drift_c": round(self.max_drift_c, 6),
+            "drift_budget_share": round(self.max_drift_c / tol, 4),
+            "modeled_energy_j": round(self.modeled_energy_j, 3),
+            "budget": {
+                "district_mean_temp_tol_c": tol,
+                "comfort_violation_rate_tol":
+                    budget.COMFORT_VIOLATION_RATE_TOL,
+                "fleet_energy_rel_tol": budget.FLEET_ENERGY_REL_TOL,
+            },
+        }

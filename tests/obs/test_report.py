@@ -105,3 +105,101 @@ def test_cli_report_subcommand(tmp_path, records, capsys):
 def test_cli_report_missing_trace_errors(tmp_path, capsys):
     assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
     assert "no such trace" in capsys.readouterr().err.lower()
+
+
+# --------------------------------------------------------------------------- #
+# orchestration-plane panels: surrogate error budget + worker Gantt
+# --------------------------------------------------------------------------- #
+def _surrogate_records():
+    tr = Tracer()
+    for k in range(5):
+        tr.emit("surrogate", "surrogate.drift", 3600.0 * k,
+                max_drift_c=0.05 * k, budget_c=0.35, aggregated=3, live=1)
+    tr.emit("surrogate", "surrogate.materialize", 7200.0, district=2,
+            reason="churn", live=2, aggregated=2)
+    tr.emit("surrogate", "surrogate.zoom", 9000.0, district=1, zooms=1)
+    return list(tr.iter_records())
+
+
+def _run_report_payload():
+    return {
+        "experiment": "E14", "backend": "dag", "jobs": 2,
+        "computed": 3, "cached": 0,
+        "backend_stats": {
+            "executed": 4, "chunks_dispatched": 4, "chunk_steals": 4,
+            "queue_depth_peak": 2, "worker_deaths": 1, "retried_nodes": 1,
+            "respawned_workers": 1, "duplicate_results": 0,
+            "heartbeat_max_staleness_s": 0.31,
+            "nodes_per_worker": {"0": 2, "1": 2},
+            "last_heartbeat": {"0": 1.0, "1": 2.0},
+            "timeline": [
+                {"node": "prefix-a", "kind": "prefix", "worker": 0,
+                 "attempts": 1, "enqueue_s": 0.0, "claim_s": 0.01,
+                 "start_s": 0.02, "done_s": 0.5, "wall_s": 0.48},
+                {"node": "pt-1", "kind": "point", "worker": 1, "attempts": 2,
+                 "enqueue_s": 0.5, "claim_s": 0.55, "start_s": 0.6,
+                 "done_s": 1.4, "wall_s": 0.8},
+            ],
+        },
+    }
+
+
+def test_surrogate_budget_panel_renders(records):
+    html = render_report(records + _surrogate_records(), title="t")
+    assert "Surrogate error budget" in html
+    assert "worst drift" in html
+    assert "0.200°C / 0.35°C budget" in html      # max over the drift series
+    assert "materializations" in html and "zoom-ins" in html
+    assert "error budget" in html                 # the 100% break line
+    for svg in re.findall(r"<svg.*?</svg>", html, flags=re.S):
+        ET.fromstring(svg)
+
+
+def test_surrogate_panel_absent_without_records(records):
+    assert "Surrogate error budget" not in render_report(records, title="t")
+
+
+def test_gantt_panel_renders_from_run_report(records):
+    html = render_report(records, title="t", run_report=_run_report_payload())
+    assert "Orchestration" in html
+    assert "Worker × node timeline" in html
+    assert "nodes executed" in html and "chunk steals" in html
+    assert "E14" in html and "backend dag" in html
+    assert "pt-1" in html and "2 attempts" in html   # retried node flagged
+    for svg in re.findall(r"<svg.*?</svg>", html, flags=re.S):
+        ET.fromstring(svg)
+
+
+def test_gantt_panel_absent_without_run_report(records):
+    assert "Orchestration" not in render_report(records, title="t")
+    # a run report with no backend stats contributes nothing either
+    html = render_report(records, title="t",
+                         run_report={"experiment": "E2",
+                                     "backend_stats": None})
+    assert "Worker × node timeline" not in html
+
+
+def test_cli_report_with_run_report(tmp_path, records, capsys):
+    import json
+
+    tr = Tracer()
+    tr.absorb(records + _surrogate_records())
+    trace = tr.write_jsonl(tmp_path / "t.jsonl")
+    rr = tmp_path / "run.json"
+    rr.write_text(json.dumps(_run_report_payload()), encoding="utf-8")
+    out = tmp_path / "report.html"
+    assert main(["report", str(trace), "--run-report", str(rr),
+                 "-o", str(out)]) == 0
+    capsys.readouterr()
+    html = out.read_text(encoding="utf-8")
+    assert "Orchestration" in html
+    assert "Surrogate error budget" in html
+
+
+def test_cli_report_missing_run_report_errors(tmp_path, records, capsys):
+    tr = Tracer()
+    tr.absorb(records)
+    trace = tr.write_jsonl(tmp_path / "t.jsonl")
+    assert main(["report", str(trace),
+                 "--run-report", str(tmp_path / "nope.json")]) == 2
+    assert "run report" in capsys.readouterr().err.lower()

@@ -168,3 +168,30 @@ def test_read_views_are_json_shaped():
                  twin.metrics_dict(), twin.trace_tail_dict()):
         json.loads(json.dumps(view, sort_keys=True))
     twin.stop()
+
+
+def test_state_dict_surfaces_surrogate_budget(monkeypatch):
+    """With the surrogate kernel the twin's /api/state (and hence every SSE
+    ``state`` event) carries the tier's error-budget status."""
+    import json
+
+    monkeypatch.setenv("REPRO_KERNEL", "surrogate")
+    twin = tiny_twin()
+    twin.start()
+    assert twin.join(timeout=60)
+    state = twin.state_dict()
+    sur = state["surrogate"]
+    assert set(sur) >= {"switched", "live_districts", "aggregated_districts",
+                        "max_drift_c", "drift_budget_share", "budget"}
+    assert sur["budget"]["district_mean_temp_tol_c"] > 0
+    json.loads(json.dumps(state, sort_keys=True))
+    twin.stop()
+
+
+def test_state_dict_omits_surrogate_for_vector_kernel(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    twin = tiny_twin()
+    twin.start()
+    assert twin.join(timeout=60)
+    assert "surrogate" not in twin.state_dict()
+    twin.stop()

@@ -287,3 +287,91 @@ def test_modeled_energy_enters_fleet_total():
         s.sync()
     metered = sum(s.energy_j for s in servers)
     assert mw.fleet_energy_j() == metered + sur.modeled_energy_j
+
+
+# --------------------------------------------------------------------------- #
+# error-budget monitor (orchestration-plane observability)
+# --------------------------------------------------------------------------- #
+def test_budget_status_is_json_ready_and_tracks_drift():
+    import json
+
+    mw = _run_ticks(_city(), 16)
+    sur = mw.surrogate
+    status = sur.budget_status()
+    json.loads(json.dumps(status, sort_keys=True))
+    assert status["switched"] is True
+    assert status["aggregated_districts"] == len(sur.agg_ids) >= 1
+    assert status["sample_districts"] == list(sur.sample_districts)
+    assert status["modeled_energy_j"] > 0
+    assert 0.0 <= status["last_drift_c"] <= status["max_drift_c"]
+    tol = budget.DISTRICT_MEAN_TEMP_TOL_C
+    assert status["drift_budget_share"] == round(status["max_drift_c"] / tol, 4)
+    assert status["budget"] == {
+        "district_mean_temp_tol_c": budget.DISTRICT_MEAN_TEMP_TOL_C,
+        "comfort_violation_rate_tol": budget.COMFORT_VIOLATION_RATE_TOL,
+        "fleet_energy_rel_tol": budget.FLEET_ENERGY_REL_TOL,
+    }
+    # drift tracking costs nothing: this run had observability fully off
+    assert not mw.obs.active
+
+
+def test_drift_records_and_gauges_under_tracing():
+    from repro import obs as O
+
+    tracer = O.Tracer()
+    registry = O.MetricsRegistry()
+    with O.obs_session(O.Observability(tracer=tracer, registry=registry)):
+        mw = _run_ticks(_city(), 16)
+    drifts = [r for r in tracer.iter_records() if r.name == "surrogate.drift"]
+    assert drifts, "no surrogate.drift records at checkpoint cadence"
+    for r in drifts:
+        assert r.kind == "surrogate"
+        assert r.args["budget_c"] == budget.DISTRICT_MEAN_TEMP_TOL_C
+        assert r.args["max_drift_c"] >= 0.0
+        assert r.args["aggregated"] >= 1
+        assert r.args["live"] >= len(mw.surrogate.sample_districts)
+    assert registry.gauge("surrogate_drift_c").snapshot() >= 0.0
+    assert registry.gauge("surrogate_aggregated_districts").snapshot() >= 1
+
+
+def test_materialize_and_zoom_records_and_counters():
+    from repro import obs as O
+
+    tracer = O.Tracer()
+    registry = O.MetricsRegistry()
+    with O.obs_session(O.Observability(tracer=tracer, registry=registry)):
+        mw = _run_ticks(_city(), 8)
+        sur = mw.surrogate
+        crashed = sur.agg_ids[-1]
+        FaultInjector(mw).crash_server(f"district-{crashed}/building-0/qrad-0")
+        zoomed = sur.agg_ids[0]
+        sur.zoom_in(zoomed)
+
+    mats = [r for r in tracer.iter_records()
+            if r.name == "surrogate.materialize"]
+    assert [(r.args["district"], r.args["reason"]) for r in mats] == \
+        [(crashed, "churn")]
+    zooms = [r for r in tracer.iter_records() if r.name == "surrogate.zoom"]
+    assert [(r.args["district"], r.args["zooms"]) for r in zooms] == \
+        [(zoomed, 1)]
+    assert registry.counter("surrogate_materializations").snapshot() == 1.0
+    assert registry.counter("surrogate_zooms").snapshot() == 1.0
+    assert sur.budget_status()["materializations"] == 1
+    assert sur.budget_status()["zooms"] == 1
+
+
+def test_budget_instrumentation_does_not_perturb_results():
+    """The monitor reads state, never feeds back: a traced surrogate run is
+    byte-identical to the obs-off run of the same city."""
+    from repro import obs as O
+
+    def signature(mw):
+        return (np.asarray(mw._fused_thermal.t_air).tobytes(),
+                mw.fleet_energy_j(), mw.surrogate.modeled_energy_j,
+                list(mw.surrogate.agg_ids), mw.surrogate.materialised)
+
+    plain = signature(_run_ticks(_city(), 16))
+    with O.obs_session(O.Observability(tracer=O.Tracer(),
+                                       registry=O.MetricsRegistry())):
+        traced = signature(_run_ticks(_city(), 16))
+    assert traced == plain
